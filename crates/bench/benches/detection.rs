@@ -1,0 +1,48 @@
+//! Microbenchmarks for the detection substrate: simulated inference and
+//! edge↔cloud label matching.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use croesus_core::match_edge_to_cloud;
+use croesus_detect::{DetectionModel, ModelProfile, SimulatedModel};
+use croesus_video::VideoPreset;
+
+fn detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detect");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let video = VideoPreset::MallSurveillance.generate(64, 42);
+    let edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), 42);
+    let cloud = SimulatedModel::new(ModelProfile::yolov3_416(), 43);
+
+    let mut i = 0usize;
+    g.bench_function("edge_detect_frame", |b| {
+        b.iter(|| {
+            i = (i + 1) % video.len();
+            black_box(edge.detect(video.frame(i as u64)))
+        })
+    });
+    g.bench_function("cloud_detect_frame", |b| {
+        b.iter(|| {
+            i = (i + 1) % video.len();
+            black_box(cloud.detect(video.frame(i as u64)))
+        })
+    });
+
+    // Matching on a busy frame.
+    let busiest = (0..video.len() as u64)
+        .max_by_key(|&f| video.frame(f).objects.len())
+        .unwrap();
+    let edge_dets = edge.detect(video.frame(busiest));
+    let cloud_dets = cloud.detect(video.frame(busiest));
+    g.bench_function("match_edge_to_cloud", |b| {
+        b.iter(|| black_box(match_edge_to_cloud(&edge_dets, &cloud_dets, 0.10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, detection);
+criterion_main!(benches);

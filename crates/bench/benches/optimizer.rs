@@ -1,0 +1,40 @@
+//! Microbenchmarks for the threshold optimizer: single-pair evaluation,
+//! and brute force vs gradient search (the §5.2.3 comparison — the paper
+//! reports the gradient method 2.2× faster).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use croesus_core::{ThresholdEvaluator, ThresholdPair};
+use croesus_detect::{ModelProfile, SimulatedModel};
+use croesus_video::VideoPreset;
+
+fn optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+
+    let video = VideoPreset::StreetTraffic.generate(150, 42);
+    let edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), 42);
+    let cloud = SimulatedModel::new(ModelProfile::yolov3_416(), 43);
+    let ev = ThresholdEvaluator::build(&video, &edge, &cloud, 0.10);
+
+    g.bench_function("evaluate_pair", |b| {
+        b.iter(|| black_box(ev.evaluate(ThresholdPair::new(0.4, 0.6))))
+    });
+    g.bench_function("brute_force_grid", |b| {
+        b.iter(|| black_box(ev.brute_force(0.85, 0.1)))
+    });
+    g.bench_function("gradient_search", |b| {
+        b.iter(|| black_box(ev.gradient(0.85, 0.1)))
+    });
+    g.bench_function("build_evaluator_150_frames", |b| {
+        b.iter(|| black_box(ThresholdEvaluator::build(&video, &edge, &cloud, 0.10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, optimizer);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end pipeline benchmarks: a whole Croesus run (and the baselines)
+//! over a short video. These measure the *simulator's* execution speed —
+//! the latencies the pipeline reports are virtual.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use croesus_core::{
+    run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdPair,
+};
+use croesus_video::VideoPreset;
+
+fn pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+
+    let cfg = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.4, 0.6))
+        .with_frames(60);
+    g.bench_function("croesus_60_frames", |b| {
+        b.iter(|| black_box(run_croesus(&cfg)))
+    });
+    g.bench_function("edge_only_60_frames", |b| {
+        b.iter(|| black_box(run_edge_only(&cfg)))
+    });
+    g.bench_function("cloud_only_60_frames", |b| {
+        b.iter(|| black_box(run_cloud_only(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Microbenchmarks for the storage substrate: KV operations and the lock
+//! manager under its three conflict policies.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use croesus_store::{Key, KvStore, LockManager, LockMode, LockPolicy, TxnId, UndoLog, Value};
+
+fn kv_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let store = KvStore::new();
+    for i in 0..10_000u64 {
+        store.put(Key::indexed("k", i), Value::Int(i as i64));
+    }
+    let mut n = 0u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            n = (n + 1) % 10_000;
+            black_box(store.get(&Key::indexed("k", n)))
+        })
+    });
+    g.bench_function("put_overwrite", |b| {
+        b.iter(|| {
+            n = (n + 1) % 10_000;
+            black_box(store.put(Key::indexed("k", n), Value::Int(7)))
+        })
+    });
+    g.bench_function("put_get_delete_fresh", |b| {
+        let mut i = 10_000u64;
+        b.iter(|| {
+            i += 1;
+            let k = Key::indexed("fresh", i);
+            store.put(k.clone(), Value::Int(1));
+            black_box(store.get(&k));
+            store.delete(&k);
+        })
+    });
+    g.finish();
+}
+
+fn lock_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for policy in [LockPolicy::Block, LockPolicy::NoWait, LockPolicy::WaitDie] {
+        let lm = LockManager::new(policy);
+        let key = Key::new("uncontended");
+        g.bench_function(format!("acquire_release_{policy:?}"), |b| {
+            b.iter(|| {
+                lm.lock(TxnId(1), &key, LockMode::Exclusive).unwrap();
+                lm.release(TxnId(1), &key);
+            })
+        });
+    }
+
+    let lm = Arc::new(LockManager::new(LockPolicy::Block));
+    let keys: Vec<(Key, LockMode)> = (0..10)
+        .map(|i| (Key::indexed("multi", i), LockMode::Exclusive))
+        .collect();
+    g.bench_function("acquire_all_10_keys", |b| {
+        b.iter(|| {
+            lm.acquire_all(TxnId(1), &keys, None).unwrap();
+            lm.release_all(TxnId(1), keys.iter().map(|(k, _)| k));
+        })
+    });
+    g.finish();
+}
+
+fn undo_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("undo");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let store = KvStore::new();
+    for i in 0..100u64 {
+        store.put(Key::indexed("u", i), Value::Int(0));
+    }
+    g.bench_function("log_5_writes_and_rollback", |b| {
+        b.iter_batched(
+            UndoLog::new,
+            |mut log| {
+                for i in 0..5u64 {
+                    log.put(&store, Key::indexed("u", i), Value::Int(1));
+                }
+                log.rollback(&store);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kv_ops, lock_ops, undo_ops);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Run every figure/table reproduction harness in sequence.
+//!
+//! Equivalent to running the `fig2`, `fig3`, `fig4`, `fig5`, `fig6a`,
+//! `fig6b`, `fig6c`, `table1` and `table2` binaries one after another;
+//! kept as process invocations so each harness stays independently
+//! runnable and this driver cannot drift from them.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let harnesses = [
+        "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "table1", "table2",
+        "multistage", "queueing", "feedback",
+    ];
+    for h in harnesses {
+        let path = dir.join(h);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {h}: {e}"));
+        assert!(status.success(), "{h} exited with {status}");
+    }
+    println!("\nAll {} harnesses completed.", harnesses.len());
+}

@@ -1,0 +1,39 @@
+//! Figure 3: Croesus latency vs accuracy for different threshold pairs
+//! (street traffic, querying vehicles).
+
+use croesus_bench::{banner, config, f2, ms, pct, Table};
+use croesus_core::{run_croesus, ThresholdPair};
+use croesus_video::VideoPreset;
+
+fn main() {
+    banner("Figure 3: latency/BU/F-score per threshold pair (street traffic, 'car')");
+    let pairs = [
+        (0.5, 0.5),
+        (0.5, 0.6),
+        (0.5, 0.7),
+        (0.6, 0.7),
+        (0.4, 0.6),
+        (0.3, 0.7),
+        (0.2, 0.8),
+        (0.1, 0.9),
+    ];
+    let mut t = Table::new(&["(θL, θU)", "final latency (ms)", "BU", "F-score"]);
+    for (lo, hi) in pairs {
+        let m = run_croesus(&config(
+            VideoPreset::StreetTraffic,
+            ThresholdPair::new(lo, hi),
+        ));
+        t.row(vec![
+            format!("({lo:.1}, {hi:.1})"),
+            ms(m.final_commit_ms),
+            pct(m.bandwidth_utilization),
+            f2(m.f_score),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  Paper shape: (0.5,0.5) → BU 0% with edge-only accuracy; widening the validate\n  \
+         interval raises BU and F-score; BU grows faster than F-score, and pairs with\n  \
+         similar BU can differ sharply in accuracy — hence dynamic optimization."
+    );
+}

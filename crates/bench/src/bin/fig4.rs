@@ -1,0 +1,53 @@
+//! Figure 4: latency of Croesus at the optimal thresholds across the four
+//! deployment setups ({small, regular edge} × {same, different location}).
+
+use croesus_bench::{banner, config, f2, ms, pct, Table, DEFAULT_MU, FRAMES, SEED};
+use croesus_core::{run_croesus, CroesusConfig, ThresholdEvaluator, ThresholdPair, ValidationPolicy};
+use croesus_detect::{ModelProfile, SimulatedModel};
+use croesus_net::Setup;
+use croesus_video::VideoPreset;
+
+/// Find the optimal pair for a video (independent of setup: thresholds
+/// concern detection quality, not deployment).
+fn optimal(preset: VideoPreset) -> ThresholdPair {
+    let video = preset.generate(FRAMES, SEED);
+    let edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), SEED ^ 0xE);
+    let cloud = SimulatedModel::new(ModelProfile::yolov3_416(), SEED ^ 0xC);
+    let ev = ThresholdEvaluator::build(&video, &edge, &cloud, 0.10);
+    ev.brute_force(DEFAULT_MU, 0.1).pair
+}
+
+fn main() {
+    banner("Figure 4: optimal-threshold Croesus latency across deployment setups");
+    for preset in VideoPreset::FIG2 {
+        let pair = optimal(preset);
+        println!(
+            "\n  --- {} : {} — optimal thresholds ({:.1}, {:.1}), µ={DEFAULT_MU} ---",
+            preset.paper_id(),
+            preset.description(),
+            pair.lower,
+            pair.upper
+        );
+        let mut t = Table::new(&["setup", "initial (ms)", "final (ms)", "F-score", "BU"]);
+        for setup in Setup::ALL {
+            let cfg: CroesusConfig = config(preset, pair)
+                .with_setup(setup)
+                .with_validation(ValidationPolicy::Thresholds(pair));
+            let m = run_croesus(&cfg);
+            t.row(vec![
+                setup.label(),
+                ms(m.initial_commit_ms),
+                ms(m.final_commit_ms),
+                f2(m.f_score),
+                pct(m.bandwidth_utilization),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "\n  Paper shape: co-locating edge and cloud removes the ~62 ms (each way)\n  \
+         cross-country hop from the final latency; the t3a.small edge inflates the\n  \
+         initial commit via slower Tiny-YOLO inference; v3's near-0% BU makes its\n  \
+         final latency track the edge path in every setup."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 6(b): MS-SR transaction abort rate vs hot-spot key range.
+//!
+//! §5.2.4: batches of 50 transactions, 5 updates each, over hot spots of
+//! 10..100K keys. MS-IA's rate is 0% for every range (the single-threaded
+//! sequencer orders conflicting transactions into non-overlapping waves).
+//!
+//! Ablation beyond the paper: the same sweep under NoWait instead of
+//! wait-die, separating the cost of the deadlock-avoidance policy from the
+//! cost of holding locks across the cloud round trip.
+
+use croesus_bench::contention::{run_ms_ia, run_ms_sr, run_ms_sr_with_policy, ContentionConfig};
+use croesus_bench::{banner, pct, Table};
+use croesus_store::LockPolicy;
+
+fn main() {
+    banner("Figure 6(b): MS-SR abort rate vs hot-spot key range");
+    let mut t = Table::new(&[
+        "key range",
+        "MS-SR abort rate",
+        "MS-IA abort rate",
+        "MS-SR/NoWait (ablation)",
+    ]);
+    for key_range in [10u64, 100, 1_000, 10_000, 100_000] {
+        let cfg = ContentionConfig::paper(key_range);
+        let sr = run_ms_sr(&cfg);
+        let ia = run_ms_ia(&cfg);
+        let nowait = run_ms_sr_with_policy(&cfg, LockPolicy::NoWait);
+        t.row(vec![
+            key_range.to_string(),
+            pct(sr.abort_rate),
+            pct(ia.abort_rate),
+            pct(nowait.abort_rate),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  Paper shape: MS-SR aborts are significant below ~10K keys and fade as the\n  \
+         hot spot widens; MS-IA stays at 0% everywhere thanks to the sequencer."
+    );
+}

@@ -1,0 +1,42 @@
+//! Ablation: queueing behaviour under increasing frame rates.
+//!
+//! The paper's latency figures are per-frame; this harness adds the
+//! arrival-rate dimension: a single Tiny-YOLO edge unit saturates near
+//! 5.3 fps, after which waits explode and the bounded queue starts
+//! sampling frames out — quantifying how far the per-frame numbers carry.
+
+use croesus_bench::{banner, ms, pct, Table};
+use croesus_core::{run_queueing, QueueingConfig};
+use croesus_video::VideoPreset;
+
+fn main() {
+    banner("Ablation: edge/cloud queueing vs frame arrival rate (street traffic)");
+    let mut t = Table::new(&[
+        "fps",
+        "processed",
+        "dropped",
+        "edge wait (ms)",
+        "cloud wait (ms)",
+        "final latency (ms)",
+        "edge util",
+    ]);
+    for fps in [1.0, 2.0, 4.0, 5.0, 6.0, 10.0, 30.0] {
+        let m = run_queueing(&QueueingConfig::new(VideoPreset::StreetTraffic, fps));
+        t.row(vec![
+            format!("{fps:.0}"),
+            m.processed.to_string(),
+            m.dropped.to_string(),
+            ms(m.edge_wait_ms),
+            ms(m.cloud_wait_ms),
+            ms(m.final_latency_ms),
+            pct(m.edge_utilization),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  Shape: below ~5.3 fps (1 / 190 ms) the edge keeps up and the paper's\n  \
+         per-frame latencies hold; above it, waits grow with the queue bound and the\n  \
+         excess frames are sampled out — matching how deployments process a subset\n  \
+         of frames rather than every frame of a 30 fps stream."
+    );
+}

@@ -1,0 +1,59 @@
+//! Table 1: accuracy and latency of optimal-threshold Croesus vs the
+//! state-of-the-art edge and cloud baselines, for videos v1..v4.
+//!
+//! Accuracy is normalized to the cloud baseline (1.0 by the ground-truth
+//! convention); Croesus latency shows the final commit with the initial
+//! commit in parentheses, as in the paper.
+
+use croesus_bench::{banner, config, pct, Table, DEFAULT_MU, FRAMES, SEED};
+use croesus_core::{run_cloud_only, run_edge_only, run_croesus, ThresholdEvaluator, ThresholdPair};
+use croesus_detect::{ModelProfile, SimulatedModel};
+use croesus_video::VideoPreset;
+
+fn main() {
+    banner("Table 1: optimal-threshold Croesus vs edge and cloud baselines");
+    let mut t = Table::new(&[
+        "video",
+        "(θL,θU)",
+        "acc Croesus",
+        "acc edge",
+        "acc cloud",
+        "lat Croesus ms",
+        "lat edge ms",
+        "lat cloud ms",
+        "BU",
+    ]);
+    for preset in VideoPreset::FIG2 {
+        let video = preset.generate(FRAMES, SEED);
+        let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), SEED ^ 0xE);
+        let cloud_model = SimulatedModel::new(ModelProfile::yolov3_416(), SEED ^ 0xC);
+        let ev = ThresholdEvaluator::build(&video, &edge_model, &cloud_model, 0.10);
+        let opt = ev.brute_force(DEFAULT_MU, 0.1);
+
+        let base = config(preset, opt.pair);
+        let croesus = run_croesus(&base);
+        let edge = run_edge_only(&base);
+        let cloud = run_cloud_only(&config(preset, ThresholdPair::new(0.4, 0.6)));
+
+        t.row(vec![
+            preset.paper_id().to_string(),
+            format!("({:.1},{:.1})", opt.pair.lower, opt.pair.upper),
+            format!("{:.2}x", croesus.f_score / cloud.f_score),
+            format!("{:.2}x", edge.f_score / cloud.f_score),
+            "1.00".to_string(),
+            format!(
+                "{:.1} ({:.1})",
+                croesus.final_commit_ms, croesus.initial_commit_ms
+            ),
+            format!("{:.1}", edge.final_commit_ms),
+            format!("{:.1}", cloud.final_commit_ms),
+            pct(croesus.bandwidth_utilization),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  Paper shape: Croesus accuracy ≈0.8x of cloud (vs ≈0.4-0.5x for edge-only,\n  \
+         except the easy airport video); Croesus final latency sits well below the cloud\n  \
+         baseline, and its initial commit matches the edge baseline."
+    );
+}

@@ -1,0 +1,49 @@
+//! Table 2: the effect of the cloud model size (YOLOv3-320/416/608) at
+//! µ = 0.8, on the park video — optimal thresholds, F-score, bandwidth
+//! utilization, and cloud detection latency.
+//!
+//! Ablation beyond the paper: the edge→cloud transfer cost per 1000
+//! frames (§3.4 motivates thresholding with monetary cost).
+
+use croesus_bench::{banner, config, f2, pct, Table, FRAMES, SEED};
+use croesus_core::{run_croesus, ThresholdEvaluator};
+use croesus_detect::{ModelKind, ModelProfile, SimulatedModel};
+use croesus_video::VideoPreset;
+
+fn main() {
+    banner("Table 2: effect of the cloud model size (µ = 0.8, park video)");
+    let mu = 0.8;
+    let preset = VideoPreset::ParkDog;
+    let video = preset.generate(FRAMES, SEED);
+    let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), SEED ^ 0xE);
+
+    let mut t = Table::new(&[
+        "cloud model",
+        "optimal (θL,θU)",
+        "F-score",
+        "BU",
+        "detect latency (s)",
+        "$/1k frames",
+    ]);
+    for kind in ModelKind::CLOUD_SIZES {
+        let cloud_model = SimulatedModel::new(kind.profile(), SEED ^ 0xC);
+        let ev = ThresholdEvaluator::build(&video, &edge_model, &cloud_model, 0.10);
+        let opt = ev.brute_force(mu, 0.1);
+        let m = run_croesus(&config(preset, opt.pair).with_cloud_model(kind));
+        let dollars_per_1k = m.transfer_dollars * 1000.0 / FRAMES as f64;
+        t.row(vec![
+            kind.name().to_string(),
+            format!("({:.1}, {:.1})", opt.pair.lower, opt.pair.upper),
+            f2(m.f_score),
+            pct(m.bandwidth_utilization),
+            format!("{:.2}", m.breakdown.cloud_detect_ms / 1000.0),
+            format!("{:.3}", dollars_per_1k),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  Paper shape: detection latency grows with model size (0.70 / 1.12 / 2.34 s);\n  \
+         F-score and BU stay in the same band because the optimizer re-tunes the\n  \
+         thresholds per model to hit the same accuracy floor µ."
+    );
+}

@@ -1,0 +1,163 @@
+//! The client (§3.3.1).
+//!
+//! "The client captures frames, gets user input (from auxiliary devices),
+//! and displays responses. ... This process of sending frames and input is
+//! continuous — there is no blocking to get the response from the edge
+//! node. When a response is received from the edge node, that response is
+//! rendered and augmented in the user's view."
+//!
+//! [`Client`] models that loop: it emits frames (optionally accompanied by
+//! auxiliary inputs such as clicks), and records the two response waves —
+//! initial-stage and final-stage — per frame, including apologies.
+
+use croesus_sim::DetRng;
+use croesus_store::Value;
+use croesus_video::{Frame, Video};
+
+/// An auxiliary-device input accompanying a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuxInput {
+    /// Input kind, e.g. `"click"`.
+    pub kind: String,
+}
+
+/// What the client received for one frame.
+#[derive(Clone, Debug, Default)]
+pub struct FrameResponses {
+    /// Responses rendered at initial commit (the real-time wave).
+    pub initial: Vec<Value>,
+    /// Responses/corrections rendered at final commit.
+    pub finals: Vec<Value>,
+    /// Apologies received with the final wave.
+    pub apologies: Vec<String>,
+}
+
+/// The client: a frame source plus a response sink.
+pub struct Client {
+    video: Video,
+    aux_kind: String,
+    aux_rate: f64,
+    rng: DetRng,
+    responses: Vec<FrameResponses>,
+}
+
+impl Client {
+    /// Create a client over a video, clicking the auxiliary device with
+    /// probability `aux_rate` per frame.
+    pub fn new(video: Video, aux_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&aux_rate), "aux rate must be in [0,1]");
+        let n = video.len();
+        Client {
+            video,
+            aux_kind: "click".to_string(),
+            aux_rate,
+            rng: DetRng::new(seed).fork_named("client-aux"),
+            responses: vec![FrameResponses::default(); n],
+        }
+    }
+
+    /// The video this client streams.
+    pub fn video(&self) -> &Video {
+        &self.video
+    }
+
+    /// Produce the next capture: the frame plus any auxiliary inputs that
+    /// fired with it. Deterministic per `(seed, frame index)` by
+    /// construction: the client's RNG is consumed in frame order.
+    pub fn capture(&mut self, index: u64) -> (&Frame, Vec<AuxInput>) {
+        let click = self.rng.bernoulli(self.aux_rate);
+        let aux = if click {
+            vec![AuxInput {
+                kind: self.aux_kind.clone(),
+            }]
+        } else {
+            vec![]
+        };
+        (self.video.frame(index), aux)
+    }
+
+    /// Render an initial-stage response ("rendered and augmented in the
+    /// user's view" immediately).
+    pub fn receive_initial(&mut self, frame_index: u64, responses: Vec<Value>) {
+        self.responses[frame_index as usize].initial.extend(responses);
+    }
+
+    /// Render a final-stage response, possibly with apologies.
+    pub fn receive_final(&mut self, frame_index: u64, responses: Vec<Value>, apologies: Vec<String>) {
+        let slot = &mut self.responses[frame_index as usize];
+        slot.finals.extend(responses);
+        slot.apologies.extend(apologies);
+    }
+
+    /// The recorded responses for one frame.
+    pub fn responses(&self, frame_index: u64) -> &FrameResponses {
+        &self.responses[frame_index as usize]
+    }
+
+    /// Total apologies the user has seen.
+    pub fn apology_count(&self) -> usize {
+        self.responses.iter().map(|r| r.apologies.len()).sum()
+    }
+
+    /// Frames that received at least one initial-stage response.
+    pub fn responsive_frames(&self) -> usize {
+        self.responses.iter().filter(|r| !r.initial.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_video::VideoPreset;
+
+    fn client(aux_rate: f64) -> Client {
+        Client::new(VideoPreset::StreetTraffic.generate(60, 3), aux_rate, 7)
+    }
+
+    #[test]
+    fn capture_yields_frames_in_order() {
+        let mut c = client(0.0);
+        for i in 0..60 {
+            let (f, aux) = c.capture(i);
+            assert_eq!(f.index, i);
+            assert!(aux.is_empty(), "aux rate 0 never clicks");
+        }
+    }
+
+    #[test]
+    fn aux_rate_controls_click_frequency() {
+        let mut c = client(0.5);
+        let clicks: usize = (0..60).map(|i| c.capture(i).1.len()).sum();
+        assert!((15..=45).contains(&clicks), "clicks {clicks}");
+        let mut always = client(1.0);
+        assert_eq!((0..60).map(|i| always.capture(i).1.len()).sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn responses_are_recorded_per_frame() {
+        let mut c = client(0.0);
+        c.receive_initial(3, vec![Value::Int(1), Value::Int(2)]);
+        c.receive_final(3, vec![Value::from("fixed")], vec!["sorry".into()]);
+        let r = c.responses(3);
+        assert_eq!(r.initial.len(), 2);
+        assert_eq!(r.finals.len(), 1);
+        assert_eq!(r.apologies, vec!["sorry".to_string()]);
+        assert_eq!(c.apology_count(), 1);
+        assert_eq!(c.responsive_frames(), 1);
+    }
+
+    #[test]
+    fn clicks_are_deterministic_per_seed() {
+        let mut a = client(0.3);
+        let mut b = client(0.3);
+        for i in 0..60 {
+            assert_eq!(a.capture(i).1, b.capture(i).1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aux rate")]
+    fn invalid_aux_rate_panics() {
+        client(1.5);
+    }
+}

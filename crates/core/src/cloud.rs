@@ -1,0 +1,76 @@
+//! The cloud node.
+//!
+//! §3.3.3: "The cloud node has a single task of processing frames using the
+//! cloud model Mc. When a frame f is received from an edge node, the labels
+//! Lc are derived using Mc and then sent back to the edge node."
+
+use croesus_detect::{Detection, DetectionModel, ModelKind, SimulatedModel};
+use croesus_sim::SimDuration;
+use croesus_video::Frame;
+
+/// The cloud node: a wrapper around the accurate (slow) model.
+pub struct CloudNode {
+    model: SimulatedModel,
+}
+
+impl CloudNode {
+    /// Create a cloud node running the given model size.
+    pub fn new(kind: ModelKind, seed: u64) -> Self {
+        CloudNode {
+            model: SimulatedModel::new(kind.profile(), seed),
+        }
+    }
+
+    /// Create from an explicit model (tests, custom profiles).
+    pub fn with_model(model: SimulatedModel) -> Self {
+        CloudNode { model }
+    }
+
+    /// Process a frame: returns the cloud labels and the inference latency.
+    pub fn process(&self, frame: &Frame) -> (Vec<Detection>, SimDuration) {
+        let labels = self.model.detect(frame);
+        let latency = self.model.inference_latency(frame);
+        (labels, latency)
+    }
+
+    /// The model's name.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_video::VideoPreset;
+
+    #[test]
+    fn cloud_node_detects_with_model_latency() {
+        let v = VideoPreset::StreetTraffic.generate(30, 3);
+        let node = CloudNode::new(ModelKind::YoloV3_416, 3);
+        let (labels, latency) = node.process(v.frame(5));
+        assert!(!labels.is_empty() || v.frame(5).objects.is_empty());
+        // YOLOv3-416 ≈ 1.12 s.
+        assert!(latency.as_millis_f64() > 900.0 && latency.as_millis_f64() < 1400.0);
+        assert_eq!(node.model_name(), "YOLOv3-416");
+    }
+
+    #[test]
+    fn processing_is_deterministic() {
+        let v = VideoPreset::StreetTraffic.generate(30, 3);
+        let node = CloudNode::new(ModelKind::YoloV3_416, 3);
+        let (a, la) = node.process(v.frame(7));
+        let (b, lb) = node.process(v.frame(7));
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn model_sizes_have_ordered_latency() {
+        let v = VideoPreset::StreetTraffic.generate(5, 3);
+        let f = v.frame(0);
+        let l320 = CloudNode::new(ModelKind::YoloV3_320, 3).process(f).1;
+        let l608 = CloudNode::new(ModelKind::YoloV3_608, 3).process(f).1;
+        assert!(l608 > l320);
+    }
+}

@@ -1,0 +1,181 @@
+//! Run configuration.
+
+use croesus_detect::ModelKind;
+use croesus_net::{PayloadCodec, Setup};
+use croesus_video::VideoPreset;
+
+use crate::threshold::ThresholdPair;
+
+/// How the pipeline decides which frames to validate at the cloud.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValidationPolicy {
+    /// Bandwidth thresholding with a `(θL, θU)` pair (§3.4) — the Croesus
+    /// mechanism.
+    Thresholds(ThresholdPair),
+    /// Send a fixed fraction of frames, spread evenly — the "BU
+    /// configuration" sweeps of Figure 2. Detections below the default
+    /// low-confidence filter are still discarded.
+    ForcedBu(f64),
+}
+
+impl ValidationPolicy {
+    /// For [`ValidationPolicy::ForcedBu`], whether frame `index` is sent:
+    /// a deterministic even spread hitting exactly `⌊n·bu⌋` of `n` frames.
+    pub fn forced_send(bu: f64, index: u64) -> bool {
+        let bu = bu.clamp(0.0, 1.0);
+        ((index + 1) as f64 * bu).floor() > (index as f64 * bu).floor()
+    }
+}
+
+/// Configuration of one Croesus run.
+#[derive(Clone, Debug)]
+pub struct CroesusConfig {
+    /// The video to process.
+    pub preset: VideoPreset,
+    /// Number of frames to generate.
+    pub num_frames: u64,
+    /// Experiment seed: drives scene generation, detections, link jitter
+    /// and workload key choice.
+    pub seed: u64,
+    /// The cloud model (Table 2 varies this; YOLOv3-416 is the default).
+    pub cloud_model: ModelKind,
+    /// Deployment setup (edge machine class and colocation).
+    pub setup: Setup,
+    /// Frame validation policy.
+    pub validation: ValidationPolicy,
+    /// Payload encoding for edge→cloud transfers.
+    pub codec: PayloadCodec,
+    /// Bounding-box overlap threshold for label matching (10% in §5.1).
+    pub overlap_threshold: f64,
+    /// Detections below this confidence are dropped by the edge input
+    /// processor before triggering anything ("the input processing
+    /// component removes any labels ... that have low confidence").
+    /// Thresholding policies use θL instead.
+    pub low_confidence_filter: f64,
+    /// Probability that a validated frame's cloud labels never arrive
+    /// (cloud outage / packet loss). The edge then finalizes locally after
+    /// `cloud_timeout_ms`, keeping the multi-stage guarantee: initially
+    /// committed transactions still finally commit.
+    pub cloud_loss_rate: f64,
+    /// How long the edge waits for cloud labels before giving up, ms.
+    pub cloud_timeout_ms: f64,
+}
+
+impl CroesusConfig {
+    /// A run with the paper's defaults: YOLOv3-416 cloud model, regular
+    /// edge in California / cloud in Virginia, raw payloads, 10% overlap.
+    pub fn new(preset: VideoPreset, thresholds: ThresholdPair) -> Self {
+        CroesusConfig {
+            preset,
+            num_frames: 300,
+            seed: 42,
+            cloud_model: ModelKind::YoloV3_416,
+            setup: Setup::default_paper(),
+            validation: ValidationPolicy::Thresholds(thresholds),
+            codec: PayloadCodec::raw(),
+            overlap_threshold: 0.10,
+            low_confidence_filter: 0.25,
+            cloud_loss_rate: 0.0,
+            cloud_timeout_ms: 3_000.0,
+        }
+    }
+
+    /// Builder: number of frames.
+    pub fn with_frames(mut self, n: u64) -> Self {
+        self.num_frames = n;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: cloud model.
+    pub fn with_cloud_model(mut self, kind: ModelKind) -> Self {
+        self.cloud_model = kind;
+        self
+    }
+
+    /// Builder: deployment setup.
+    pub fn with_setup(mut self, setup: Setup) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// Builder: validation policy.
+    pub fn with_validation(mut self, policy: ValidationPolicy) -> Self {
+        self.validation = policy;
+        self
+    }
+
+    /// Builder: payload codec.
+    pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Builder: cloud loss rate (see [`CroesusConfig::cloud_loss_rate`]).
+    pub fn with_cloud_loss(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
+        self.cloud_loss_rate = rate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_bu_hits_exact_fraction() {
+        for bu in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let n = 400u64;
+            let sent = (0..n)
+                .filter(|&i| ValidationPolicy::forced_send(bu, i))
+                .count();
+            assert_eq!(sent, (n as f64 * bu).floor() as usize, "bu={bu}");
+        }
+    }
+
+    #[test]
+    fn forced_bu_spreads_evenly() {
+        let sent: Vec<u64> = (0..100)
+            .filter(|&i| ValidationPolicy::forced_send(0.5, i))
+            .collect();
+        // Every other frame, not the first 50.
+        assert!(sent.windows(2).all(|w| w[1] - w[0] == 2));
+    }
+
+    #[test]
+    fn forced_bu_clamps() {
+        assert!(ValidationPolicy::forced_send(1.5, 0));
+        assert!(!ValidationPolicy::forced_send(-0.5, 0));
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CroesusConfig::new(
+            croesus_video::VideoPreset::StreetTraffic,
+            ThresholdPair::new(0.4, 0.6),
+        );
+        assert_eq!(c.cloud_model, ModelKind::YoloV3_416);
+        assert_eq!(c.overlap_threshold, 0.10);
+        assert_eq!(c.setup, Setup::default_paper());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = CroesusConfig::new(
+            croesus_video::VideoPreset::ParkDog,
+            ThresholdPair::new(0.2, 0.3),
+        )
+        .with_frames(50)
+        .with_seed(7)
+        .with_cloud_model(ModelKind::YoloV3_608);
+        assert_eq!(c.num_frames, 50);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.cloud_model, ModelKind::YoloV3_608);
+    }
+}

@@ -1,0 +1,357 @@
+//! The edge node (§3.3.2).
+//!
+//! The edge node runs the small model over incoming frames, consults the
+//! transactions bank for the transactions each label triggers, processes
+//! their initial sections immediately (initial commit → response to the
+//! client), and keeps the pending final sections until the cloud labels
+//! arrive (or the frame is locally finalized when thresholding decides not
+//! to validate it).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use croesus_detect::{Detection, DetectionModel, SimulatedModel};
+use croesus_sim::{DetRng, SimDuration};
+use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
+use croesus_txn::{MsIaExecutor, PendingFinal, RwSet, SectionCtx, SectionOutput, Sequencer, TxnError};
+use croesus_video::Frame;
+
+use crate::bank::TransactionsBank;
+use crate::matching::{match_edge_to_cloud, FinalInput};
+
+type FinalBody =
+    Box<dyn FnOnce(&mut SectionCtx, &FinalInput) -> Result<SectionOutput, TxnError> + Send>;
+
+struct PendingTxn {
+    pending: PendingFinal,
+    final_rw: RwSet,
+    final_body: FinalBody,
+    edge_label: Detection,
+}
+
+/// Result of processing a frame's initial stage.
+pub struct InitialStage {
+    /// Transactions whose initial sections committed.
+    pub committed: u64,
+    /// Wall-clock time spent executing initial sections.
+    pub txn_latency: SimDuration,
+    /// Responses produced for the client.
+    pub responses: Vec<SectionOutput>,
+}
+
+/// Result of a frame's final stage.
+pub struct FinalStage {
+    /// Final sections committed (including fresh missed-label transactions).
+    pub committed: u64,
+    /// Wall-clock time spent executing final sections.
+    pub txn_latency: SimDuration,
+    /// Verdict counts: (correct, corrected, erroneous, missed).
+    pub counts: (u64, u64, u64, u64),
+}
+
+/// The edge node.
+pub struct EdgeNode {
+    model: SimulatedModel,
+    executor: MsIaExecutor,
+    bank: Arc<TransactionsBank>,
+    overlap_threshold: f64,
+    txn_counter: AtomicU64,
+    rng: Mutex<DetRng>,
+    pending: Mutex<HashMap<u64, Vec<PendingTxn>>>,
+}
+
+impl EdgeNode {
+    /// Create an edge node: small model, fresh store, MS-IA transaction
+    /// processing (the paper's default consistency level, §5.1).
+    pub fn new(
+        model: SimulatedModel,
+        bank: Arc<TransactionsBank>,
+        overlap_threshold: f64,
+        seed: u64,
+    ) -> Self {
+        let store = Arc::new(KvStore::new());
+        let locks = Arc::new(LockManager::new(LockPolicy::Block));
+        EdgeNode {
+            model,
+            executor: MsIaExecutor::new(store, locks),
+            bank,
+            overlap_threshold,
+            txn_counter: AtomicU64::new(0),
+            rng: Mutex::new(DetRng::new(seed).fork_named("edge-node")),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The edge datastore.
+    pub fn store(&self) -> &Arc<KvStore> {
+        self.executor.store()
+    }
+
+    /// The MS-IA executor (stats, apologies).
+    pub fn executor(&self) -> &MsIaExecutor {
+        &self.executor
+    }
+
+    fn next_txn(&self) -> TxnId {
+        TxnId(self.txn_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Run the small model over a frame.
+    pub fn detect(&self, frame: &Frame) -> (Vec<Detection>, SimDuration) {
+        (self.model.detect(frame), self.model.inference_latency(frame))
+    }
+
+    /// Trigger and run the initial sections for the surviving labels of a
+    /// frame. Transactions are ordered by the single-threaded sequencer so
+    /// conflicting initial sections never overlap (§5.2.4).
+    pub fn run_initial_stage(&self, frame_index: u64, labels: &[Detection]) -> InitialStage {
+        let started = Instant::now();
+        // Instantiate all triggered transactions.
+        let mut instances = Vec::new();
+        {
+            let rng = self.rng.lock();
+            for (li, label) in labels.iter().enumerate() {
+                let mut lrng = rng.fork(frame_index << 20 | li as u64);
+                for rule in self.bank.triggered_by_label(label) {
+                    instances.push((label.clone(), rule.template.instantiate(label, &mut lrng)));
+                }
+            }
+        }
+        // Sequence by initial rw-set and execute.
+        let rwsets: Vec<RwSet> = instances.iter().map(|(_, i)| i.initial_rw.clone()).collect();
+        let mut slots: Vec<Option<(Detection, crate::bank::TxnInstance)>> =
+            instances.into_iter().map(Some).collect();
+        let mut committed = 0u64;
+        let mut responses = Vec::new();
+        let mut pendings = Vec::new();
+        Sequencer::run_batch::<TxnError>(&rwsets, |idx| {
+            let (label, inst) = slots[idx].take().expect("each index runs once");
+            let txn = self.next_txn();
+            let body = inst.initial;
+            match self.executor.run_initial(txn, &inst.initial_rw, body) {
+                Ok((out, pending)) => {
+                    committed += 1;
+                    responses.push(out);
+                    pendings.push(PendingTxn {
+                        pending,
+                        final_rw: inst.final_rw,
+                        final_body: inst.final_section,
+                        edge_label: label,
+                    });
+                }
+                Err(_) => {
+                    // Sequenced execution cannot conflict; an abort here
+                    // would be an application error — drop the transaction.
+                }
+            }
+            Ok(())
+        })
+        .expect("batch execution is infallible");
+        self.pending.lock().insert(frame_index, pendings);
+        InitialStage {
+            committed,
+            txn_latency: SimDuration::from_secs_f64(started.elapsed().as_secs_f64()),
+            responses,
+        }
+    }
+
+    /// Deliver the cloud labels for a validated frame: match them against
+    /// the pending edge labels, run every pending final section with its
+    /// verdict, and spawn fresh transactions for cloud labels the edge
+    /// missed.
+    pub fn deliver_cloud_labels(&self, frame_index: u64, cloud_labels: &[Detection]) -> FinalStage {
+        let started = Instant::now();
+        let pendings = self.pending.lock().remove(&frame_index).unwrap_or_default();
+        let edge_labels: Vec<Detection> = pendings.iter().map(|p| p.edge_label.clone()).collect();
+        let frame_match = match_edge_to_cloud(&edge_labels, cloud_labels, self.overlap_threshold);
+        let (correct, corrected, erroneous) = {
+            let c = frame_match.counts();
+            (c.0 as u64, c.1 as u64, c.2 as u64)
+        };
+
+        let mut committed = 0u64;
+        for (ptxn, input) in pendings.into_iter().zip(frame_match.inputs) {
+            let body = ptxn.final_body;
+            self.executor
+                .run_final(ptxn.pending, &ptxn.final_rw, |ctx, _fctx| body(ctx, &input))
+                .expect("final sections cannot abort");
+            committed += 1;
+        }
+
+        // Cloud labels with no edge counterpart trigger fresh initial+final
+        // pairs (§3.3.2, last paragraph).
+        let missed = frame_match.missed.len() as u64;
+        for (mi, label) in frame_match.missed.into_iter().enumerate() {
+            let inst = {
+                let rng = self.rng.lock();
+                let mut lrng = rng.fork(frame_index << 20 | (1 << 19) | mi as u64);
+                self.bank
+                    .triggered_by_label(&label)
+                    .first()
+                    .map(|rule| rule.template.instantiate(&label, &mut lrng))
+            };
+            if let Some(inst) = inst {
+                let txn = self.next_txn();
+                if let Ok((_, pending)) =
+                    self.executor.run_initial(txn, &inst.initial_rw, inst.initial)
+                {
+                    let input = FinalInput::correct(label);
+                    let body = inst.final_section;
+                    self.executor
+                        .run_final(pending, &inst.final_rw, |ctx, _| body(ctx, &input))
+                        .expect("final sections cannot abort");
+                    committed += 1;
+                }
+            }
+        }
+
+        FinalStage {
+            committed,
+            txn_latency: SimDuration::from_secs_f64(started.elapsed().as_secs_f64()),
+            counts: (correct, corrected, erroneous, missed),
+        }
+    }
+
+    /// Finalize a frame locally (thresholding decided not to validate):
+    /// every pending final section runs with its edge label assumed
+    /// correct.
+    pub fn finalize_local(&self, frame_index: u64) -> FinalStage {
+        let started = Instant::now();
+        let pendings = self.pending.lock().remove(&frame_index).unwrap_or_default();
+        let mut committed = 0u64;
+        let n = pendings.len() as u64;
+        for ptxn in pendings {
+            let input = FinalInput::assumed_correct(ptxn.edge_label.clone());
+            let body = ptxn.final_body;
+            self.executor
+                .run_final(ptxn.pending, &ptxn.final_rw, |ctx, _| body(ctx, &input))
+                .expect("final sections cannot abort");
+            committed += 1;
+        }
+        FinalStage {
+            committed,
+            txn_latency: SimDuration::from_secs_f64(started.elapsed().as_secs_f64()),
+            counts: (n, 0, 0, 0),
+        }
+    }
+
+    /// Number of frames with pending final sections.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::TriggerRule;
+    use crate::workload::YcsbWorkload;
+    use croesus_detect::ModelProfile;
+    use croesus_video::{BoundingBox, VideoPreset};
+
+    fn edge() -> EdgeNode {
+        let bank = TransactionsBank::new().with_rule(TriggerRule {
+            class_group: "any".into(),
+            classes: vec![],
+            requires_aux: None,
+            template: Arc::new(YcsbWorkload::new()),
+        });
+        EdgeNode::new(
+            SimulatedModel::new(ModelProfile::tiny_yolov3(), 7),
+            Arc::new(bank),
+            0.10,
+            7,
+        )
+    }
+
+    fn det(class: &str, conf: f64, x: f64) -> Detection {
+        Detection::new(class.into(), conf, BoundingBox::new(x, 0.4, 0.15, 0.15))
+    }
+
+    #[test]
+    fn initial_stage_commits_one_txn_per_label() {
+        let e = edge();
+        let stage = e.run_initial_stage(0, &[det("car", 0.8, 0.1), det("car", 0.7, 0.5)]);
+        assert_eq!(stage.committed, 2);
+        assert_eq!(e.pending_frames(), 1);
+        assert!(e.store().len() >= 6, "3 inserts per transaction");
+    }
+
+    #[test]
+    fn local_finalize_keeps_inserts() {
+        let e = edge();
+        e.run_initial_stage(0, &[det("car", 0.9, 0.1)]);
+        let before = e.store().len();
+        let stage = e.finalize_local(0);
+        assert_eq!(stage.committed, 1);
+        assert_eq!(stage.counts, (1, 0, 0, 0));
+        assert_eq!(e.store().len(), before);
+        assert_eq!(e.pending_frames(), 0);
+    }
+
+    #[test]
+    fn cloud_confirmation_keeps_state() {
+        let e = edge();
+        let label = det("car", 0.8, 0.1);
+        e.run_initial_stage(3, std::slice::from_ref(&label));
+        let before = e.store().len();
+        let stage = e.deliver_cloud_labels(3, &[det("car", 0.95, 0.12)]);
+        assert_eq!(stage.counts, (1, 0, 0, 0));
+        assert_eq!(e.store().len(), before);
+    }
+
+    #[test]
+    fn erroneous_label_state_is_removed() {
+        let e = edge();
+        e.run_initial_stage(4, &[det("car", 0.6, 0.1)]);
+        let before = e.store().len();
+        // Cloud saw nothing where the edge saw a car.
+        let stage = e.deliver_cloud_labels(4, &[]);
+        assert_eq!(stage.counts, (0, 0, 1, 0));
+        assert_eq!(e.store().len(), before - 3, "erroneous inserts deleted");
+    }
+
+    #[test]
+    fn missed_cloud_labels_spawn_fresh_transactions() {
+        let e = edge();
+        e.run_initial_stage(5, &[]);
+        let stage = e.deliver_cloud_labels(5, &[det("car", 0.9, 0.7)]);
+        assert_eq!(stage.counts.3, 1, "one missed label");
+        assert_eq!(stage.committed, 1, "fresh txn ran both sections");
+        assert!(e.store().len() >= 3);
+    }
+
+    #[test]
+    fn detection_runs_small_model() {
+        let e = edge();
+        let v = VideoPreset::StreetTraffic.generate(10, 7);
+        let (dets, latency) = e.detect(v.frame(0));
+        let _ = dets;
+        // Tiny YOLOv3 ≈ 190 ms.
+        assert!(latency.as_millis_f64() > 140.0 && latency.as_millis_f64() < 240.0);
+    }
+
+    #[test]
+    fn ms_ia_history_obligations_hold() {
+        let e = edge();
+        e.run_initial_stage(0, &[det("car", 0.8, 0.1)]);
+        e.run_initial_stage(1, &[det("car", 0.8, 0.3)]);
+        e.deliver_cloud_labels(0, &[det("car", 0.9, 0.1)]);
+        e.finalize_local(1);
+        let snap = e.executor().stats().snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 0);
+    }
+
+    #[test]
+    fn delivering_labels_for_unknown_frame_is_safe() {
+        let e = edge();
+        let stage = e.deliver_cloud_labels(999, &[]);
+        assert_eq!(stage.committed, 0);
+        assert_eq!(stage.counts, (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,44 @@
+//! The Croesus system (§3 of the paper): a multi-stage edge-cloud
+//! video-analytics pipeline co-designed with multi-stage transactions.
+//!
+//! A frame arrives at the [`edge`] node, which runs the small model,
+//! filters detections through the [`threshold`] bands (discard / validate /
+//! keep), triggers the matching transactions from the [`bank`], and commits
+//! their initial sections immediately. Frames in the validate band travel
+//! to the [`cloud`] node; when the accurate labels return, [`matching`]
+//! pairs them with the edge labels and the final sections run — correcting,
+//! retracting and apologizing as needed. The [`optimizer`] picks the
+//! `(θL, θU)` thresholds that minimize bandwidth subject to an accuracy
+//! floor (the §3.4 formulation); [`pipeline`] orchestrates whole-video runs
+//! and [`baseline`] provides the edge-only / cloud-only / hybrid
+//! comparisons of §5.
+
+pub mod bank;
+pub mod baseline;
+pub mod client;
+pub mod cloud;
+pub mod config;
+pub mod edge;
+pub mod matching;
+pub mod metrics;
+pub mod optimizer;
+pub mod pipeline;
+pub mod queueing;
+pub mod stages;
+pub mod threshold;
+pub mod workload;
+
+pub use bank::{TransactionsBank, TriggerRule, TxnInstance, TxnTemplate};
+pub use baseline::{run_cloud_only, run_edge_only, EDGE_BASELINE_CONFIDENCE};
+pub use client::{AuxInput, Client, FrameResponses};
+pub use cloud::CloudNode;
+pub use config::{CroesusConfig, ValidationPolicy};
+pub use edge::{EdgeNode, FinalStage, InitialStage};
+pub use matching::{match_edge_to_cloud, FinalInput, FrameMatch, LabelVerdict};
+pub use metrics::{CorrectionCounts, LatencyBreakdown, MetricsCollector, RunMetrics};
+pub use optimizer::{OptimalThresholds, ThresholdEvaluator, ThresholdOutcome};
+pub use pipeline::{evaluation_bank, run_croesus};
+pub use queueing::{run_queueing, QueueingConfig, QueueingMetrics};
+pub use stages::{edge_cloud_chain, edge_fog_cloud_chain, run_stage_chain, ChainMetrics, Stage, StageStats};
+pub use threshold::{BandDecision, FrameDecision, ThresholdPair};
+pub use workload::{HotspotWorkload, YcsbWorkload};

@@ -1,0 +1,311 @@
+//! Queueing-aware execution: a discrete-event simulation of the pipeline.
+//!
+//! The paper reports *per-frame* latencies, which implicitly assumes the
+//! edge keeps up with the frames it chooses to process. This module asks
+//! the follow-up question: what happens at a given arrival rate when the
+//! edge has one detection unit (Tiny-YOLO ≈ 190 ms ⇒ ≈ 5.3 fps capacity)
+//! and the cloud a small worker pool? Frames queue, wait, and — beyond a
+//! bound — are dropped, exactly like a real deployment sampling frames.
+//!
+//! Built directly on the [`croesus_sim::Simulator`] event kernel; every
+//! run is deterministic in the configuration seed.
+
+use std::collections::VecDeque;
+
+use croesus_detect::{DetectionModel, ModelKind, SimulatedModel};
+use croesus_detect::ModelProfile;
+use croesus_sim::{DetRng, OnlineStats, Scheduler, SimDuration, SimTime, Simulator};
+use croesus_video::VideoPreset;
+
+use crate::threshold::ThresholdPair;
+
+/// Configuration of a queueing run.
+#[derive(Clone, Debug)]
+pub struct QueueingConfig {
+    /// The video preset to draw frames from.
+    pub preset: VideoPreset,
+    /// Number of frames to offer.
+    pub num_frames: u64,
+    /// Frame arrival rate (frames per second).
+    pub fps: f64,
+    /// Edge detection units.
+    pub edge_servers: usize,
+    /// Cloud detection workers.
+    pub cloud_servers: usize,
+    /// Edge queue bound; frames arriving beyond it are dropped (sampled
+    /// out), as real deployments do.
+    pub max_edge_queue: usize,
+    /// Bandwidth thresholds for the validate decision.
+    pub thresholds: ThresholdPair,
+    /// Cloud model.
+    pub cloud_model: ModelKind,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl QueueingConfig {
+    /// A sensible default: street traffic, 1 edge unit, 4 cloud workers.
+    pub fn new(preset: VideoPreset, fps: f64) -> Self {
+        QueueingConfig {
+            preset,
+            num_frames: 300,
+            fps,
+            edge_servers: 1,
+            cloud_servers: 4,
+            max_edge_queue: 8,
+            thresholds: ThresholdPair::new(0.4, 0.6),
+            cloud_model: ModelKind::YoloV3_416,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a queueing run.
+#[derive(Clone, Debug)]
+pub struct QueueingMetrics {
+    /// Frames fully processed at the edge.
+    pub processed: u64,
+    /// Frames dropped at the edge queue bound.
+    pub dropped: u64,
+    /// Mean wait in the edge queue, ms.
+    pub edge_wait_ms: f64,
+    /// Maximum wait in the edge queue, ms.
+    pub edge_wait_max_ms: f64,
+    /// Mean wait in the cloud queue, ms (validated frames only).
+    pub cloud_wait_ms: f64,
+    /// Mean end-to-end final-commit latency including queueing, ms.
+    pub final_latency_ms: f64,
+    /// Edge busy time / total time.
+    pub edge_utilization: f64,
+    /// Fraction of processed frames validated at the cloud.
+    pub bandwidth_utilization: f64,
+}
+
+/// Per-frame precomputed facts (detection is deterministic, so everything
+/// random is resolved before the event simulation starts).
+struct FramePlan {
+    edge_service: SimDuration,
+    cloud_service: SimDuration,
+    uplink: SimDuration,
+    downlink: SimDuration,
+    validate: bool,
+}
+
+struct World {
+    plans: Vec<FramePlan>,
+    edge_free: usize,
+    edge_queue: VecDeque<(usize, SimTime)>,
+    cloud_free: usize,
+    cloud_queue: VecDeque<(usize, SimTime)>,
+    max_edge_queue: usize,
+    // accounting
+    dropped: u64,
+    processed: u64,
+    validated: u64,
+    edge_wait: OnlineStats,
+    cloud_wait: OnlineStats,
+    final_latency: OnlineStats,
+    edge_busy: SimDuration,
+    arrivals: Vec<SimTime>,
+}
+
+fn start_edge(world: &mut World, sched: &mut Scheduler<World>, frame: usize, enqueued_at: SimTime) {
+    world.edge_free -= 1;
+    world.edge_wait.push_duration(sched.now().saturating_since(enqueued_at));
+    let service = world.plans[frame].edge_service;
+    world.edge_busy += service;
+    sched.after(service, move |w: &mut World, s| finish_edge(w, s, frame));
+}
+
+fn finish_edge(world: &mut World, sched: &mut Scheduler<World>, frame: usize) {
+    world.edge_free += 1;
+    world.processed += 1;
+    let arrived = world.arrivals[frame];
+    if world.plans[frame].validate {
+        world.validated += 1;
+        let uplink = world.plans[frame].uplink;
+        sched.after(uplink, move |w: &mut World, s| {
+            let now = s.now();
+            if w.cloud_free > 0 {
+                start_cloud(w, s, frame, now);
+            } else {
+                w.cloud_queue.push_back((frame, now));
+            }
+        });
+    } else {
+        world
+            .final_latency
+            .push_duration(sched.now().saturating_since(arrived));
+    }
+    // Pull the next queued frame into the freed edge unit.
+    if let Some((next, at)) = world.edge_queue.pop_front() {
+        start_edge(world, sched, next, at);
+    }
+}
+
+fn start_cloud(world: &mut World, sched: &mut Scheduler<World>, frame: usize, enqueued_at: SimTime) {
+    world.cloud_free -= 1;
+    world
+        .cloud_wait
+        .push_duration(sched.now().saturating_since(enqueued_at));
+    let service = world.plans[frame].cloud_service;
+    sched.after(service, move |w: &mut World, s| {
+        w.cloud_free += 1;
+        let downlink = w.plans[frame].downlink;
+        let arrived = w.arrivals[frame];
+        s.after(downlink, move |w: &mut World, s| {
+            w.final_latency
+                .push_duration(s.now().saturating_since(arrived));
+        });
+        if let Some((next, at)) = w.cloud_queue.pop_front() {
+            start_cloud(w, s, next, at);
+        }
+    });
+}
+
+/// Run the queueing simulation.
+pub fn run_queueing(config: &QueueingConfig) -> QueueingMetrics {
+    assert!(config.fps > 0.0, "arrival rate must be positive");
+    assert!(config.edge_servers > 0 && config.cloud_servers > 0);
+    let video = config.preset.generate(config.num_frames, config.seed);
+    let query = video.query_class().clone();
+    let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), config.seed ^ 0xE);
+    let cloud_model = SimulatedModel::new(config.cloud_model.profile(), config.seed ^ 0xC);
+    let topology = croesus_net::Setup::default_paper().topology();
+    let mut link_rng = DetRng::new(config.seed).fork_named("queueing-links");
+
+    let plans: Vec<FramePlan> = video
+        .frames()
+        .iter()
+        .map(|f| {
+            let decision = config.thresholds.decide_frame(&edge_model.detect(f), &query);
+            FramePlan {
+                edge_service: edge_model.inference_latency(f),
+                cloud_service: cloud_model.inference_latency(f),
+                uplink: topology.edge_cloud.transfer_latency(f.bytes, &mut link_rng),
+                downlink: topology.edge_cloud.transfer_latency(2_048, &mut link_rng),
+                validate: decision.send,
+            }
+        })
+        .collect();
+
+    let inter_arrival = SimDuration::from_secs_f64(1.0 / config.fps);
+    let n = plans.len();
+    let world = World {
+        plans,
+        edge_free: config.edge_servers,
+        edge_queue: VecDeque::new(),
+        cloud_free: config.cloud_servers,
+        cloud_queue: VecDeque::new(),
+        max_edge_queue: config.max_edge_queue,
+        dropped: 0,
+        processed: 0,
+        validated: 0,
+        edge_wait: OnlineStats::new(),
+        cloud_wait: OnlineStats::new(),
+        final_latency: OnlineStats::new(),
+        edge_busy: SimDuration::ZERO,
+        arrivals: vec![SimTime::ZERO; n],
+    };
+    let mut sim = Simulator::new(world);
+    for frame in 0..n {
+        let at = SimTime::ZERO + inter_arrival * frame as u64;
+        sim.scheduler().at(at, move |w: &mut World, s| {
+            w.arrivals[frame] = s.now();
+            if w.edge_free > 0 {
+                let now = s.now();
+                start_edge(w, s, frame, now);
+            } else if w.edge_queue.len() < w.max_edge_queue {
+                w.edge_queue.push_back((frame, s.now()));
+            } else {
+                w.dropped += 1;
+            }
+        });
+    }
+    let end = sim.run();
+    let world = sim.into_world();
+
+    QueueingMetrics {
+        processed: world.processed,
+        dropped: world.dropped,
+        edge_wait_ms: world.edge_wait.mean(),
+        edge_wait_max_ms: world.edge_wait.max().unwrap_or(0.0),
+        cloud_wait_ms: world.cloud_wait.mean(),
+        final_latency_ms: world.final_latency.mean(),
+        edge_utilization: if end == SimTime::ZERO {
+            0.0
+        } else {
+            world.edge_busy.as_secs_f64()
+                / (end.as_secs_f64() * config.edge_servers as f64)
+        },
+        bandwidth_utilization: if world.processed == 0 {
+            0.0
+        } else {
+            world.validated as f64 / world.processed as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(fps: f64) -> QueueingMetrics {
+        let mut cfg = QueueingConfig::new(VideoPreset::StreetTraffic, fps);
+        cfg.num_frames = 150;
+        run_queueing(&cfg)
+    }
+
+    #[test]
+    fn light_load_has_no_queueing() {
+        let m = run(1.0); // 1 fps against ~5.3 fps capacity
+        assert_eq!(m.dropped, 0);
+        assert!(m.edge_wait_ms < 1.0, "edge wait {}", m.edge_wait_ms);
+        assert!(m.edge_utilization < 0.4, "util {}", m.edge_utilization);
+        assert_eq!(m.processed, 150);
+    }
+
+    #[test]
+    fn moderate_load_queues_but_keeps_up() {
+        let m = run(4.0);
+        assert_eq!(m.dropped, 0, "below capacity nothing drops");
+        assert!(m.edge_utilization > 0.5);
+    }
+
+    #[test]
+    fn overload_drops_frames_and_saturates() {
+        let m = run(30.0); // video rate ≫ capacity
+        assert!(m.dropped > 100, "dropped {}", m.dropped);
+        assert!(m.edge_utilization > 0.8, "util {}", m.edge_utilization);
+        assert!(m.edge_wait_ms > 100.0, "waits explode: {}", m.edge_wait_ms);
+    }
+
+    #[test]
+    fn queueing_adds_to_final_latency() {
+        let light = run(1.0);
+        let heavy = run(5.0);
+        assert!(
+            heavy.final_latency_ms > light.final_latency_ms,
+            "light {} heavy {}",
+            light.final_latency_ms,
+            heavy.final_latency_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(5.0);
+        let b = run(5.0);
+        assert_eq!(a.processed, b.processed);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.final_latency_ms, b.final_latency_ms);
+    }
+
+    #[test]
+    fn conservation_of_frames() {
+        for fps in [1.0, 5.0, 20.0] {
+            let m = run(fps);
+            assert_eq!(m.processed + m.dropped, 150, "fps {fps}");
+        }
+    }
+}

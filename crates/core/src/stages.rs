@@ -1,0 +1,287 @@
+//! Generalized multi-stage processing (§3.5).
+//!
+//! "In a general multi-stage model, there are m stages s₀, …, s_{m−1}. …
+//! Each stage contains a video/image detection model — where typically the
+//! model at stage sᵢ has better detection than model mⱼ, where j < i."
+//! A frame flows from stage to stage; bandwidth thresholding may stop the
+//! sequence early, at which point the remaining transaction sections run
+//! with the labels of the deepest stage reached.
+//!
+//! The paper keeps two stages because the edge-cloud asymmetry is two-fold;
+//! this module lets that claim be tested: `examples`/harnesses compare a
+//! 2-stage edge→cloud chain with a 3-stage edge→fog→cloud chain.
+
+use croesus_detect::{score_against, Detection, DetectionModel, SimulatedModel};
+use croesus_net::Link;
+use croesus_sim::stats::PrecisionRecall;
+use croesus_sim::{DetRng, OnlineStats};
+use croesus_video::{LabelClass, Video};
+
+use crate::threshold::ThresholdPair;
+
+/// One stage of a processing chain.
+pub struct Stage {
+    /// Stage name for reports ("edge", "fog", "cloud", ...).
+    pub name: String,
+    /// This stage's detection model.
+    pub model: SimulatedModel,
+    /// The link *to* this stage from the previous one (`None` for s₀,
+    /// which is where frames arrive).
+    pub link_from_previous: Option<Link>,
+    /// Thresholds deciding whether a frame continues to the *next* stage.
+    /// Ignored for the last stage.
+    pub forward_thresholds: ThresholdPair,
+}
+
+/// Per-stage outcome statistics.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage name.
+    pub name: String,
+    /// Fraction of all frames that reached this stage.
+    pub reach_rate: f64,
+    /// Fraction of all frames whose labels were *settled* here (not
+    /// forwarded further).
+    pub settle_rate: f64,
+    /// Mean cumulative latency (ms) for frames settled at this stage.
+    pub settle_latency_ms: f64,
+}
+
+/// The outcome of running a chain over a video.
+#[derive(Clone, Debug)]
+pub struct ChainMetrics {
+    /// Per-stage statistics, in stage order.
+    pub stages: Vec<StageStats>,
+    /// F-score of the settled labels against the deepest model's labels.
+    pub f_score: f64,
+    /// Mean final latency over all frames, ms.
+    pub final_latency_ms: f64,
+    /// Mean stage-0 latency (the real-time response), ms.
+    pub initial_latency_ms: f64,
+}
+
+/// Run an m-stage chain over a video. The *last* stage's labels are the
+/// accuracy reference, mirroring the paper's ground-truth convention.
+///
+/// Panics unless the chain has at least two stages.
+pub fn run_stage_chain(video: &Video, stages: &[Stage], seed: u64) -> ChainMetrics {
+    assert!(stages.len() >= 2, "a chain needs at least two stages (§3.5)");
+    let query: LabelClass = video.query_class().clone();
+    let mut link_rng = DetRng::new(seed).fork_named("chain-links");
+
+    let n = video.len() as f64;
+    let mut reach_counts = vec![0u64; stages.len()];
+    let mut settle_counts = vec![0u64; stages.len()];
+    let mut settle_latency: Vec<OnlineStats> = vec![OnlineStats::new(); stages.len()];
+    let mut final_latency = OnlineStats::new();
+    let mut initial_latency = OnlineStats::new();
+    let mut pr = PrecisionRecall::default();
+
+    for frame in video.frames() {
+        // Reference labels: the deepest model, always computed for scoring.
+        let reference: Vec<Detection> = stages
+            .last()
+            .expect("non-empty chain")
+            .model
+            .detect(frame)
+            .into_iter()
+            .filter(|d| d.is_class(&query))
+            .collect();
+
+        let mut cumulative_ms = 0.0;
+        let mut settled: Option<(usize, Vec<Detection>)> = None;
+        for (i, stage) in stages.iter().enumerate() {
+            if let Some(link) = &stage.link_from_previous {
+                cumulative_ms += link.transfer_latency(frame.bytes, &mut link_rng).as_millis_f64();
+            }
+            reach_counts[i] += 1;
+            let labels: Vec<Detection> = stage
+                .model
+                .detect(frame)
+                .into_iter()
+                .filter(|d| d.is_class(&query))
+                .collect();
+            cumulative_ms += stage.model.inference_latency(frame).as_millis_f64();
+            if i == 0 {
+                initial_latency.push(cumulative_ms);
+            }
+            let is_last = i + 1 == stages.len();
+            let forward = !is_last
+                && labels.iter().any(|d| {
+                    stage.forward_thresholds.lower <= d.confidence
+                        && d.confidence <= stage.forward_thresholds.upper
+                });
+            if !forward {
+                // Settled here: keep-interval labels stand (for the last
+                // stage, everything stands — it *is* the reference model).
+                let kept: Vec<Detection> = if is_last {
+                    labels
+                } else {
+                    labels
+                        .into_iter()
+                        .filter(|d| d.confidence > stage.forward_thresholds.upper)
+                        .collect()
+                };
+                settled = Some((i, kept));
+                break;
+            }
+        }
+        let (settle_stage, final_labels) = settled.expect("last stage always settles");
+        settle_counts[settle_stage] += 1;
+        settle_latency[settle_stage].push(cumulative_ms);
+        final_latency.push(cumulative_ms);
+        pr.add(score_against(&final_labels, &reference, &query, 0.10));
+    }
+
+    ChainMetrics {
+        stages: stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StageStats {
+                name: s.name.clone(),
+                reach_rate: reach_counts[i] as f64 / n,
+                settle_rate: settle_counts[i] as f64 / n,
+                settle_latency_ms: settle_latency[i].mean(),
+            })
+            .collect(),
+        f_score: pr.f_score(),
+        final_latency_ms: final_latency.mean(),
+        initial_latency_ms: initial_latency.mean(),
+    }
+}
+
+/// The paper's two-tier chain: Tiny-YOLOv3 edge → YOLOv3-416 cloud.
+pub fn edge_cloud_chain(seed: u64, thresholds: ThresholdPair) -> Vec<Stage> {
+    use croesus_detect::ModelProfile;
+    use croesus_sim::Normal;
+    vec![
+        Stage {
+            name: "edge".into(),
+            model: SimulatedModel::new(ModelProfile::tiny_yolov3(), seed ^ 0xE),
+            link_from_previous: None,
+            forward_thresholds: thresholds,
+        },
+        Stage {
+            name: "cloud".into(),
+            model: SimulatedModel::new(ModelProfile::yolov3_416(), seed ^ 0xC),
+            link_from_previous: Some(Link::new(
+                "edge→cloud",
+                Normal::new(62.0, 4.0),
+                50e6,
+                0.09,
+            )),
+            forward_thresholds: thresholds, // unused on the last stage
+        },
+    ]
+}
+
+/// A three-tier chain: edge → fog (YOLOv3-320 nearby) → cloud (YOLOv3-608).
+/// The fog tier is ~20 ms away; the cloud keeps the cross-country hop.
+pub fn edge_fog_cloud_chain(
+    seed: u64,
+    edge_thresholds: ThresholdPair,
+    fog_thresholds: ThresholdPair,
+) -> Vec<Stage> {
+    use croesus_detect::ModelProfile;
+    use croesus_sim::Normal;
+    vec![
+        Stage {
+            name: "edge".into(),
+            model: SimulatedModel::new(ModelProfile::tiny_yolov3(), seed ^ 0xE),
+            link_from_previous: None,
+            forward_thresholds: edge_thresholds,
+        },
+        Stage {
+            name: "fog".into(),
+            model: SimulatedModel::new(ModelProfile::yolov3_320(), seed ^ 0xF),
+            link_from_previous: Some(Link::new("edge→fog", Normal::new(18.0, 2.0), 100e6, 0.02)),
+            forward_thresholds: fog_thresholds,
+        },
+        Stage {
+            name: "cloud".into(),
+            model: SimulatedModel::new(ModelProfile::yolov3_608(), seed ^ 0xC),
+            link_from_previous: Some(Link::new(
+                "fog→cloud",
+                Normal::new(62.0, 4.0),
+                50e6,
+                0.09,
+            )),
+            forward_thresholds: fog_thresholds, // unused on the last stage
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_video::VideoPreset;
+
+    fn video() -> Video {
+        VideoPreset::StreetTraffic.generate(100, 42)
+    }
+
+    #[test]
+    fn two_stage_chain_runs_and_settles_everything() {
+        let v = video();
+        let chain = edge_cloud_chain(42, ThresholdPair::new(0.4, 0.6));
+        let m = run_stage_chain(&v, &chain, 42);
+        let total: f64 = m.stages.iter().map(|s| s.settle_rate).sum();
+        assert!((total - 1.0).abs() < 1e-9, "every frame settles somewhere");
+        assert_eq!(m.stages[0].reach_rate, 1.0);
+        assert!(m.f_score > 0.5);
+    }
+
+    #[test]
+    fn wider_validate_band_forwards_more() {
+        let v = video();
+        let narrow = run_stage_chain(&v, &edge_cloud_chain(42, ThresholdPair::new(0.5, 0.5)), 42);
+        let wide = run_stage_chain(&v, &edge_cloud_chain(42, ThresholdPair::new(0.2, 0.8)), 42);
+        assert!(wide.stages[1].reach_rate > narrow.stages[1].reach_rate);
+        assert!(wide.f_score >= narrow.f_score);
+    }
+
+    #[test]
+    fn three_stage_chain_reaches_monotonically_fewer_frames() {
+        let v = video();
+        let chain = edge_fog_cloud_chain(
+            42,
+            ThresholdPair::new(0.3, 0.7),
+            ThresholdPair::new(0.5, 0.8),
+        );
+        let m = run_stage_chain(&v, &chain, 42);
+        assert_eq!(m.stages.len(), 3);
+        assert!(m.stages[0].reach_rate >= m.stages[1].reach_rate);
+        assert!(m.stages[1].reach_rate >= m.stages[2].reach_rate);
+        let total: f64 = m.stages.iter().map(|s| s.settle_rate).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_settling_costs_more_latency() {
+        let v = video();
+        let chain = edge_cloud_chain(42, ThresholdPair::new(0.3, 0.7));
+        let m = run_stage_chain(&v, &chain, 42);
+        if m.stages[1].settle_rate > 0.0 && m.stages[0].settle_rate > 0.0 {
+            assert!(m.stages[1].settle_latency_ms > m.stages[0].settle_latency_ms + 500.0);
+        }
+        assert!(m.initial_latency_ms < 250.0, "stage-0 stays real-time");
+    }
+
+    #[test]
+    fn chain_is_deterministic() {
+        let v = video();
+        let a = run_stage_chain(&v, &edge_cloud_chain(42, ThresholdPair::new(0.4, 0.6)), 42);
+        let b = run_stage_chain(&v, &edge_cloud_chain(42, ThresholdPair::new(0.4, 0.6)), 42);
+        assert_eq!(a.f_score, b.f_score);
+        assert_eq!(a.final_latency_ms, b.final_latency_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_stage_chain_panics() {
+        let v = video();
+        let mut chain = edge_cloud_chain(42, ThresholdPair::new(0.4, 0.6));
+        chain.truncate(1);
+        run_stage_chain(&v, &chain, 42);
+    }
+}

@@ -1,0 +1,84 @@
+//! The detection type: what a model reports for one object in one frame.
+
+use croesus_video::{BoundingBox, LabelClass};
+
+/// One detected object: "each label consists of the name of the label, the
+/// confidence of the label, and the coordinates of the label" (§3.3.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Detection {
+    /// The label name the model assigned.
+    pub class: LabelClass,
+    /// Model confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// The predicted bounding box.
+    pub bbox: BoundingBox,
+}
+
+impl Detection {
+    /// Create a detection; confidence is clamped into `[0, 1]`.
+    pub fn new(class: LabelClass, confidence: f64, bbox: BoundingBox) -> Self {
+        Detection {
+            class,
+            confidence: confidence.clamp(0.0, 1.0),
+            bbox,
+        }
+    }
+
+    /// Whether this detection's class equals `class`.
+    pub fn is_class(&self, class: &LabelClass) -> bool {
+        &self.class == class
+    }
+}
+
+/// Convenience: pick from a set of detections the one closest to the frame
+/// centre (used by the paper's "reserve a study room" task, which picks
+/// "the label that is closest to the center of the frame").
+pub fn closest_to_center(detections: &[Detection]) -> Option<&Detection> {
+    detections.iter().min_by(|a, b| {
+        a.bbox
+            .distance_to_frame_center()
+            .partial_cmp(&b.bbox.distance_to_frame_center())
+            .expect("bbox distances are never NaN")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_is_clamped() {
+        let b = BoundingBox::new(0.1, 0.1, 0.2, 0.2);
+        assert_eq!(Detection::new("car".into(), 1.7, b).confidence, 1.0);
+        assert_eq!(Detection::new("car".into(), -0.2, b).confidence, 0.0);
+    }
+
+    #[test]
+    fn class_check() {
+        let d = Detection::new("dog".into(), 0.8, BoundingBox::new(0.0, 0.0, 0.1, 0.1));
+        assert!(d.is_class(&"dog".into()));
+        assert!(!d.is_class(&"cat".into()));
+    }
+
+    #[test]
+    fn closest_to_center_picks_central_box() {
+        let center = Detection::new(
+            "building".into(),
+            0.9,
+            BoundingBox::centered(0.5, 0.5, 0.2, 0.2),
+        );
+        let corner = Detection::new(
+            "building".into(),
+            0.9,
+            BoundingBox::new(0.0, 0.0, 0.2, 0.2),
+        );
+        let dets = [corner, center.clone()];
+        let picked = closest_to_center(&dets).unwrap();
+        assert_eq!(picked, &center);
+    }
+
+    #[test]
+    fn closest_to_center_empty_is_none() {
+        assert!(closest_to_center(&[]).is_none());
+    }
+}

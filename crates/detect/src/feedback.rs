@@ -1,0 +1,339 @@
+//! Correction feedback for the edge model.
+//!
+//! Footnote 1 of the paper: "In a real application, the corrected
+//! information would also influence the small model — via retraining and
+//! heuristics such as smoothing — so that the error would not be incurred
+//! in the following frames."
+//!
+//! [`FeedbackModel`] wraps an edge model with exactly that heuristic. Each
+//! cloud verdict is cached against its frame *region* for a time-to-live
+//! window; within that window the region's truth is treated as known:
+//!
+//! * a region the cloud labelled `c` rewrites any differently-labelled edge
+//!   detection overlapping it to `c` (and raises its confidence), and
+//!   *recalls* `c` when the edge misses it entirely;
+//! * a region the cloud said was empty suppresses low-confidence edge
+//!   detections overlapping it.
+//!
+//! Objects move slowly relative to the frame rate, so region overlap is a
+//! serviceable stand-in for object identity over a short TTL.
+
+use parking_lot::Mutex;
+
+use croesus_sim::SimDuration;
+use croesus_video::{BoundingBox, Frame, LabelClass};
+
+use crate::detection::Detection;
+use crate::model::DetectionModel;
+
+/// One remembered cloud verdict.
+#[derive(Clone, Debug)]
+struct Correction {
+    /// Where the verdict applies.
+    region: BoundingBox,
+    /// What the cloud said is there; `None` means the region is empty.
+    right: Option<LabelClass>,
+    /// Last frame index this verdict applies to.
+    expires_at: u64,
+}
+
+/// An edge model augmented with cloud-correction smoothing.
+pub struct FeedbackModel<M> {
+    inner: M,
+    corrections: Mutex<Vec<Correction>>,
+    /// How many frames a verdict stays active.
+    ttl_frames: u64,
+    /// Minimum region overlap for a verdict to apply.
+    overlap_threshold: f64,
+    /// Suppression only applies below this confidence — a strong fresh
+    /// detection overrides a stale "nothing there" verdict.
+    suppress_below: f64,
+    /// Recalled (injected) detections are only emitted this many frames
+    /// past the verdict; beyond that the object has likely moved.
+    recall_window: u64,
+}
+
+impl<M: DetectionModel> FeedbackModel<M> {
+    /// Wrap a model. A TTL of ~15 frames (half a second of video) balances
+    /// reuse of verdicts against objects drifting away from their regions.
+    pub fn new(inner: M, ttl_frames: u64) -> Self {
+        FeedbackModel {
+            inner,
+            corrections: Mutex::new(Vec::new()),
+            ttl_frames,
+            overlap_threshold: 0.10,
+            suppress_below: 0.35,
+            recall_window: ttl_frames.min(4),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Record a cloud verdict observed at `frame_index`: at `region`, the
+    /// cloud saw `right` (`None` = nothing was there).
+    pub fn record_correction(
+        &self,
+        frame_index: u64,
+        region: BoundingBox,
+        right: Option<LabelClass>,
+    ) {
+        self.corrections.lock().push(Correction {
+            region,
+            right,
+            expires_at: frame_index + self.ttl_frames,
+        });
+    }
+
+    /// Number of live verdicts at `frame_index`.
+    pub fn live_corrections(&self, frame_index: u64) -> usize {
+        self.corrections
+            .lock()
+            .iter()
+            .filter(|c| c.expires_at >= frame_index)
+            .count()
+    }
+
+    /// Detect with smoothing applied.
+    pub fn detect_smoothed(&self, frame: &Frame) -> Vec<Detection> {
+        let raw = self.inner.detect(frame);
+        let mut cache = self.corrections.lock();
+        cache.retain(|c| c.expires_at >= frame.index);
+        if cache.is_empty() {
+            return raw;
+        }
+
+        let mut out: Vec<Detection> = Vec::with_capacity(raw.len());
+        let mut region_seen = vec![false; cache.len()];
+        for det in raw {
+            // Mark every region this detection plausibly covers (lenient
+            // overlap), so recall does not duplicate it.
+            for (i, c) in cache.iter().enumerate() {
+                if c.region.overlap_fraction(&det.bbox) > self.overlap_threshold {
+                    region_seen[i] = true;
+                }
+            }
+            // Verdicts only *apply* to boxes of comparable extent (IoU):
+            // a small spurious box inside a large object's region is not
+            // the same object and must not inherit its label.
+            let hit = cache
+                .iter()
+                .map(|c| (c, c.region.iou(&det.bbox)))
+                .filter(|(_, iou)| *iou > 0.25)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("IoU is never NaN"));
+            match hit {
+                Some((correction, _)) => match &correction.right {
+                    Some(right) => {
+                        if &det.class == right {
+                            out.push(det);
+                        } else {
+                            // Known misclassification: rewrite, and trust
+                            // it — the cloud vouched for this region.
+                            out.push(Detection::new(
+                                right.clone(),
+                                det.confidence.max(0.9),
+                                det.bbox,
+                            ));
+                        }
+                    }
+                    None => {
+                        // Known-empty region: suppress weak detections.
+                        if det.confidence >= self.suppress_below {
+                            out.push(det);
+                        }
+                    }
+                },
+                None => out.push(det),
+            }
+        }
+        // Recall: regions the cloud recently confirmed but the edge missed
+        // entirely. Recalls are only trusted for a short window (objects
+        // drift out of their cached boxes) — see `recall_window`.
+        for (i, correction) in cache.iter().enumerate() {
+            if region_seen[i] {
+                continue;
+            }
+            if let Some(right) = &correction.right {
+                if correction.expires_at - frame.index >= self.ttl_frames - self.recall_window {
+                    out.push(Detection::new(right.clone(), 0.85, correction.region));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<M: DetectionModel> DetectionModel for FeedbackModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        self.detect_smoothed(frame)
+    }
+
+    fn inference_latency(&self, frame: &Frame) -> SimDuration {
+        // The smoothing lookup is negligible next to inference.
+        self.inner.inference_latency(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::score_against;
+    use crate::model::SimulatedModel;
+    use crate::profile::ModelProfile;
+    use croesus_sim::stats::PrecisionRecall;
+    use croesus_video::VideoPreset;
+
+    /// A model that always reports one fixed detection.
+    struct FixedModel(Vec<Detection>);
+    impl DetectionModel for FixedModel {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn detect(&self, _frame: &Frame) -> Vec<Detection> {
+            self.0.clone()
+        }
+        fn inference_latency(&self, _frame: &Frame) -> SimDuration {
+            SimDuration::from_millis(1)
+        }
+    }
+
+    fn frame(index: u64) -> Frame {
+        Frame {
+            index,
+            timestamp_secs: index as f64 / 30.0,
+            objects: vec![],
+            bytes: 1000,
+        }
+    }
+
+    fn det(class: &str, conf: f64) -> Detection {
+        Detection::new(class.into(), conf, BoundingBox::new(0.4, 0.4, 0.2, 0.2))
+    }
+
+    #[test]
+    fn misclassification_is_rewritten_within_ttl() {
+        let m = FeedbackModel::new(FixedModel(vec![det("bus", 0.6)]), 10);
+        m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), Some("car".into()));
+        let out = m.detect_smoothed(&frame(5));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].class, LabelClass::new("car"));
+        assert!(out[0].confidence >= 0.9, "corrected labels gain confidence");
+    }
+
+    #[test]
+    fn matching_class_is_left_alone() {
+        let m = FeedbackModel::new(FixedModel(vec![det("car", 0.6)]), 10);
+        m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), Some("car".into()));
+        let out = m.detect_smoothed(&frame(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].confidence, 0.6, "confirmed detections keep their confidence");
+    }
+
+    #[test]
+    fn weak_false_positive_is_suppressed_strong_is_kept() {
+        let m = FeedbackModel::new(FixedModel(vec![det("car", 0.3)]), 10);
+        m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), None);
+        assert!(m.detect_smoothed(&frame(3)).is_empty());
+        let strong = FeedbackModel::new(FixedModel(vec![det("car", 0.8)]), 10);
+        strong.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), None);
+        assert_eq!(strong.detect_smoothed(&frame(3)).len(), 1);
+    }
+
+    #[test]
+    fn missed_object_is_recalled() {
+        let m = FeedbackModel::new(FixedModel(vec![]), 10);
+        m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), Some("person".into()));
+        let out = m.detect_smoothed(&frame(2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].class, LabelClass::new("person"));
+    }
+
+    #[test]
+    fn corrections_expire_after_ttl() {
+        let m = FeedbackModel::new(FixedModel(vec![det("bus", 0.6)]), 5);
+        m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), Some("car".into()));
+        assert_eq!(m.live_corrections(3), 1);
+        let late = m.detect_smoothed(&frame(20));
+        assert_eq!(late[0].class, LabelClass::new("bus"), "correction expired");
+        assert_eq!(m.live_corrections(20), 0, "expired entries are pruned");
+    }
+
+    #[test]
+    fn non_overlapping_corrections_do_not_apply() {
+        let m = FeedbackModel::new(FixedModel(vec![det("bus", 0.6)]), 10);
+        m.record_correction(0, BoundingBox::new(0.0, 0.0, 0.05, 0.05), Some("car".into()));
+        let out = m.detect_smoothed(&frame(1));
+        // The bus stands AND the car region is recalled.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|d| d.class == LabelClass::new("bus")));
+        assert!(out.iter().any(|d| d.class == LabelClass::new("car")));
+    }
+
+    #[test]
+    fn feedback_improves_accuracy_on_a_real_video() {
+        // Replay the Croesus loop by hand on a hard video: for each frame,
+        // feed the frame's cloud verdicts back into the edge model and
+        // score the *next* frames' smoothed detections.
+        let video = VideoPreset::MallSurveillance.generate(150, 7);
+        let query: LabelClass = video.query_class().clone();
+        let cloud = SimulatedModel::new(ModelProfile::yolov3_416(), 5);
+        let raw_edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), 5);
+        let smoothed = FeedbackModel::new(
+            SimulatedModel::new(ModelProfile::tiny_yolov3(), 5),
+            15,
+        );
+
+        let mut raw_pr = PrecisionRecall::default();
+        let mut smooth_pr = PrecisionRecall::default();
+        for f in video.frames() {
+            let reference: Vec<Detection> = cloud.detect(f);
+            let raw: Vec<Detection> = raw_edge.detect(f);
+            let smooth: Vec<Detection> = smoothed.detect_smoothed(f);
+            raw_pr.add(score_against(&raw, &reference, &query, 0.10));
+            smooth_pr.add(score_against(&smooth, &reference, &query, 0.10));
+
+            // Feed back this frame's verdicts (as Croesus' final stage
+            // would): every edge label matched against all cloud labels,
+            // plus recalls for cloud labels the edge missed.
+            let m = crate::eval::match_detections(&smooth, &reference, 0.10);
+            for (d, outcome) in smooth.iter().zip(&m.outcomes) {
+                match outcome {
+                    crate::eval::MatchOutcome::Corrected { reference: ri } => {
+                        smoothed.record_correction(
+                            f.index,
+                            reference[*ri].bbox,
+                            Some(reference[*ri].class.clone()),
+                        );
+                    }
+                    crate::eval::MatchOutcome::Erroneous => {
+                        smoothed.record_correction(f.index, d.bbox, None);
+                    }
+                    crate::eval::MatchOutcome::Correct { .. } => {}
+                }
+            }
+            for &ri in &m.unmatched_references {
+                // Only confident cloud detections are worth recalling —
+                // the cloud has (rare) low-confidence false positives too.
+                if reference[ri].confidence >= 0.6 {
+                    smoothed.record_correction(
+                        f.index,
+                        reference[ri].bbox,
+                        Some(reference[ri].class.clone()),
+                    );
+                }
+            }
+        }
+        assert!(
+            smooth_pr.f_score() > raw_pr.f_score() + 0.05,
+            "feedback must help substantially: raw {} smoothed {}",
+            raw_pr.f_score(),
+            smooth_pr.f_score()
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Discrete-event simulation kernel.
+//!
+//! [`Simulator<W>`] owns an arbitrary world state `W` and an event queue.
+//! Event handlers receive `(&mut W, &mut Scheduler<W>)` so they can both
+//! mutate the world and schedule follow-up events. Ties in event time are
+//! broken by insertion order, which keeps runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: runs once at its scheduled time.
+pub type Handler<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    handler: Handler<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event queue and clock, passed to handlers so they can schedule more work.
+pub struct Scheduler<W> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<W>>,
+}
+
+impl<W> Scheduler<W> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `handler` to run at the absolute time `at`.
+    ///
+    /// Panics if `at` is in the past — simulated causality must not run
+    /// backwards.
+    pub fn at(&mut self, at: SimTime, handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            handler: Box::new(handler),
+        });
+    }
+
+    /// Schedule `handler` to run after `delay`.
+    pub fn after(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        self.at(self.now + delay, handler);
+    }
+
+    /// Schedule `handler` to run at the current time, after already-queued
+    /// events at this time.
+    pub fn immediately(&mut self, handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        self.at(self.now, handler);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn pop(&mut self) -> Option<Entry<W>> {
+        self.heap.pop()
+    }
+}
+
+/// A discrete-event simulator over a world state `W`.
+pub struct Simulator<W> {
+    world: W,
+    sched: Scheduler<W>,
+    processed: u64,
+}
+
+impl<W> Simulator<W> {
+    /// Create a simulator owning `world`, with an empty event queue at t=0.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            world,
+            sched: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (e.g. for seeding initial state).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Access the scheduler to seed initial events.
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Run until the event queue drains; returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run events with `time <= horizon`; the clock never passes `horizon`.
+    /// Returns the final virtual time.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(entry) = self.sched.pop() {
+            if entry.at > horizon {
+                // Put it back: it belongs to a future run.
+                self.sched.heap.push(entry);
+                self.sched.now = horizon;
+                break;
+            }
+            self.sched.now = entry.at;
+            self.processed += 1;
+            (entry.handler)(&mut self.world, &mut self.sched);
+        }
+        self.sched.now
+    }
+
+    /// Consume the simulator and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new(Vec::<u32>::new());
+        sim.scheduler().at(SimTime::from_micros(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.scheduler().at(SimTime::from_micros(10), |w, _| w.push(1));
+        sim.scheduler().at(SimTime::from_micros(20), |w, _| w.push(2));
+        sim.run();
+        assert_eq!(sim.world(), &vec![1, 2, 3]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new(Vec::<u32>::new());
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            sim.scheduler().at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_chains() {
+        let mut sim = Simulator::new(0u64);
+        fn tick(w: &mut u64, s: &mut Scheduler<u64>) {
+            *w += 1;
+            if *w < 100 {
+                s.after(SimDuration::from_micros(7), tick);
+            }
+        }
+        sim.scheduler().immediately(tick);
+        let end = sim.run();
+        assert_eq!(*sim.world(), 100);
+        assert_eq!(end, SimTime::from_micros(99 * 7));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new(Vec::<u64>::new());
+        for i in 1..=10 {
+            sim.scheduler().at(SimTime::from_micros(i * 10), move |w: &mut Vec<u64>, _| {
+                w.push(i)
+            });
+        }
+        let t = sim.run_until(SimTime::from_micros(45));
+        assert_eq!(sim.world(), &vec![1, 2, 3, 4]);
+        assert_eq!(t, SimTime::from_micros(45));
+        // Remaining events still run afterwards.
+        sim.run();
+        assert_eq!(sim.world().len(), 10);
+    }
+
+    #[test]
+    fn now_advances_with_events() {
+        let mut sim = Simulator::new(Vec::<SimTime>::new());
+        sim.scheduler().at(SimTime::from_micros(100), |w: &mut Vec<SimTime>, s| {
+            w.push(s.now());
+            s.after(SimDuration::from_micros(50), |w: &mut Vec<SimTime>, s| w.push(s.now()));
+        });
+        sim.run();
+        assert_eq!(
+            sim.world(),
+            &vec![SimTime::from_micros(100), SimTime::from_micros(150)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulator::new(());
+        sim.scheduler().at(SimTime::from_micros(10), |_, s| {
+            s.at(SimTime::from_micros(5), |_, _| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn pending_counts_queue() {
+        let mut sim = Simulator::new(());
+        assert_eq!(sim.scheduler().pending(), 0);
+        sim.scheduler().after(SimDuration::from_millis(1), |_, _| {});
+        sim.scheduler().after(SimDuration::from_millis(2), |_, _| {});
+        assert_eq!(sim.scheduler().pending(), 2);
+        sim.run();
+        assert_eq!(sim.scheduler().pending(), 0);
+    }
+
+    #[test]
+    fn into_world_returns_state() {
+        let mut sim = Simulator::new(41u32);
+        sim.scheduler().immediately(|w: &mut u32, _| *w += 1);
+        sim.run();
+        assert_eq!(sim.into_world(), 42);
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic discrete-event simulation substrate for Croesus.
+//!
+//! The Croesus paper evaluates a distributed edge-cloud deployment on AWS.
+//! This crate provides the pieces that let the rest of the workspace
+//! reproduce those experiments deterministically on a single machine:
+//!
+//! * [`time`] — a virtual clock ([`SimTime`]) with microsecond resolution
+//!   and a duration type ([`SimDuration`]) with convenient constructors.
+//! * [`kernel`] — a generic discrete-event [`Simulator`] that owns a world
+//!   state and an event queue; handlers mutate the world and schedule
+//!   further events.
+//! * [`rng`] — a seedable, forkable random number generator
+//!   ([`DetRng`]) so every sampled quantity is a pure function of
+//!   `(seed, stream)`.
+//! * [`dist`] — the distributions used across the workspace (normal,
+//!   exponential, Kumaraswamy, Zipf) implemented from first principles on
+//!   top of [`DetRng`].
+//! * [`stats`] — summaries (mean/stddev/percentiles), online accumulation
+//!   and fixed-width histograms for reporting experiment results.
+
+pub mod dist;
+pub mod kernel;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Distribution, Exponential, Kumaraswamy, Normal, Zipf};
+pub use kernel::{Scheduler, Simulator};
+pub use rng::DetRng;
+pub use stats::{Histogram, OnlineStats, PrecisionRecall, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,27 @@
+//! Storage substrate.
+//!
+//! The Croesus edge node "hosts the main copy of its partition's data" and
+//! "maintains a data store and processes transactions" (§3.1, §5.1). This
+//! crate provides that data store and the locking machinery the multi-stage
+//! concurrency-control protocols (in `croesus-txn`) are built on:
+//!
+//! * [`value`] — keys and typed values.
+//! * [`kv`] — a sharded, versioned, thread-safe key-value store.
+//! * [`lock`] — a shared/exclusive lock manager with pluggable conflict
+//!   policies (block, no-wait, wait-die) and deadlock-free waiting.
+//! * [`undo`] — per-transaction undo logs, the mechanism behind MS-IA's
+//!   apologies and retractions.
+//! * [`partition`] — named partitions (store + lock manager) for the
+//!   multi-partition / two-phase-commit extension (§4.5).
+
+pub mod kv;
+pub mod lock;
+pub mod partition;
+pub mod undo;
+pub mod value;
+
+pub use kv::{KvStore, Versioned};
+pub use lock::{LockError, LockManager, LockMode, LockPolicy, TxnId};
+pub use partition::{Partition, PartitionId, PartitionMap};
+pub use undo::UndoLog;
+pub use value::{Key, Value};

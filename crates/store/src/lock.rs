@@ -1,0 +1,600 @@
+//! Shared/exclusive lock manager with pluggable conflict policies.
+//!
+//! The multi-stage protocols of §4 are lock-based: Two-Stage 2PL (MS-SR)
+//! holds initial-section locks across the edge→cloud round trip, MS-IA
+//! releases them at initial commit. This manager provides the primitive
+//! they share: per-key S/X locks with
+//!
+//! * **Block** — wait indefinitely (safe only with externally-ordered
+//!   acquisition),
+//! * **NoWait** — fail immediately on conflict, and
+//! * **WaitDie** — the classic deadlock-avoidance scheme: an *older*
+//!   transaction (smaller [`TxnId`]) waits for a younger holder, a
+//!   *younger* requester dies ([`LockError::Die`]) and must retry with the
+//!   same id (keeping its priority, which guarantees progress).
+//!
+//! Waiting uses per-shard condvars; all policies additionally accept an
+//! optional timeout.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::value::Key;
+
+/// Transaction identifier. Doubles as the transaction's *age* for wait-die:
+/// smaller ids are older and win conflicts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared (read) — compatible with other shared holders.
+    Shared,
+    /// Exclusive (write) — compatible with nothing.
+    Exclusive,
+}
+
+/// What to do when a requested lock conflicts with current holders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Wait until granted (caller must prevent deadlock, e.g. by ordered
+    /// acquisition).
+    Block,
+    /// Fail immediately with [`LockError::WouldBlock`].
+    NoWait,
+    /// Wait-die deadlock avoidance: older requesters wait, younger die.
+    WaitDie,
+}
+
+/// Why an acquisition failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// NoWait policy and the lock was held incompatibly.
+    WouldBlock,
+    /// Wait-die policy and the requester is younger than a holder.
+    Die,
+    /// The optional timeout elapsed while waiting.
+    Timeout,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::WouldBlock => write!(f, "lock is held (no-wait)"),
+            LockError::Die => write!(f, "wait-die: younger requester must abort"),
+            LockError::Timeout => write!(f, "lock wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Default)]
+struct Shard {
+    table: Mutex<HashMap<Key, BTreeMap<TxnId, LockMode>>>,
+    released: Condvar,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    shards: Vec<Shard>,
+    policy: LockPolicy,
+}
+
+impl LockManager {
+    /// Default shard count.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// Create a manager with the given policy and default sharding.
+    pub fn new(policy: LockPolicy) -> Self {
+        LockManager::with_shards(policy, Self::DEFAULT_SHARDS)
+    }
+
+    /// Create a manager with an explicit shard count. Panics if zero.
+    pub fn with_shards(policy: LockPolicy, shards: usize) -> Self {
+        assert!(shards > 0, "lock manager needs at least one shard");
+        LockManager {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            policy,
+        }
+    }
+
+    /// The conflict policy.
+    pub fn policy(&self) -> LockPolicy {
+        self.policy
+    }
+
+    fn shard(&self, key: &Key) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Whether `txn` can be granted `mode` given current `owners`.
+    fn grantable(owners: &BTreeMap<TxnId, LockMode>, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => owners
+                .iter()
+                .all(|(&o, &m)| o == txn || m == LockMode::Shared),
+            LockMode::Exclusive => owners.keys().all(|&o| o == txn),
+        }
+    }
+
+    /// Acquire `mode` on `key` for `txn`, waiting per the policy, with an
+    /// optional wall-clock timeout.
+    ///
+    /// Re-entrant: a transaction already holding the key in a covering mode
+    /// returns immediately; holding `Shared` and requesting `Exclusive`
+    /// upgrades when the transaction is the sole owner.
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        key: &Key,
+        mode: LockMode,
+        timeout: Option<Duration>,
+    ) -> Result<(), LockError> {
+        let shard = self.shard(key);
+        let mut table = shard.table.lock();
+        loop {
+            let owners = table.entry(key.clone()).or_default();
+            if Self::grantable(owners, txn, mode) {
+                let slot = owners.entry(txn).or_insert(mode);
+                // Upgrade persists; downgrade does not overwrite.
+                if mode == LockMode::Exclusive {
+                    *slot = LockMode::Exclusive;
+                }
+                return Ok(());
+            }
+            match self.policy {
+                LockPolicy::NoWait => {
+                    Self::cleanup_if_empty(&mut table, key);
+                    return Err(LockError::WouldBlock);
+                }
+                LockPolicy::WaitDie => {
+                    let oldest_other = owners
+                        .keys()
+                        .filter(|&&o| o != txn)
+                        .min()
+                        .copied()
+                        .expect("conflict implies another owner");
+                    if txn > oldest_other {
+                        // Younger than a holder: die.
+                        Self::cleanup_if_empty(&mut table, key);
+                        return Err(LockError::Die);
+                    }
+                }
+                LockPolicy::Block => {}
+            }
+            // Wait for a release, then re-check.
+            match timeout {
+                Some(t) => {
+                    if shard.released.wait_for(&mut table, t).timed_out() {
+                        Self::cleanup_if_empty(&mut table, key);
+                        return Err(LockError::Timeout);
+                    }
+                }
+                None => shard.released.wait(&mut table),
+            }
+        }
+    }
+
+    /// Convenience: acquire with the policy's default (no timeout).
+    pub fn lock(&self, txn: TxnId, key: &Key, mode: LockMode) -> Result<(), LockError> {
+        self.acquire(txn, key, mode, None)
+    }
+
+    /// Acquire a set of keys in sorted order (deadlock-free under Block).
+    /// On failure, any locks acquired by this call are rolled back.
+    pub fn acquire_all(
+        &self,
+        txn: TxnId,
+        keys: &[(Key, LockMode)],
+        timeout: Option<Duration>,
+    ) -> Result<(), LockError> {
+        let mut sorted: Vec<&(Key, LockMode)> = keys.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut acquired: Vec<&Key> = Vec::with_capacity(sorted.len());
+        for (key, mode) in sorted {
+            match self.acquire(txn, key, *mode, timeout) {
+                Ok(()) => acquired.push(key),
+                Err(e) => {
+                    for k in acquired {
+                        self.release(txn, k);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cleanup_if_empty(table: &mut HashMap<Key, BTreeMap<TxnId, LockMode>>, key: &Key) {
+        if table.get(key).is_some_and(BTreeMap::is_empty) {
+            table.remove(key);
+        }
+    }
+
+    /// Release `txn`'s lock on `key` (no-op if not held).
+    pub fn release(&self, txn: TxnId, key: &Key) {
+        let shard = self.shard(key);
+        let mut table = shard.table.lock();
+        if let Some(owners) = table.get_mut(key) {
+            owners.remove(&txn);
+            if owners.is_empty() {
+                table.remove(key);
+            }
+        }
+        drop(table);
+        shard.released.notify_all();
+    }
+
+    /// Release a set of keys.
+    pub fn release_all<'a>(&self, txn: TxnId, keys: impl IntoIterator<Item = &'a Key>) {
+        for key in keys {
+            self.release(txn, key);
+        }
+    }
+
+    /// The mode `txn` holds on `key`, if any.
+    pub fn held_mode(&self, txn: TxnId, key: &Key) -> Option<LockMode> {
+        self.shard(key).table.lock().get(key)?.get(&txn).copied()
+    }
+
+    /// Number of keys with at least one holder (diagnostics).
+    pub fn locked_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.table.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        assert!(lm.lock(TxnId(1), &k("a"), LockMode::Shared).is_ok());
+        assert!(lm.lock(TxnId(2), &k("a"), LockMode::Shared).is_ok());
+        assert_eq!(lm.held_mode(TxnId(1), &k("a")), Some(LockMode::Shared));
+        assert_eq!(lm.held_mode(TxnId(2), &k("a")), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(1), &k("a"), LockMode::Shared).unwrap();
+        assert_eq!(
+            lm.lock(TxnId(2), &k("a"), LockMode::Exclusive),
+            Err(LockError::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_exclusive() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        assert_eq!(
+            lm.lock(TxnId(2), &k("a"), LockMode::Exclusive),
+            Err(LockError::WouldBlock)
+        );
+        assert_eq!(
+            lm.lock(TxnId(2), &k("a"), LockMode::Shared),
+            Err(LockError::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn reentrant_acquisition() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        assert!(lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).is_ok());
+        assert!(lm.lock(TxnId(1), &k("a"), LockMode::Shared).is_ok());
+        // X covers S: mode stays exclusive.
+        assert_eq!(lm.held_mode(TxnId(1), &k("a")), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_when_sole_owner() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(1), &k("a"), LockMode::Shared).unwrap();
+        assert!(lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).is_ok());
+        assert_eq!(lm.held_mode(TxnId(1), &k("a")), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(1), &k("a"), LockMode::Shared).unwrap();
+        lm.lock(TxnId(2), &k("a"), LockMode::Shared).unwrap();
+        assert_eq!(
+            lm.lock(TxnId(1), &k("a"), LockMode::Exclusive),
+            Err(LockError::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn release_frees_the_key() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        lm.release(TxnId(1), &k("a"));
+        assert_eq!(lm.held_mode(TxnId(1), &k("a")), None);
+        assert!(lm.lock(TxnId(2), &k("a"), LockMode::Exclusive).is_ok());
+        assert_eq!(lm.locked_keys(), 1);
+    }
+
+    #[test]
+    fn release_unheld_is_noop() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.release(TxnId(1), &k("nope"));
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn wait_die_younger_dies() {
+        let lm = LockManager::new(LockPolicy::WaitDie);
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        // TxnId(5) is younger than the holder TxnId(1): dies.
+        assert_eq!(
+            lm.lock(TxnId(5), &k("a"), LockMode::Exclusive),
+            Err(LockError::Die)
+        );
+    }
+
+    #[test]
+    fn wait_die_older_waits_until_release() {
+        let lm = Arc::new(LockManager::new(LockPolicy::WaitDie));
+        lm.lock(TxnId(5), &k("a"), LockMode::Exclusive).unwrap();
+        let got_it = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let lm = Arc::clone(&lm);
+            let got_it = Arc::clone(&got_it);
+            thread::spawn(move || {
+                // TxnId(1) is older: waits instead of dying.
+                lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+                got_it.store(true, Ordering::SeqCst);
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        assert!(!got_it.load(Ordering::SeqCst), "older txn should still wait");
+        lm.release(TxnId(5), &k("a"));
+        waiter.join().unwrap();
+        assert!(got_it.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn blocking_waiter_wakes_on_release() {
+        let lm = Arc::new(LockManager::new(LockPolicy::Block));
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || lm2.lock(TxnId(2), &k("a"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        lm.release(TxnId(1), &k("a"));
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let lm = LockManager::new(LockPolicy::Block);
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        let r = lm.acquire(
+            TxnId(2),
+            &k("a"),
+            LockMode::Exclusive,
+            Some(Duration::from_millis(20)),
+        );
+        assert_eq!(r, Err(LockError::Timeout));
+    }
+
+    #[test]
+    fn acquire_all_rolls_back_on_failure() {
+        let lm = LockManager::new(LockPolicy::NoWait);
+        lm.lock(TxnId(9), &k("b"), LockMode::Exclusive).unwrap();
+        let keys = vec![
+            (k("a"), LockMode::Exclusive),
+            (k("b"), LockMode::Exclusive),
+            (k("c"), LockMode::Exclusive),
+        ];
+        assert!(lm.acquire_all(TxnId(10), &keys, None).is_err());
+        // "a" must have been released again.
+        assert_eq!(lm.held_mode(TxnId(10), &k("a")), None);
+        assert!(lm.lock(TxnId(11), &k("a"), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn acquire_all_sorted_order_prevents_deadlock() {
+        let lm = Arc::new(LockManager::new(LockPolicy::Block));
+        let keys_ab = vec![(k("a"), LockMode::Exclusive), (k("b"), LockMode::Exclusive)];
+        let keys_ba = vec![(k("b"), LockMode::Exclusive), (k("a"), LockMode::Exclusive)];
+        let done = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let lm = Arc::clone(&lm);
+                let keys = if i % 2 == 0 { keys_ab.clone() } else { keys_ba.clone() };
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        lm.acquire_all(TxnId(i), &keys, None).unwrap();
+                        let ks: Vec<Key> = keys.iter().map(|(k, _)| k.clone()).collect();
+                        lm.release_all(TxnId(i), ks.iter());
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn exclusive_lock_provides_mutual_exclusion() {
+        let lm = Arc::new(LockManager::new(LockPolicy::Block));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let lm = Arc::clone(&lm);
+                let counter = Arc::clone(&counter);
+                let in_cs = Arc::clone(&in_cs);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        lm.lock(TxnId(i), &k("hot"), LockMode::Exclusive).unwrap();
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        lm.release(TxnId(i), &k("hot"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1600);
+    }
+
+    #[test]
+    fn readers_and_writers_mix_safely_under_stress() {
+        // 4 writers and 4 readers hammer one key under Block; writers get
+        // exclusive access, readers may overlap each other but never a
+        // writer.
+        let lm = Arc::new(LockManager::new(LockPolicy::Block));
+        let writers_in = Arc::new(AtomicUsize::new(0));
+        let readers_in = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let lm = Arc::clone(&lm);
+            let writers_in = Arc::clone(&writers_in);
+            let readers_in = Arc::clone(&readers_in);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    lm.lock(TxnId(i), &k("mix"), LockMode::Exclusive).unwrap();
+                    assert_eq!(writers_in.fetch_add(1, Ordering::SeqCst), 0);
+                    assert_eq!(readers_in.load(Ordering::SeqCst), 0);
+                    writers_in.fetch_sub(1, Ordering::SeqCst);
+                    lm.release(TxnId(i), &k("mix"));
+                }
+            }));
+        }
+        for i in 4..8u64 {
+            let lm = Arc::clone(&lm);
+            let writers_in = Arc::clone(&writers_in);
+            let readers_in = Arc::clone(&readers_in);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    lm.lock(TxnId(i), &k("mix"), LockMode::Shared).unwrap();
+                    readers_in.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(writers_in.load(Ordering::SeqCst), 0);
+                    readers_in.fetch_sub(1, Ordering::SeqCst);
+                    lm.release(TxnId(i), &k("mix"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn wait_die_applies_to_shared_holders_too() {
+        let lm = LockManager::new(LockPolicy::WaitDie);
+        lm.lock(TxnId(1), &k("a"), LockMode::Shared).unwrap();
+        lm.lock(TxnId(2), &k("a"), LockMode::Shared).unwrap();
+        // A younger exclusive requester dies against the older readers.
+        assert_eq!(
+            lm.lock(TxnId(9), &k("a"), LockMode::Exclusive),
+            Err(LockError::Die)
+        );
+        // Readers keep their locks.
+        assert_eq!(lm.held_mode(TxnId(1), &k("a")), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn timeout_leaves_no_stale_waiter_state() {
+        let lm = LockManager::new(LockPolicy::Block);
+        lm.lock(TxnId(1), &k("a"), LockMode::Exclusive).unwrap();
+        for _ in 0..5 {
+            let _ = lm.acquire(
+                TxnId(2),
+                &k("a"),
+                LockMode::Exclusive,
+                Some(Duration::from_millis(5)),
+            );
+        }
+        lm.release(TxnId(1), &k("a"));
+        // Nothing lingers; a fresh acquisition succeeds instantly.
+        assert!(lm.lock(TxnId(3), &k("a"), LockMode::Exclusive).is_ok());
+        lm.release(TxnId(3), &k("a"));
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn wait_die_cannot_deadlock_under_symmetric_contention() {
+        // Two transactions repeatedly locking {a, b} in opposite orders under
+        // WaitDie: progress is guaranteed because one always dies and retries
+        // (keeping its id/priority).
+        let lm = Arc::new(LockManager::new(LockPolicy::WaitDie));
+        let threads: Vec<_> = (0..2)
+            .map(|i| {
+                let lm = Arc::clone(&lm);
+                thread::spawn(move || {
+                    let (first, second) = if i == 0 {
+                        (k("a"), k("b"))
+                    } else {
+                        (k("b"), k("a"))
+                    };
+                    let me = TxnId(i);
+                    let mut commits = 0;
+                    while commits < 50 {
+                        if lm.lock(me, &first, LockMode::Exclusive).is_err() {
+                            continue;
+                        }
+                        match lm.lock(me, &second, LockMode::Exclusive) {
+                            Ok(()) => {
+                                commits += 1;
+                                lm.release(me, &first);
+                                lm.release(me, &second);
+                            }
+                            Err(_) => {
+                                lm.release(me, &first);
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    commits
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 50);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Partitions: the unit of data placement in the edge-cloud model.
+//!
+//! "Each edge node maintains the state of a partition" (§2.1). A
+//! [`Partition`] bundles a store with a lock manager; a [`PartitionMap`]
+//! routes keys to partitions so the multi-partition protocols (§4.5) can
+//! send lock requests and two-phase-commit votes to the right owner.
+
+use std::sync::Arc;
+
+use crate::kv::KvStore;
+use crate::lock::{LockManager, LockPolicy};
+use crate::value::Key;
+
+/// Identifies a partition (and, in the edge-cloud model, the edge node
+/// responsible for it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+/// A partition: one edge node's share of the database.
+pub struct Partition {
+    /// This partition's id.
+    pub id: PartitionId,
+    /// The partition's data.
+    pub store: KvStore,
+    /// The partition's lock manager.
+    pub locks: LockManager,
+}
+
+impl Partition {
+    /// Create a partition with the given lock policy.
+    pub fn new(id: PartitionId, policy: LockPolicy) -> Self {
+        Partition {
+            id,
+            store: KvStore::new(),
+            locks: LockManager::new(policy),
+        }
+    }
+}
+
+/// Routes keys to partitions by hash.
+pub struct PartitionMap {
+    partitions: Vec<Arc<Partition>>,
+}
+
+impl PartitionMap {
+    /// Create `n` partitions with the given lock policy. Panics if `n == 0`.
+    pub fn new(n: u32, policy: LockPolicy) -> Self {
+        assert!(n > 0, "need at least one partition");
+        PartitionMap {
+            partitions: (0..n)
+                .map(|i| Arc::new(Partition::new(PartitionId(i), policy)))
+                .collect(),
+        }
+    }
+
+    /// The partition owning `key` (FNV-1a over the key text; stable across
+    /// runs, unlike `DefaultHasher`).
+    pub fn partition_of(&self, key: &Key) -> &Arc<Partition> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_str().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.partitions[(h % self.partitions.len() as u64) as usize]
+    }
+
+    /// Partition by id.
+    pub fn get(&self, id: PartitionId) -> Option<&Arc<Partition>> {
+        self.partitions.get(id.0 as usize)
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[Arc<Partition>] {
+        &self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether there are no partitions (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Group keys by owning partition — the first step of any
+    /// multi-partition operation.
+    pub fn group_by_partition<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a Key>,
+    ) -> Vec<(PartitionId, Vec<Key>)> {
+        let mut groups: Vec<(PartitionId, Vec<Key>)> = Vec::new();
+        for key in keys {
+            let pid = self.partition_of(key).id;
+            match groups.iter_mut().find(|(id, _)| *id == pid) {
+                Some((_, ks)) => ks.push(key.clone()),
+                None => groups.push((pid, vec![key.clone()])),
+            }
+        }
+        groups.sort_by_key(|(id, _)| *id);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn routing_is_stable() {
+        let pm = PartitionMap::new(4, LockPolicy::Block);
+        let key = Key::new("user/7");
+        let p1 = pm.partition_of(&key).id;
+        let p2 = pm.partition_of(&key).id;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn keys_spread_across_partitions() {
+        let pm = PartitionMap::new(4, LockPolicy::Block);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            seen.insert(pm.partition_of(&Key::indexed("k", i)).id);
+        }
+        assert_eq!(seen.len(), 4, "all partitions should receive keys");
+    }
+
+    #[test]
+    fn partition_stores_are_independent() {
+        let pm = PartitionMap::new(2, LockPolicy::Block);
+        pm.get(PartitionId(0))
+            .unwrap()
+            .store
+            .put("k".into(), Value::Int(1));
+        assert!(pm.get(PartitionId(1)).unwrap().store.get(&"k".into()).is_none());
+    }
+
+    #[test]
+    fn group_by_partition_covers_all_keys() {
+        let pm = PartitionMap::new(3, LockPolicy::Block);
+        let keys: Vec<Key> = (0..50).map(|i| Key::indexed("k", i)).collect();
+        let groups = pm.group_by_partition(keys.iter());
+        let total: usize = groups.iter().map(|(_, ks)| ks.len()).sum();
+        assert_eq!(total, 50);
+        for (pid, ks) in &groups {
+            for k in ks {
+                assert_eq!(pm.partition_of(k).id, *pid);
+            }
+        }
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let pm = PartitionMap::new(2, LockPolicy::Block);
+        assert!(pm.get(PartitionId(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        PartitionMap::new(0, LockPolicy::Block);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-transaction undo logs.
+//!
+//! MS-IA (§4.4) commits initial sections optimistically and may later need
+//! to "retract the effects" of a transaction when the final section
+//! discovers the trigger or input was wrong ("apply-then-check"). An
+//! [`UndoLog`] records, per write, the state a key had before the
+//! transaction touched it, so the apology machinery can restore it.
+
+use crate::kv::KvStore;
+use crate::value::{Key, Value};
+
+/// One undo record: the key and its pre-image (None = key did not exist).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UndoRecord {
+    /// The written key.
+    pub key: Key,
+    /// The value before the first write by this transaction, if any.
+    pub previous: Option<Value>,
+}
+
+/// The undo log of one transaction section.
+#[derive(Clone, Debug, Default)]
+pub struct UndoLog {
+    records: Vec<UndoRecord>,
+}
+
+impl UndoLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        UndoLog::default()
+    }
+
+    /// Record a write's pre-image. Only the *first* write to a key within
+    /// this log keeps its pre-image — later writes by the same transaction
+    /// would otherwise undo to an intermediate state.
+    pub fn record(&mut self, key: Key, previous: Option<Value>) {
+        if !self.records.iter().any(|r| r.key == key) {
+            self.records.push(UndoRecord { key, previous });
+        }
+    }
+
+    /// Perform a write through the store, recording the pre-image.
+    pub fn put(&mut self, store: &KvStore, key: Key, value: Value) {
+        let prev = store.get(&key);
+        self.record(key.clone(), prev);
+        store.put(key, value);
+    }
+
+    /// Perform a delete through the store, recording the pre-image.
+    pub fn delete(&mut self, store: &KvStore, key: &Key) {
+        let prev = store.get(key);
+        self.record(key.clone(), prev);
+        store.delete(key);
+    }
+
+    /// Undo all recorded writes, in reverse order.
+    pub fn rollback(self, store: &KvStore) {
+        for rec in self.records.into_iter().rev() {
+            store.restore(rec.key, rec.previous);
+        }
+    }
+
+    /// Keys this log would restore.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.records.iter().map(|r| &r.key)
+    }
+
+    /// The recorded pre-image for `key`, if this log touched it.
+    /// `Some(None)` means the key did not exist before.
+    pub fn pre_image(&self, key: &Key) -> Option<&Option<Value>> {
+        self.records.iter().find(|r| r.key == *key).map(|r| &r.previous)
+    }
+
+    /// Number of distinct keys recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollback_restores_overwritten_value() {
+        let s = KvStore::new();
+        s.put("k".into(), Value::Int(1));
+        let mut log = UndoLog::new();
+        log.put(&s, "k".into(), Value::Int(2));
+        assert_eq!(s.get(&"k".into()), Some(Value::Int(2)));
+        log.rollback(&s);
+        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn rollback_removes_inserted_key() {
+        let s = KvStore::new();
+        let mut log = UndoLog::new();
+        log.put(&s, "new".into(), Value::Int(5));
+        assert!(s.contains(&"new".into()));
+        log.rollback(&s);
+        assert!(!s.contains(&"new".into()));
+    }
+
+    #[test]
+    fn rollback_restores_deleted_key() {
+        let s = KvStore::new();
+        s.put("k".into(), Value::Int(9));
+        let mut log = UndoLog::new();
+        log.delete(&s, &"k".into());
+        assert!(!s.contains(&"k".into()));
+        log.rollback(&s);
+        assert_eq!(s.get(&"k".into()), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn first_pre_image_wins() {
+        let s = KvStore::new();
+        s.put("k".into(), Value::Int(1));
+        let mut log = UndoLog::new();
+        log.put(&s, "k".into(), Value::Int(2));
+        log.put(&s, "k".into(), Value::Int(3));
+        assert_eq!(log.len(), 1);
+        log.rollback(&s);
+        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn multiple_keys_rollback_in_reverse() {
+        let s = KvStore::new();
+        let mut log = UndoLog::new();
+        log.put(&s, "a".into(), Value::Int(1));
+        log.put(&s, "b".into(), Value::Int(2));
+        log.delete(&s, &"a".into());
+        log.rollback(&s);
+        assert!(!s.contains(&"a".into()));
+        assert!(!s.contains(&"b".into()));
+    }
+
+    #[test]
+    fn pre_image_lookup() {
+        let s = KvStore::new();
+        s.put("k".into(), Value::Int(1));
+        let mut log = UndoLog::new();
+        log.put(&s, "k".into(), Value::Int(2));
+        log.put(&s, "fresh".into(), Value::Int(3));
+        assert_eq!(log.pre_image(&"k".into()), Some(&Some(Value::Int(1))));
+        assert_eq!(log.pre_image(&"fresh".into()), Some(&None));
+        assert_eq!(log.pre_image(&"untouched".into()), None);
+    }
+
+    #[test]
+    fn empty_log_rollback_is_noop() {
+        let s = KvStore::new();
+        s.put("k".into(), Value::Int(1));
+        UndoLog::new().rollback(&s);
+        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+        assert!(UndoLog::new().is_empty());
+    }
+
+    #[test]
+    fn keys_iterates_recorded_keys() {
+        let s = KvStore::new();
+        let mut log = UndoLog::new();
+        log.put(&s, "a".into(), Value::Int(1));
+        log.put(&s, "b".into(), Value::Int(2));
+        let keys: Vec<&str> = log.keys().map(|k| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

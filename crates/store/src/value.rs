@@ -1,0 +1,162 @@
+//! Keys and values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A database key. Interned behind `Arc<str>` — keys are cloned freely into
+/// lock tables, undo logs and read/write sets.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(Arc<str>);
+
+impl Key {
+    /// Create a key from a string.
+    pub fn new(s: &str) -> Self {
+        Key(Arc::from(s))
+    }
+
+    /// Key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// A key in a numbered keyspace, e.g. `Key::indexed("user", 42)` →
+    /// `"user/42"`. The workloads use this for YCSB-style key selection.
+    pub fn indexed(space: &str, index: u64) -> Self {
+        Key(Arc::from(format!("{space}/{index}").as_str()))
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A stored value. A small sum type keeps the example applications natural
+/// (token balances are integers, building info is text) without dragging in
+/// serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A signed integer (counters, token balances).
+    Int(i64),
+    /// A string (names, descriptions, reservation targets).
+    Str(String),
+    /// Raw bytes (opaque payloads).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bytes inside, if this is `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size, for store accounting.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_and_indexing() {
+        assert_eq!(Key::new("a"), Key::from("a"));
+        assert_eq!(Key::indexed("user", 42).as_str(), "user/42");
+        assert_ne!(Key::indexed("user", 1), Key::indexed("user", 2));
+    }
+
+    #[test]
+    fn key_ordering_is_lexicographic() {
+        assert!(Key::new("a") < Key::new("b"));
+        assert!(Key::indexed("k", 10) < Key::indexed("k", 9)); // lexicographic!
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+    }
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(Value::Int(0).size_bytes(), 8);
+        assert_eq!(Value::from("abc").size_bytes(), 3);
+        assert_eq!(Value::from(vec![0u8; 10]).size_bytes(), 10);
+    }
+
+    #[test]
+    fn key_display() {
+        assert_eq!(format!("{}", Key::new("x/1")), "x/1");
+        assert_eq!(format!("{:?}", Key::new("x")), "Key(x)");
+    }
+}

@@ -1,0 +1,380 @@
+//! Apologies and cascading retraction — the machinery behind MS-IA (§4.4).
+//!
+//! MS-IA flips invariant confluence "from a pattern of check-then-apply to
+//! a pattern of apply-then-check": initial sections commit optimistically;
+//! when the final section discovers a wrong trigger or input it may
+//! *retract* the initial section's effects. Because other transactions may
+//! already have read those effects, retraction cascades: "an apology
+//! procedure in the final section could retract the effects of t₁ and any
+//! other transactions that depended on it".
+//!
+//! [`ApologyManager`] records, per initially-committed transaction, its
+//! read/write footprint and its undo log, and computes the transitive
+//! dependent set when asked to retract. Every retracted transaction yields
+//! an [`Apology`] that the application can render to affected users ("e.g.,
+//! a message is sent to both B and C, with a free game item").
+
+use std::collections::HashSet;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use croesus_store::{Key, KvStore, TxnId, UndoLog};
+
+/// An apology owed to users affected by a retraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Apology {
+    /// The retracted transaction.
+    pub txn: TxnId,
+    /// Why the retraction happened.
+    pub reason: String,
+}
+
+impl fmt::Display for Apology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "apology for {}: {}", self.txn, self.reason)
+    }
+}
+
+/// The result of one retraction request.
+#[derive(Clone, Debug, Default)]
+pub struct RetractionReport {
+    /// All transactions retracted, in the (reverse-commit) order their
+    /// effects were undone. The requested transaction is last.
+    pub retracted: Vec<TxnId>,
+    /// Apologies generated, one per retracted transaction.
+    pub apologies: Vec<Apology>,
+}
+
+impl RetractionReport {
+    /// Number of transactions retracted beyond the requested one.
+    pub fn cascade_size(&self) -> usize {
+        self.retracted.len().saturating_sub(1)
+    }
+}
+
+struct Entry {
+    txn: TxnId,
+    seq: u64,
+    reads: Vec<Key>,
+    writes: Vec<Key>,
+    undo: UndoLog,
+    retracted: bool,
+}
+
+/// Tracks initially-committed transactions for possible retraction.
+#[derive(Default)]
+pub struct ApologyManager {
+    inner: Mutex<ManagerInner>,
+}
+
+#[derive(Default)]
+struct ManagerInner {
+    entries: Vec<Entry>,
+    next_seq: u64,
+    apologies: Vec<Apology>,
+}
+
+impl ApologyManager {
+    /// A fresh manager.
+    pub fn new() -> Self {
+        ApologyManager::default()
+    }
+
+    /// Register an initial section at its commit: its footprint and undo
+    /// log. Returns the commit sequence number.
+    pub fn register(&self, txn: TxnId, reads: Vec<Key>, writes: Vec<Key>, undo: UndoLog) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push(Entry {
+            txn,
+            seq,
+            reads,
+            writes,
+            undo,
+            retracted: false,
+        });
+        seq
+    }
+
+    /// Whether `txn` is registered and not yet retracted.
+    pub fn is_live(&self, txn: TxnId) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .any(|e| e.txn == txn && !e.retracted)
+    }
+
+    /// Retract `txn`: undo its initial-section effects and those of every
+    /// later transaction that (transitively) read or overwrote its writes.
+    /// Rollbacks run in reverse commit order so pre-images layer correctly.
+    ///
+    /// The caller is responsible for isolation (the paper's implementation
+    /// runs retraction inside a sequenced final section, so no concurrent
+    /// conflicting transaction is in flight).
+    pub fn retract(&self, txn: TxnId, store: &KvStore, reason: &str) -> RetractionReport {
+        let mut inner = self.inner.lock();
+
+        let Some(root_idx) = inner
+            .entries
+            .iter()
+            .position(|e| e.txn == txn && !e.retracted)
+        else {
+            return RetractionReport::default();
+        };
+
+        // Transitive dependents: entry B depends on entry A (A.seq < B.seq)
+        // when B read or wrote a key A wrote.
+        let mut affected: HashSet<usize> = HashSet::new();
+        affected.insert(root_idx);
+        loop {
+            let mut grew = false;
+            for i in 0..inner.entries.len() {
+                if affected.contains(&i) || inner.entries[i].retracted {
+                    continue;
+                }
+                let later = &inner.entries[i];
+                let depends = affected.iter().any(|&a| {
+                    let base = &inner.entries[a];
+                    base.seq < later.seq
+                        && base.writes.iter().any(|w| {
+                            later.reads.contains(w) || later.writes.contains(w)
+                        })
+                });
+                if depends {
+                    affected.insert(i);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        // Undo in reverse commit order.
+        let mut order: Vec<usize> = affected.into_iter().collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(inner.entries[i].seq));
+
+        let mut report = RetractionReport::default();
+        for i in order {
+            let entry = &mut inner.entries[i];
+            entry.retracted = true;
+            let undo = std::mem::take(&mut entry.undo);
+            undo.rollback(store);
+            let why = if entry.txn == txn {
+                reason.to_string()
+            } else {
+                format!("cascading retraction (depended on {txn}): {reason}")
+            };
+            report.retracted.push(entry.txn);
+            report.apologies.push(Apology {
+                txn: entry.txn,
+                reason: why,
+            });
+        }
+        inner.apologies.extend(report.apologies.iter().cloned());
+        report
+    }
+
+    /// Mark a transaction fully finalized and drop its undo data when no
+    /// later live transaction depends on it. Returns true if pruned.
+    ///
+    /// (A finalized transaction can still be *cascade*-retracted while a
+    /// dependent's final section is outstanding, so pruning is safe only
+    /// when nothing depends on it — the common case once a frame's whole
+    /// transaction set is settled.)
+    pub fn prune_finalized(&self, txn: TxnId) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(idx) = inner.entries.iter().position(|e| e.txn == txn) else {
+            return false;
+        };
+        let seq = inner.entries[idx].seq;
+        let writes = inner.entries[idx].writes.clone();
+        let has_dependent = inner.entries.iter().any(|later| {
+            later.seq > seq
+                && !later.retracted
+                && writes
+                    .iter()
+                    .any(|w| later.reads.contains(w) || later.writes.contains(w))
+        });
+        if has_dependent {
+            return false;
+        }
+        inner.entries.remove(idx);
+        true
+    }
+
+    /// All apologies issued so far.
+    pub fn apologies(&self) -> Vec<Apology> {
+        self.inner.lock().apologies.clone()
+    }
+
+    /// Number of live (registered, unretracted) entries.
+    pub fn live_count(&self) -> usize {
+        self.inner.lock().entries.iter().filter(|e| !e.retracted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_store::Value;
+
+    /// Perform `writes` through an undo log and register the txn.
+    fn run_initial(
+        mgr: &ApologyManager,
+        store: &KvStore,
+        txn: TxnId,
+        reads: &[&str],
+        writes: &[(&str, i64)],
+    ) {
+        let mut undo = UndoLog::new();
+        for (k, v) in writes {
+            undo.put(store, Key::new(k), Value::Int(*v));
+        }
+        mgr.register(
+            txn,
+            reads.iter().map(|k| Key::new(k)).collect(),
+            writes.iter().map(|(k, _)| Key::new(k)).collect(),
+            undo,
+        );
+    }
+
+    #[test]
+    fn retract_single_transaction() {
+        let store = KvStore::new();
+        store.put("a".into(), Value::Int(1));
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 99)]);
+        assert_eq!(store.get(&"a".into()), Some(Value::Int(99)));
+        let report = mgr.retract(TxnId(1), &store, "wrong label");
+        assert_eq!(store.get(&"a".into()), Some(Value::Int(1)));
+        assert_eq!(report.retracted, vec![TxnId(1)]);
+        assert_eq!(report.cascade_size(), 0);
+        assert!(report.apologies[0].reason.contains("wrong label"));
+    }
+
+    #[test]
+    fn retraction_cascades_to_readers() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        // t1 writes b; t2 reads b and writes c.
+        run_initial(&mgr, &store, TxnId(1), &[], &[("b", 10)]);
+        run_initial(&mgr, &store, TxnId(2), &["b"], &[("c", 20)]);
+        let report = mgr.retract(TxnId(1), &store, "bad input");
+        assert_eq!(report.retracted, vec![TxnId(2), TxnId(1)], "reverse order");
+        assert!(!store.contains(&"b".into()));
+        assert!(!store.contains(&"c".into()));
+        assert_eq!(report.cascade_size(), 1);
+    }
+
+    #[test]
+    fn cascade_is_transitive() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 1)]);
+        run_initial(&mgr, &store, TxnId(2), &["a"], &[("b", 2)]);
+        run_initial(&mgr, &store, TxnId(3), &["b"], &[("c", 3)]);
+        let report = mgr.retract(TxnId(1), &store, "cascade");
+        assert_eq!(report.retracted, vec![TxnId(3), TxnId(2), TxnId(1)]);
+        for key in ["a", "b", "c"] {
+            assert!(!store.contains(&key.into()));
+        }
+    }
+
+    #[test]
+    fn independent_transactions_survive() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 1)]);
+        run_initial(&mgr, &store, TxnId(2), &[], &[("z", 2)]);
+        let report = mgr.retract(TxnId(1), &store, "only t1");
+        assert_eq!(report.retracted, vec![TxnId(1)]);
+        assert_eq!(store.get(&"z".into()), Some(Value::Int(2)));
+        assert!(mgr.is_live(TxnId(2)));
+        assert!(!mgr.is_live(TxnId(1)));
+    }
+
+    #[test]
+    fn paper_token_game_example() {
+        // §4.4: A=50, B=10, C=0, D=0. t1: A→B 50. t2: B→C 10. t3: B→C 50.
+        // The final section of t1 discovers the recipient should have been
+        // D. Full cascade retracts t2 and t3 as well (the MS-IA *merge*
+        // refinement that keeps t2 is exercised in the invariant module).
+        let store = KvStore::new();
+        for (k, v) in [("A", 50i64), ("B", 10), ("C", 0), ("D", 0)] {
+            store.put(k.into(), Value::Int(v));
+        }
+        let mgr = ApologyManager::new();
+        let transfer = |mgr: &ApologyManager, id: u64, from: &str, to: &str, amt: i64| {
+            let mut undo = UndoLog::new();
+            let f = store.get(&from.into()).unwrap().as_int().unwrap();
+            let t = store.get(&to.into()).unwrap().as_int().unwrap();
+            undo.put(&store, from.into(), Value::Int(f - amt));
+            undo.put(&store, to.into(), Value::Int(t + amt));
+            mgr.register(
+                TxnId(id),
+                vec![from.into(), to.into()],
+                vec![from.into(), to.into()],
+                undo,
+            );
+        };
+        transfer(&mgr, 1, "A", "B", 50);
+        transfer(&mgr, 2, "B", "C", 10);
+        transfer(&mgr, 3, "B", "C", 50);
+        // State now: A=0, B=0, C=60.
+        assert_eq!(store.get(&"C".into()), Some(Value::Int(60)));
+        let report = mgr.retract(TxnId(1), &store, "recipient was D, not B");
+        assert_eq!(report.retracted, vec![TxnId(3), TxnId(2), TxnId(1)]);
+        // Everything rolled back to the start.
+        assert_eq!(store.get(&"A".into()), Some(Value::Int(50)));
+        assert_eq!(store.get(&"B".into()), Some(Value::Int(10)));
+        assert_eq!(store.get(&"C".into()), Some(Value::Int(0)));
+        assert_eq!(mgr.apologies().len(), 3);
+    }
+
+    #[test]
+    fn retract_unknown_txn_is_empty_report() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        let report = mgr.retract(TxnId(404), &store, "ghost");
+        assert!(report.retracted.is_empty());
+        assert!(report.apologies.is_empty());
+    }
+
+    #[test]
+    fn double_retract_is_idempotent() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 1)]);
+        let first = mgr.retract(TxnId(1), &store, "once");
+        assert_eq!(first.retracted.len(), 1);
+        let second = mgr.retract(TxnId(1), &store, "twice");
+        assert!(second.retracted.is_empty());
+    }
+
+    #[test]
+    fn prune_finalized_respects_dependents() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 1)]);
+        run_initial(&mgr, &store, TxnId(2), &["a"], &[("b", 2)]);
+        assert!(!mgr.prune_finalized(TxnId(1)), "t2 depends on t1");
+        assert!(mgr.prune_finalized(TxnId(2)), "nothing depends on t2");
+        assert!(mgr.prune_finalized(TxnId(1)), "now t1 is free");
+        assert_eq!(mgr.live_count(), 0);
+    }
+
+    #[test]
+    fn later_unrelated_writer_not_cascaded() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 1)]);
+        run_initial(&mgr, &store, TxnId(2), &["q"], &[("r", 7)]);
+        let report = mgr.retract(TxnId(1), &store, "x");
+        assert_eq!(report.retracted, vec![TxnId(1)]);
+        assert_eq!(store.get(&"r".into()), Some(Value::Int(7)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Application invariants and merge outcomes for MS-IA.
+//!
+//! §4.4: "the final section [acts] as the merge function that attempts to
+//! reconcile application-level invariants instead of all potential
+//! inconsistencies ... (1) retract the minimum amount of erroneous actions
+//! and their effects using apologies, and (2) retain as much state as
+//! possible using invariant-preserving merge functions."
+//!
+//! An [`Invariant`] is a predicate over the store; a final section checks
+//! the invariants that matter to its application and decides, per effect,
+//! whether it can be *retained* (merged) or must be *retracted*.
+
+use std::fmt;
+
+use croesus_store::{Key, KvStore};
+
+/// A violated invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvariantViolation {
+    /// The invariant's name.
+    pub invariant: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant '{}' violated: {}", self.invariant, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// An application-level invariant over the database state.
+pub trait Invariant: Send + Sync {
+    /// Name for diagnostics and apologies.
+    fn name(&self) -> &str;
+
+    /// Check the invariant against the store.
+    fn check(&self, store: &KvStore) -> Result<(), InvariantViolation>;
+}
+
+/// The paper's token-game invariant: "no player should have less than 0
+/// tokens" — every integer value under the watched keys must be
+/// non-negative.
+pub struct NonNegativeInvariant {
+    name: String,
+    keys: Vec<Key>,
+}
+
+impl NonNegativeInvariant {
+    /// Watch an explicit set of keys.
+    pub fn over(keys: impl IntoIterator<Item = Key>) -> Self {
+        NonNegativeInvariant {
+            name: "non-negative".to_string(),
+            keys: keys.into_iter().collect(),
+        }
+    }
+
+    /// The watched keys.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+}
+
+impl Invariant for NonNegativeInvariant {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&self, store: &KvStore) -> Result<(), InvariantViolation> {
+        for key in &self.keys {
+            if let Some(v) = store.get(key) {
+                if let Some(i) = v.as_int() {
+                    if i < 0 {
+                        return Err(InvariantViolation {
+                            invariant: self.name.clone(),
+                            detail: format!("{key} = {i} < 0"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An invariant defined by a closure — handy for application-specific
+/// conditions ("the reservation must name a detected building").
+pub struct FnInvariant<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnInvariant<F>
+where
+    F: Fn(&KvStore) -> Result<(), String> + Send + Sync,
+{
+    /// Wrap a closure as an invariant.
+    pub fn new(name: &str, f: F) -> Self {
+        FnInvariant {
+            name: name.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F> Invariant for FnInvariant<F>
+where
+    F: Fn(&KvStore) -> Result<(), String> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&self, store: &KvStore) -> Result<(), InvariantViolation> {
+        (self.f)(store).map_err(|detail| InvariantViolation {
+            invariant: self.name.clone(),
+            detail,
+        })
+    }
+}
+
+/// What a final section decided about one guessed effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The effect preserves the invariants and is retained as-is.
+    Retain,
+    /// The effect cannot be merged and must be retracted (with apology).
+    Retract,
+}
+
+/// Check all invariants; the merge decision is [`MergeOutcome::Retain`]
+/// only when every invariant passes.
+pub fn merge_decision(
+    invariants: &[&dyn Invariant],
+    store: &KvStore,
+) -> (MergeOutcome, Vec<InvariantViolation>) {
+    let violations: Vec<InvariantViolation> = invariants
+        .iter()
+        .filter_map(|inv| inv.check(store).err())
+        .collect();
+    if violations.is_empty() {
+        (MergeOutcome::Retain, violations)
+    } else {
+        (MergeOutcome::Retract, violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_store::Value;
+
+    #[test]
+    fn non_negative_passes_on_positive_balances() {
+        let s = KvStore::new();
+        s.put("A".into(), Value::Int(50));
+        s.put("B".into(), Value::Int(0));
+        let inv = NonNegativeInvariant::over(["A".into(), "B".into()]);
+        assert!(inv.check(&s).is_ok());
+    }
+
+    #[test]
+    fn non_negative_fails_on_debt() {
+        let s = KvStore::new();
+        s.put("A".into(), Value::Int(-10));
+        let inv = NonNegativeInvariant::over(["A".into()]);
+        let err = inv.check(&s).unwrap_err();
+        assert!(err.detail.contains("-10"));
+        assert_eq!(err.invariant, "non-negative");
+    }
+
+    #[test]
+    fn non_negative_ignores_missing_and_non_int() {
+        let s = KvStore::new();
+        s.put("note".into(), Value::Str("hello".into()));
+        let inv = NonNegativeInvariant::over(["note".into(), "absent".into()]);
+        assert!(inv.check(&s).is_ok());
+    }
+
+    #[test]
+    fn fn_invariant_wraps_closures() {
+        let s = KvStore::new();
+        s.put("count".into(), Value::Int(3));
+        let inv = FnInvariant::new("count-under-10", |store: &KvStore| {
+            let c = store
+                .get(&"count".into())
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            if c < 10 {
+                Ok(())
+            } else {
+                Err(format!("count {c} >= 10"))
+            }
+        });
+        assert!(inv.check(&s).is_ok());
+        s.put("count".into(), Value::Int(11));
+        assert!(inv.check(&s).is_err());
+    }
+
+    #[test]
+    fn merge_decision_retains_when_all_pass() {
+        let s = KvStore::new();
+        s.put("A".into(), Value::Int(5));
+        let inv = NonNegativeInvariant::over(["A".into()]);
+        let (outcome, violations) = merge_decision(&[&inv], &s);
+        assert_eq!(outcome, MergeOutcome::Retain);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn merge_decision_retracts_on_any_violation() {
+        let s = KvStore::new();
+        s.put("A".into(), Value::Int(5));
+        s.put("B".into(), Value::Int(-1));
+        let ok = NonNegativeInvariant::over(["A".into()]);
+        let bad = NonNegativeInvariant::over(["B".into()]);
+        let (outcome, violations) = merge_decision(&[&ok, &bad], &s);
+        assert_eq!(outcome, MergeOutcome::Retract);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = InvariantViolation {
+            invariant: "x".into(),
+            detail: "boom".into(),
+        };
+        assert!(v.to_string().contains("boom"));
+    }
+}

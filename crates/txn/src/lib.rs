@@ -1,0 +1,51 @@
+//! Multi-stage transactions (§4 of the Croesus paper).
+//!
+//! A multi-stage transaction has two sections: an **initial** section,
+//! triggered by the fast edge model's labels, and a **final** section,
+//! triggered when the accurate cloud model's labels arrive. If the initial
+//! section commits, the final section *must* commit — that guarantee is the
+//! crux of the model, and the two safety levels differ in how they pay for
+//! it:
+//!
+//! * **MS-SR** ([`ms_sr`]) mimics serializability: a transaction's two
+//!   sections appear back-to-back in the serial order. The Two-Stage 2PL
+//!   protocol (Algorithm 1) achieves this by acquiring the *final* section's
+//!   locks before initial commit and holding everything until final commit —
+//!   which means locks are held across the edge→cloud round trip.
+//! * **MS-IA** ([`ms_ia`]) adapts invariant confluence and apologies:
+//!   initial sections commit and release their locks immediately
+//!   (apply-then-check); the final section later reconciles errors, issuing
+//!   [`apology`] retractions — cascading if needed — while invariants
+//!   ([`invariant`]) bound what must be undone.
+//!
+//! Supporting machinery: a [`model`] for sections/read-write sets, a
+//! [`history`] recorder with checkers for the MS-SR/MS-IA ordering
+//! conditions, protocol [`stats`], a single-threaded [`sequencer`] that
+//! orders conflicting transactions into non-overlapping waves (the paper's
+//! 0%-abort MS-IA configuration), and [`tpc`] two-phase commit for
+//! multi-partition transactions (§4.5).
+
+pub mod apology;
+pub mod history;
+pub mod invariant;
+pub mod model;
+pub mod ms_ia;
+pub mod ms_sr;
+pub mod sequencer;
+pub mod staged;
+pub mod stats;
+pub mod tpc;
+
+pub use apology::{Apology, ApologyManager, RetractionReport};
+pub use history::{HistoryChecker, HistoryRecorder, SectionEvent, SectionKind};
+pub use invariant::{
+    merge_decision, FnInvariant, Invariant, InvariantViolation, MergeOutcome,
+    NonNegativeInvariant,
+};
+pub use model::{RwSet, SectionCtx, SectionOutput, TxnError};
+pub use ms_ia::{FinalCtx, MsIaExecutor, PendingFinal};
+pub use ms_sr::TsplExecutor;
+pub use sequencer::Sequencer;
+pub use staged::{StageToken, StagedExecutor};
+pub use stats::{ProtocolStats, StatsSnapshot};
+pub use tpc::{Coordinator, Participant, PartitionParticipant, TpcOutcome, Vote};

@@ -1,0 +1,505 @@
+//! MS-IA: Multi-Stage Invariant Confluence with Apologies — Algorithm 2.
+//!
+//! ```text
+//! items ← get_rwsets(tᵢ)
+//! if acquirelocks(items): execute(tᵢ)
+//! Initial Commit
+//! releaselocks(get_rwsets(tᵢ))          // ← locks released *here*
+//! items ← get_rwsets(t_f)
+//! if acquirelocks(items): execute(t_f) else abort
+//! Final Commit
+//! releaselocks(get_rwsets(t_f))
+//! ```
+//!
+//! Unlike TSPL, "we did not hold the locks for the initial section until the
+//! end of the final section and we reach the point of initial-commit
+//! immediately after processing the initial section" (§4.4). The price is
+//! that the final section must reconcile errors itself — it runs as a guess
+//! → apology pair, with [`crate::apology::ApologyManager`] providing
+//! retraction when the guess cannot be merged.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
+
+use crate::apology::{ApologyManager, RetractionReport};
+use crate::history::{HistoryRecorder, SectionKind};
+use crate::model::{RwSet, SectionCtx, TxnError};
+use crate::stats::ProtocolStats;
+
+/// Token proving a transaction's initial section committed; required to run
+/// its final section. (The type system enforces "the final section of a
+/// transaction cannot begin before the initial section", §4.1.)
+#[derive(Debug)]
+pub struct PendingFinal {
+    txn: TxnId,
+}
+
+impl PendingFinal {
+    /// The transaction this token belongs to.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+}
+
+/// Capabilities available to a final section on top of plain reads/writes:
+/// retraction (with cascade) and apology bookkeeping.
+pub struct FinalCtx<'a> {
+    txn: TxnId,
+    store: &'a KvStore,
+    apologies: &'a ApologyManager,
+    reports: Vec<RetractionReport>,
+}
+
+impl FinalCtx<'_> {
+    /// This transaction's id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Retract a transaction's initial-section effects (cascading to
+    /// dependents), usually this transaction's own guess:
+    /// `ctx.retract_self("detected the wrong building")`.
+    pub fn retract(&mut self, txn: TxnId, reason: &str) -> RetractionReport {
+        let report = self.apologies.retract(txn, self.store, reason);
+        self.reports.push(report.clone());
+        report
+    }
+
+    /// Retract this transaction's own initial section.
+    pub fn retract_self(&mut self, reason: &str) -> RetractionReport {
+        self.retract(self.txn, reason)
+    }
+
+    /// Reports accumulated by this final section.
+    pub fn reports(&self) -> &[RetractionReport] {
+        &self.reports
+    }
+}
+
+/// The MS-IA executor.
+///
+/// ```
+/// use std::sync::Arc;
+/// use croesus_store::{KvStore, LockManager, LockPolicy, TxnId, Value};
+/// use croesus_txn::{MsIaExecutor, RwSet};
+///
+/// let ex = MsIaExecutor::new(
+///     Arc::new(KvStore::new()),
+///     Arc::new(LockManager::new(LockPolicy::Block)),
+/// );
+/// let rw = RwSet::new().write("x");
+/// // The guess: commits and releases its locks immediately.
+/// let (_, pending) = ex.run_initial(TxnId(1), &rw, |ctx| {
+///     ctx.write("x", 1)?;
+///     Ok(())
+/// }).unwrap();
+/// // Later, when the cloud labels arrive, the final section reconciles.
+/// ex.run_final(pending, &rw, |ctx, _apologies| {
+///     ctx.write("x", 2)?;
+///     Ok(())
+/// }).unwrap();
+/// assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(2)));
+/// ```
+pub struct MsIaExecutor {
+    store: Arc<KvStore>,
+    locks: Arc<LockManager>,
+    history: Option<HistoryRecorder>,
+    stats: Arc<ProtocolStats>,
+    apologies: Arc<ApologyManager>,
+}
+
+impl MsIaExecutor {
+    /// Create an executor over a store and lock manager.
+    pub fn new(store: Arc<KvStore>, locks: Arc<LockManager>) -> Self {
+        MsIaExecutor {
+            store,
+            locks,
+            history: None,
+            stats: Arc::new(ProtocolStats::new()),
+            apologies: Arc::new(ApologyManager::new()),
+        }
+    }
+
+    /// Attach a history recorder.
+    pub fn with_history(mut self, history: HistoryRecorder) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// The statistics collector.
+    pub fn stats(&self) -> &Arc<ProtocolStats> {
+        &self.stats
+    }
+
+    /// The apology manager (for inspecting issued apologies).
+    pub fn apologies(&self) -> &Arc<ApologyManager> {
+        &self.apologies
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// Run the initial section: lock its read/write set, execute, commit,
+    /// release. On success the effects are visible to everyone and a
+    /// [`PendingFinal`] token is returned for the final section.
+    pub fn run_initial<T>(
+        &self,
+        txn: TxnId,
+        rw: &RwSet,
+        body: impl FnOnce(&mut SectionCtx) -> Result<T, TxnError>,
+    ) -> Result<(T, PendingFinal), TxnError> {
+        let started = Instant::now();
+        let pairs = rw.lock_pairs();
+        if let Err(e) = self.locks.acquire_all(txn, &pairs, None) {
+            if let Some(h) = &self.history {
+                h.record_abort(txn);
+            }
+            self.stats.record_abort();
+            return Err(TxnError::Aborted(e));
+        }
+        let lock_epoch = Instant::now();
+
+        if let Some(h) = &self.history {
+            h.record_begin(txn, SectionKind::Initial);
+        }
+        let mut undo = UndoLog::new();
+        let out = {
+            let mut ctx = SectionCtx::new(
+                txn,
+                SectionKind::Initial,
+                &self.store,
+                rw,
+                &mut undo,
+                self.history.as_ref(),
+            );
+            body(&mut ctx)
+        };
+        let out = match out {
+            Ok(v) => v,
+            Err(e) => {
+                undo.rollback(&self.store);
+                self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
+                if let Some(h) = &self.history {
+                    h.record_abort(txn);
+                }
+                self.stats.record_abort();
+                return Err(e);
+            }
+        };
+
+        // Initial commit, then release immediately — the MS-IA difference.
+        if let Some(h) = &self.history {
+            h.record_commit(txn, SectionKind::Initial);
+        }
+        self.stats.record_initial_latency(started.elapsed());
+        self.apologies
+            .register(txn, rw.reads.clone(), rw.writes.clone(), undo);
+        self.stats.record_lock_hold(lock_epoch.elapsed());
+        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
+
+        Ok((out, PendingFinal { txn }))
+    }
+
+    /// Run the final section once its input (the cloud labels) is ready.
+    ///
+    /// The multi-stage guarantee says an initially-committed transaction
+    /// must finally commit, so lock acquisition here *retries* on wait-die
+    /// kills rather than aborting the transaction. The section body gets a
+    /// [`FinalCtx`] for retraction and apologies alongside the normal
+    /// read/write context.
+    pub fn run_final<T>(
+        &self,
+        pending: PendingFinal,
+        rw: &RwSet,
+        body: impl FnOnce(&mut SectionCtx, &mut FinalCtx) -> Result<T, TxnError>,
+    ) -> Result<T, TxnError> {
+        let txn = pending.txn;
+        let pairs = rw.lock_pairs();
+        // Retry until granted: final sections cannot abort.
+        let mut backoff = 0u32;
+        while let Err(_e) = self.locks.acquire_all(txn, &pairs, None) {
+            backoff = (backoff + 1).min(6);
+            std::thread::yield_now();
+            if backoff > 2 {
+                std::thread::sleep(std::time::Duration::from_micros(1 << backoff));
+            }
+        }
+        let lock_epoch = Instant::now();
+
+        if let Some(h) = &self.history {
+            h.record_begin(txn, SectionKind::Final);
+        }
+        let mut undo = UndoLog::new();
+        let mut final_ctx = FinalCtx {
+            txn,
+            store: &self.store,
+            apologies: &self.apologies,
+            reports: Vec::new(),
+        };
+        let out = {
+            let mut ctx = SectionCtx::new(
+                txn,
+                SectionKind::Final,
+                &self.store,
+                rw,
+                &mut undo,
+                self.history.as_ref(),
+            );
+            body(&mut ctx, &mut final_ctx)
+        };
+        let out = match out {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "final section of {txn} failed after initial commit — \
+                 the multi-stage guarantee forbids this: {e}"
+            ),
+        };
+
+        if let Some(h) = &self.history {
+            h.record_commit(txn, SectionKind::Final);
+        }
+        self.stats.record_commit();
+        self.stats.record_lock_hold(lock_epoch.elapsed());
+        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_store::{LockPolicy, Value};
+    use std::thread;
+
+    fn executor(policy: LockPolicy) -> MsIaExecutor {
+        MsIaExecutor::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(policy)),
+        )
+        .with_history(HistoryRecorder::new())
+    }
+
+    #[test]
+    fn initial_then_final_commits() {
+        let ex = executor(LockPolicy::Block);
+        let rw_i = RwSet::new().write("x");
+        let rw_f = RwSet::new().write("x");
+        let (_, pending) = ex
+            .run_initial(TxnId(1), &rw_i, |ctx| {
+                ctx.write("x", 1)?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(1)));
+        ex.run_final(pending, &rw_f, |ctx, _| {
+            ctx.write("x", 2)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(2)));
+        assert_eq!(ex.stats().snapshot().commits, 1);
+    }
+
+    #[test]
+    fn initial_effects_visible_before_final() {
+        // The key MS-IA behaviour: another transaction can read t1's
+        // initial write before t1's final section runs.
+        let ex = executor(LockPolicy::Block);
+        let (_, pending1) = ex
+            .run_initial(TxnId(1), &RwSet::new().write("shared"), |ctx| {
+                ctx.write("shared", 10)?;
+                Ok(())
+            })
+            .unwrap();
+        let (seen, pending2) = ex
+            .run_initial(TxnId(2), &RwSet::new().read("shared"), |ctx| {
+                Ok(ctx.read("shared")?.and_then(|v| v.as_int()))
+            })
+            .unwrap();
+        assert_eq!(seen, Some(10), "t2 observed t1's initial effects");
+        ex.run_final(pending1, &RwSet::new(), |_, _| Ok(())).unwrap();
+        ex.run_final(pending2, &RwSet::new(), |_, _| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn locks_released_after_initial() {
+        let store = Arc::new(KvStore::new());
+        let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
+        let ex = MsIaExecutor::new(Arc::clone(&store), Arc::clone(&locks));
+        let (_, _pending) = ex
+            .run_initial(TxnId(1), &RwSet::new().write("x"), |ctx| {
+                ctx.write("x", 1)?;
+                Ok(())
+            })
+            .unwrap();
+        // Immediately lockable by someone else — unlike TSPL.
+        assert!(locks
+            .lock(TxnId(2), &"x".into(), croesus_store::LockMode::Exclusive)
+            .is_ok());
+    }
+
+    #[test]
+    fn aborted_initial_rolls_back() {
+        let ex = executor(LockPolicy::Block);
+        let r = ex.run_initial(TxnId(1), &RwSet::new().write("x"), |ctx| {
+            ctx.write("x", 1)?;
+            Err::<(), _>(TxnError::Invariant("bad trigger".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(ex.store().get(&"x".into()), None);
+        assert_eq!(ex.stats().snapshot().aborts, 1);
+    }
+
+    #[test]
+    fn final_section_can_retract_self() {
+        let ex = executor(LockPolicy::Block);
+        let store = Arc::clone(ex.store());
+        store.put("room".into(), Value::Str("free".into()));
+        let (_, pending) = ex
+            .run_initial(TxnId(1), &RwSet::new().write("room"), |ctx| {
+                ctx.write("room", "reserved-by-1")?;
+                Ok(())
+            })
+            .unwrap();
+        let report = ex
+            .run_final(pending, &RwSet::new(), |_, fctx| {
+                Ok(fctx.retract_self("wrong building detected"))
+            })
+            .unwrap();
+        assert_eq!(report.retracted, vec![TxnId(1)]);
+        assert_eq!(store.get(&"room".into()), Some(Value::Str("free".into())));
+        assert_eq!(ex.apologies().apologies().len(), 1);
+    }
+
+    #[test]
+    fn retraction_cascades_across_transactions() {
+        let ex = executor(LockPolicy::Block);
+        // t1 guesses; t2 reads t1's output in its initial section.
+        let (_, p1) = ex
+            .run_initial(TxnId(1), &RwSet::new().write("b"), |ctx| {
+                ctx.write("b", 50)?;
+                Ok(())
+            })
+            .unwrap();
+        let (_, p2) = ex
+            .run_initial(TxnId(2), &RwSet::new().read("b").write("c"), |ctx| {
+                let b = ctx.read("b")?.and_then(|v| v.as_int()).unwrap_or(0);
+                ctx.write("c", b)?;
+                Ok(())
+            })
+            .unwrap();
+        // t2 finalizes cleanly first (its input was correct).
+        ex.run_final(p2, &RwSet::new(), |_, _| Ok(())).unwrap();
+        // t1's final discovers the error and retracts: cascade takes t2.
+        let report = ex
+            .run_final(p1, &RwSet::new(), |_, fctx| Ok(fctx.retract_self("wrong player")))
+            .unwrap();
+        assert_eq!(report.retracted, vec![TxnId(2), TxnId(1)]);
+        assert!(!ex.store().contains(&"b".into()));
+        assert!(!ex.store().contains(&"c".into()));
+    }
+
+    #[test]
+    fn history_satisfies_ms_ia_but_interleaving_breaks_ms_sr() {
+        let history = HistoryRecorder::new();
+        let ex = MsIaExecutor::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(LockPolicy::Block)),
+        )
+        .with_history(history.clone());
+        ex.store().put("x".into(), Value::Int(0));
+        // The §4.2 anomaly under MS-IA: i1 i2 f1 f2 on the same key.
+        let rw = RwSet::new().read("x").write("x");
+        let (v1, p1) = ex
+            .run_initial(TxnId(1), &rw, |ctx| {
+                Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0))
+            })
+            .unwrap();
+        let (v2, p2) = ex
+            .run_initial(TxnId(2), &rw, |ctx| {
+                Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0))
+            })
+            .unwrap();
+        let rwf = RwSet::new().write("x");
+        ex.run_final(p1, &rwf, move |ctx, _| {
+            ctx.write("x", v1 + 1)?;
+            Ok(())
+        })
+        .unwrap();
+        ex.run_final(p2, &rwf, move |ctx, _| {
+            ctx.write("x", v2 + 1)?;
+            Ok(())
+        })
+        .unwrap();
+        // Lost update happened (both read 0): that is exactly the anomaly
+        // MS-IA permits and MS-SR forbids.
+        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(1)));
+        let checker = history.checker();
+        assert!(checker.check_ms_ia(&[]).is_ok());
+        assert!(checker.check_ms_sr().is_err());
+    }
+
+    #[test]
+    fn concurrent_ms_ia_transactions_all_commit() {
+        let ex = Arc::new(executor(LockPolicy::WaitDie));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let ex = Arc::clone(&ex);
+                thread::spawn(move || {
+                    let rw = RwSet::new().write("hot");
+                    // Retry initial on wait-die kills with the same id.
+                    let pending = loop {
+                        match ex.run_initial(TxnId(i), &rw, |ctx| {
+                            ctx.write("hot", i as i64)?;
+                            Ok(())
+                        }) {
+                            Ok((_, p)) => break p,
+                            Err(_) => thread::yield_now(),
+                        }
+                    };
+                    ex.run_final(pending, &rw, |ctx, _| {
+                        ctx.write("hot", 100 + i as i64)?;
+                        Ok(())
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ex.stats().snapshot().commits, 8);
+        let checker = ex.history.as_ref().unwrap().checker();
+        checker.check_ms_ia(&[]).unwrap();
+    }
+
+    #[test]
+    fn ms_ia_lock_hold_is_short_even_with_slow_cloud() {
+        // The Fig 6a contrast: the "cloud wait" happens *between* sections,
+        // while no locks are held.
+        let ex = executor(LockPolicy::Block);
+        let rw = RwSet::new().write("x");
+        let (_, pending) = ex
+            .run_initial(TxnId(1), &rw, |ctx| {
+                ctx.write("x", 1)?;
+                Ok(())
+            })
+            .unwrap();
+        thread::sleep(std::time::Duration::from_millis(30)); // cloud round trip
+        ex.run_final(pending, &rw, |ctx, _| {
+            ctx.write("x", 2)?;
+            Ok(())
+        })
+        .unwrap();
+        let snap = ex.stats().snapshot();
+        assert!(
+            snap.avg_lock_hold_ms < 10.0,
+            "MS-IA holds locks only during sections, got {}",
+            snap.avg_lock_hold_ms
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! MS-SR via Two-Stage 2PL (TSPL) — Algorithm 1 of the paper.
+//!
+//! ```text
+//! items ← get_rwsets(tᵢ)
+//! if acquirelocks(items):
+//!     execute(tᵢ)
+//!     items ← get_rwsets(t_f)
+//!     if acquirelocks(items):
+//!         Initial Commit
+//!         execute(t_f)          // once the final input is available
+//!         Final Commit
+//!     else abort
+//! else abort
+//! releaselocks(...)
+//! ```
+//!
+//! The protocol's defining property: locks for the *final* section are
+//! acquired before initial commit, so an initially-committed transaction can
+//! never abort — but every lock is held across the edge→cloud round trip,
+//! which is where MS-SR's contention (Fig 6a) and aborts under hot spots
+//! (Fig 6b) come from.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
+
+use crate::history::{HistoryRecorder, SectionKind};
+use crate::model::{RwSet, SectionCtx, TxnError};
+use crate::stats::ProtocolStats;
+
+/// The Two-Stage 2PL executor.
+pub struct TsplExecutor {
+    store: Arc<KvStore>,
+    locks: Arc<LockManager>,
+    history: Option<HistoryRecorder>,
+    stats: Arc<ProtocolStats>,
+}
+
+impl TsplExecutor {
+    /// Create an executor over a store and lock manager.
+    pub fn new(store: Arc<KvStore>, locks: Arc<LockManager>) -> Self {
+        TsplExecutor {
+            store,
+            locks,
+            history: None,
+            stats: Arc::new(ProtocolStats::new()),
+        }
+    }
+
+    /// Attach a history recorder (for the safety checkers).
+    pub fn with_history(mut self, history: HistoryRecorder) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// The statistics collector.
+    pub fn stats(&self) -> &Arc<ProtocolStats> {
+        &self.stats
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// Execute one multi-stage transaction under TSPL.
+    ///
+    /// * `initial` runs once the initial read/write set is locked.
+    /// * `await_final_input` models the wait for the cloud labels; TSPL
+    ///   holds **all** locks across it (that is the point).
+    /// * `final_section` runs with both sets locked, then everything is
+    ///   released.
+    ///
+    /// Aborts (lock failures per the manager's policy) can only happen
+    /// before initial commit; the caller should retry with the *same*
+    /// [`TxnId`] to preserve wait-die priority.
+    pub fn execute<TI, TF>(
+        &self,
+        txn: TxnId,
+        initial_rw: &RwSet,
+        final_rw: &RwSet,
+        initial: impl FnOnce(&mut SectionCtx) -> Result<TI, TxnError>,
+        await_final_input: impl FnOnce(),
+        final_section: impl FnOnce(&mut SectionCtx) -> Result<TF, TxnError>,
+    ) -> Result<(TI, TF), TxnError> {
+        let started = Instant::now();
+        let initial_pairs = initial_rw.lock_pairs();
+        let final_pairs = final_rw.lock_pairs();
+
+        // Lock the initial section's items.
+        if let Err(e) = self.locks.acquire_all(txn, &initial_pairs, None) {
+            self.abort(txn, started, None);
+            return Err(TxnError::Aborted(e));
+        }
+        let lock_epoch = Instant::now();
+
+        // Execute the initial section (not yet committed).
+        if let Some(h) = &self.history {
+            h.record_begin(txn, SectionKind::Initial);
+        }
+        let mut undo_initial = UndoLog::new();
+        let initial_out = {
+            let mut ctx = SectionCtx::new(
+                txn,
+                SectionKind::Initial,
+                &self.store,
+                initial_rw,
+                &mut undo_initial,
+                self.history.as_ref(),
+            );
+            initial(&mut ctx)
+        };
+        let initial_out = match initial_out {
+            Ok(v) => v,
+            Err(e) => {
+                undo_initial.rollback(&self.store);
+                self.release(txn, &initial_pairs, lock_epoch);
+                self.abort(txn, started, None);
+                return Err(e);
+            }
+        };
+
+        // Lock the final section's items *before* initial commit: this is
+        // what guarantees the final section cannot abort later.
+        if let Err(e) = self.locks.acquire_all(txn, &final_pairs, None) {
+            undo_initial.rollback(&self.store);
+            self.release(txn, &initial_pairs, lock_epoch);
+            self.abort(txn, started, None);
+            return Err(TxnError::Aborted(e));
+        }
+
+        // Initial commit: the response may now be exposed to the client.
+        if let Some(h) = &self.history {
+            h.record_commit(txn, SectionKind::Initial);
+        }
+        self.stats.record_initial_latency(started.elapsed());
+
+        // Wait for the cloud labels — with every lock held.
+        await_final_input();
+
+        // Execute the final section. Errors here are application bugs:
+        // the protocol guarantees commit, so the section must not fail.
+        if let Some(h) = &self.history {
+            h.record_begin(txn, SectionKind::Final);
+        }
+        let mut undo_final = UndoLog::new();
+        let final_out = {
+            let mut ctx = SectionCtx::new(
+                txn,
+                SectionKind::Final,
+                &self.store,
+                final_rw,
+                &mut undo_final,
+                self.history.as_ref(),
+            );
+            final_section(&mut ctx)
+        };
+        let final_out = match final_out {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "final section of {txn} failed after initial commit — \
+                 the multi-stage guarantee forbids this: {e}"
+            ),
+        };
+
+        // Final commit; release everything.
+        if let Some(h) = &self.history {
+            h.record_commit(txn, SectionKind::Final);
+        }
+        self.stats.record_commit();
+        self.release(txn, &initial_pairs, lock_epoch);
+        self.release_quiet(txn, &final_pairs);
+        Ok((initial_out, final_out))
+    }
+
+    fn release(
+        &self,
+        txn: TxnId,
+        pairs: &[(croesus_store::Key, croesus_store::LockMode)],
+        lock_epoch: Instant,
+    ) {
+        self.stats.record_lock_hold(lock_epoch.elapsed());
+        self.release_quiet(txn, pairs);
+    }
+
+    fn release_quiet(&self, txn: TxnId, pairs: &[(croesus_store::Key, croesus_store::LockMode)]) {
+        self.locks
+            .release_all(txn, pairs.iter().map(|(k, _)| k));
+    }
+
+    fn abort(&self, txn: TxnId, _started: Instant, _epoch: Option<Instant>) {
+        if let Some(h) = &self.history {
+            h.record_abort(txn);
+        }
+        self.stats.record_abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_store::{LockPolicy, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    fn executor(policy: LockPolicy) -> TsplExecutor {
+        TsplExecutor::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(policy)),
+        )
+        .with_history(HistoryRecorder::new())
+    }
+
+    #[test]
+    fn single_transaction_commits_both_sections() {
+        let ex = executor(LockPolicy::Block);
+        let initial_rw = RwSet::new().read("x");
+        let final_rw = RwSet::new().write("x");
+        let (i, f) = ex
+            .execute(
+                TxnId(1),
+                &initial_rw,
+                &final_rw,
+                |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
+                || {},
+                |ctx| {
+                    ctx.write("x", 42)?;
+                    Ok("done")
+                },
+            )
+            .unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(f, "done");
+        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(42)));
+        assert_eq!(ex.stats().snapshot().commits, 1);
+    }
+
+    #[test]
+    fn all_locks_released_after_commit() {
+        let ex = executor(LockPolicy::NoWait);
+        let rw = RwSet::new().write("a").write("b");
+        ex.execute(TxnId(1), &rw, &rw, |_| Ok(()), || {}, |_| Ok(()))
+            .unwrap();
+        // A second transaction can take everything immediately.
+        ex.execute(TxnId(2), &rw, &rw, |_| Ok(()), || {}, |_| Ok(()))
+            .unwrap();
+    }
+
+    #[test]
+    fn initial_section_error_rolls_back_and_aborts() {
+        let ex = executor(LockPolicy::Block);
+        let rw = RwSet::new().write("x");
+        let r: Result<((), ()), TxnError> = ex.execute(
+            TxnId(1),
+            &rw,
+            &RwSet::new(),
+            |ctx| {
+                ctx.write("x", 1)?;
+                Err(TxnError::Invariant("nope".into()))
+            },
+            || {},
+            |_| Ok(()),
+        );
+        assert!(r.is_err());
+        assert_eq!(ex.store().get(&"x".into()), None, "write rolled back");
+        assert_eq!(ex.stats().snapshot().aborts, 1);
+        // Locks are free again.
+        ex.execute(TxnId(2), &rw, &RwSet::new(), |_| Ok(()), || {}, |_| Ok(()))
+            .unwrap();
+    }
+
+    #[test]
+    fn lock_conflict_aborts_under_nowait() {
+        let store = Arc::new(KvStore::new());
+        let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
+        let ex = Arc::new(TsplExecutor::new(Arc::clone(&store), Arc::clone(&locks)));
+        // Hold "x" from outside.
+        locks
+            .lock(TxnId(99), &"x".into(), croesus_store::LockMode::Exclusive)
+            .unwrap();
+        let rw = RwSet::new().write("x");
+        let r: Result<((), ()), _> =
+            ex.execute(TxnId(100), &rw, &RwSet::new(), |_| Ok(()), || {}, |_| Ok(()));
+        assert!(matches!(r, Err(TxnError::Aborted(_))));
+    }
+
+    #[test]
+    fn failed_final_lock_acquisition_rolls_back_initial_writes() {
+        let store = Arc::new(KvStore::new());
+        store.put("y".into(), Value::Int(0));
+        let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
+        let ex = TsplExecutor::new(Arc::clone(&store), Arc::clone(&locks));
+        // Another holder blocks the *final* set only.
+        locks
+            .lock(TxnId(1), &"z".into(), croesus_store::LockMode::Exclusive)
+            .unwrap();
+        let r: Result<((), ()), _> = ex.execute(
+            TxnId(2),
+            &RwSet::new().write("y"),
+            &RwSet::new().write("z"),
+            |ctx| {
+                ctx.write("y", 7)?;
+                Ok(())
+            },
+            || {},
+            |_| Ok(()),
+        );
+        assert!(r.is_err());
+        assert_eq!(
+            store.get(&"y".into()),
+            Some(Value::Int(0)),
+            "initial write must be undone because initial commit never happened"
+        );
+    }
+
+    #[test]
+    fn conflicting_transactions_serialize_and_satisfy_ms_sr() {
+        let history = HistoryRecorder::new();
+        let store = Arc::new(KvStore::new());
+        store.put("x".into(), Value::Int(0));
+        let locks = Arc::new(LockManager::new(LockPolicy::Block));
+        let ex = Arc::new(
+            TsplExecutor::new(Arc::clone(&store), locks).with_history(history.clone()),
+        );
+        // The §4.2 increment anomaly: read x in initial, write x+1 in final.
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let ex = Arc::clone(&ex);
+                thread::spawn(move || {
+                    let initial_rw = RwSet::new().read("x").write("x");
+                    let final_rw = RwSet::new().write("x");
+                    let ex2 = Arc::clone(&ex);
+                    ex.execute(
+                        TxnId(i),
+                        &initial_rw,
+                        &final_rw,
+                        move |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
+                        || thread::sleep(std::time::Duration::from_millis(5)),
+                        move |ctx| {
+                            // Re-read inside the final section: locks are
+                            // still held so this is the same value.
+                            let v = ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0);
+                            ctx.write("x", v + 1)?;
+                            let _ = &ex2;
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // No lost updates: x incremented once per transaction.
+        assert_eq!(store.get(&"x".into()), Some(Value::Int(4)));
+        let checker = history.checker();
+        checker.check_ms_sr().expect("TSPL history must satisfy MS-SR");
+    }
+
+    #[test]
+    fn lock_hold_time_covers_the_final_wait() {
+        let ex = executor(LockPolicy::Block);
+        let rw = RwSet::new().write("x");
+        ex.execute(
+            TxnId(1),
+            &rw,
+            &rw,
+            |_| Ok(()),
+            || thread::sleep(std::time::Duration::from_millis(25)),
+            |_| Ok(()),
+        )
+        .unwrap();
+        let snap = ex.stats().snapshot();
+        assert!(
+            snap.avg_lock_hold_ms >= 25.0,
+            "hold {} must include the cloud wait",
+            snap.avg_lock_hold_ms
+        );
+    }
+
+    #[test]
+    fn wait_die_aborts_on_hot_spot_and_retry_succeeds() {
+        let store = Arc::new(KvStore::new());
+        let locks = Arc::new(LockManager::new(LockPolicy::WaitDie));
+        let ex = Arc::new(TsplExecutor::new(store, Arc::clone(&locks)));
+        let committed = Arc::new(AtomicU64::new(0));
+        let rw = RwSet::new().write("hot");
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let ex = Arc::clone(&ex);
+                let committed = Arc::clone(&committed);
+                let rw = rw.clone();
+                thread::spawn(move || loop {
+                    let r: Result<((), ()), _> = ex.execute(
+                        TxnId(i),
+                        &rw,
+                        &RwSet::new(),
+                        |_| Ok(()),
+                        || thread::sleep(std::time::Duration::from_micros(200)),
+                        |_| Ok(()),
+                    );
+                    if r.is_ok() {
+                        committed.fetch_add(1, Ordering::SeqCst);
+                        break;
+                    }
+                    thread::yield_now();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(committed.load(Ordering::SeqCst), 6);
+    }
+}

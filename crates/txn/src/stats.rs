@@ -1,0 +1,150 @@
+//! Protocol instrumentation: commits, aborts, lock-hold times.
+//!
+//! Figure 6(a) compares MS-SR and MS-IA by "the average latency of holding
+//! locks"; Figure 6(b) by abort rate. The executors feed this collector.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use croesus_sim::OnlineStats;
+use parking_lot::Mutex;
+
+/// Thread-safe protocol statistics collector.
+#[derive(Default)]
+pub struct ProtocolStats {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    lock_hold_ms: Mutex<OnlineStats>,
+    initial_latency_ms: Mutex<OnlineStats>,
+}
+
+/// A point-in-time snapshot of [`ProtocolStats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Transactions that finally committed.
+    pub commits: u64,
+    /// Transactions that aborted (always before initial commit).
+    pub aborts: u64,
+    /// Mean time locks were held per transaction, milliseconds.
+    pub avg_lock_hold_ms: f64,
+    /// Maximum lock-hold time observed, milliseconds.
+    pub max_lock_hold_ms: f64,
+    /// Mean latency to initial commit, milliseconds.
+    pub avg_initial_latency_ms: f64,
+}
+
+impl StatsSnapshot {
+    /// `aborts / (commits + aborts)`, or 0 when nothing ran.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+impl ProtocolStats {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        ProtocolStats::default()
+    }
+
+    /// Record a final commit.
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abort.
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record how long one transaction held its locks.
+    pub fn record_lock_hold(&self, held: Duration) {
+        self.lock_hold_ms.lock().push(held.as_secs_f64() * 1e3);
+    }
+
+    /// Record the latency from transaction start to initial commit.
+    pub fn record_initial_latency(&self, latency: Duration) {
+        self.initial_latency_ms.lock().push(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Current counters and means.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let hold = *self.lock_hold_ms.lock();
+        let init = *self.initial_latency_ms.lock();
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            avg_lock_hold_ms: hold.mean(),
+            max_lock_hold_ms: hold.max().unwrap_or(0.0),
+            avg_initial_latency_ms: init.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let s = ProtocolStats::new();
+        s.record_commit();
+        s.record_commit();
+        s.record_abort();
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 1);
+        assert!((snap.abort_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let snap = ProtocolStats::new().snapshot();
+        assert_eq!(snap.commits, 0);
+        assert_eq!(snap.abort_rate(), 0.0);
+        assert_eq!(snap.avg_lock_hold_ms, 0.0);
+    }
+
+    #[test]
+    fn lock_hold_statistics() {
+        let s = ProtocolStats::new();
+        s.record_lock_hold(Duration::from_millis(10));
+        s.record_lock_hold(Duration::from_millis(30));
+        let snap = s.snapshot();
+        assert!((snap.avg_lock_hold_ms - 20.0).abs() < 0.5);
+        assert!((snap.max_lock_hold_ms - 30.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn initial_latency_statistics() {
+        let s = ProtocolStats::new();
+        s.record_initial_latency(Duration::from_millis(4));
+        s.record_initial_latency(Duration::from_millis(6));
+        assert!((s.snapshot().avg_initial_latency_ms - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let s = Arc::new(ProtocolStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.record_commit();
+                        s.record_lock_hold(Duration::from_micros(100));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().commits, 400);
+    }
+}

@@ -1,0 +1,305 @@
+//! Two-phase commit for multi-partition multi-stage transactions (§4.5).
+//!
+//! "Locking data objects in remote partitions will be performed by sending
+//! the lock requests to the remote edge node that is responsible for the
+//! partition. ... after the transaction finishes, the partitions engage in a
+//! two-phase commit protocol to ensure that the distributed commit is
+//! performed in an atomic way." For MS-SR the atomic-commit step runs at
+//! the end of the final section only (locks are never released in between);
+//! for MS-IA it runs at the end of both sections.
+//!
+//! Participants here are in-process [`Partition`]s; the [`Participant`]
+//! trait allows tests to inject failures (a participant voting no).
+
+use std::sync::Arc;
+
+use croesus_store::{Key, Partition, PartitionMap, TxnId, UndoLog, Value};
+
+/// A participant's prepare vote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// Ready to commit: locks held, writes staged.
+    Yes,
+    /// Cannot commit; the coordinator must abort globally.
+    No,
+}
+
+/// A two-phase-commit participant.
+pub trait Participant {
+    /// Phase 1: attempt to lock and stage the given writes. A `Yes` vote
+    /// promises that `commit` will succeed.
+    fn prepare(&self, txn: TxnId, writes: &[(Key, Value)]) -> Vote;
+
+    /// Phase 2 (commit): make staged writes durable and release locks.
+    fn commit(&self, txn: TxnId);
+
+    /// Phase 2 (abort): discard staged writes and release locks.
+    fn abort(&self, txn: TxnId);
+}
+
+/// A partition acting as a participant: prepare locks the keys and applies
+/// the writes through an undo log; abort rolls the log back.
+pub struct PartitionParticipant {
+    partition: Arc<Partition>,
+    staged: parking_lot::Mutex<Vec<(TxnId, UndoLog, Vec<Key>)>>,
+}
+
+impl PartitionParticipant {
+    /// Wrap a partition.
+    pub fn new(partition: Arc<Partition>) -> Self {
+        PartitionParticipant {
+            partition,
+            staged: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped partition.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.partition
+    }
+}
+
+impl Participant for PartitionParticipant {
+    fn prepare(&self, txn: TxnId, writes: &[(Key, Value)]) -> Vote {
+        let pairs: Vec<(Key, croesus_store::LockMode)> = writes
+            .iter()
+            .map(|(k, _)| (k.clone(), croesus_store::LockMode::Exclusive))
+            .collect();
+        if self.partition.locks.acquire_all(txn, &pairs, None).is_err() {
+            return Vote::No;
+        }
+        let mut undo = UndoLog::new();
+        for (k, v) in writes {
+            undo.put(&self.partition.store, k.clone(), v.clone());
+        }
+        let keys = pairs.into_iter().map(|(k, _)| k).collect();
+        self.staged.lock().push((txn, undo, keys));
+        Vote::Yes
+    }
+
+    fn commit(&self, txn: TxnId) {
+        let mut staged = self.staged.lock();
+        if let Some(pos) = staged.iter().position(|(t, _, _)| *t == txn) {
+            let (_, _undo, keys) = staged.remove(pos);
+            // Writes already applied; just release.
+            self.partition.locks.release_all(txn, keys.iter());
+        }
+    }
+
+    fn abort(&self, txn: TxnId) {
+        let mut staged = self.staged.lock();
+        if let Some(pos) = staged.iter().position(|(t, _, _)| *t == txn) {
+            let (_, undo, keys) = staged.remove(pos);
+            undo.rollback(&self.partition.store);
+            self.partition.locks.release_all(txn, keys.iter());
+        }
+    }
+}
+
+/// A participant paired with the writes routed to it.
+pub type ParticipantWrites<'a> = (&'a dyn Participant, &'a [(Key, Value)]);
+
+/// The coordinator: runs 2PC over the partitions owning a write set.
+pub struct Coordinator {
+    partitions: Arc<PartitionMap>,
+}
+
+/// Result of a coordinated commit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TpcOutcome {
+    /// All participants voted yes; writes are durable everywhere.
+    Committed {
+        /// How many partitions participated.
+        participants: usize,
+    },
+    /// Some participant voted no; nothing took effect anywhere.
+    Aborted {
+        /// How many participants voted before the abort.
+        voted: usize,
+    },
+}
+
+impl Coordinator {
+    /// Create a coordinator over a partition map.
+    pub fn new(partitions: Arc<PartitionMap>) -> Self {
+        Coordinator { partitions }
+    }
+
+    /// Atomically apply `writes`, which may span partitions.
+    pub fn commit_writes(&self, txn: TxnId, writes: &[(Key, Value)]) -> TpcOutcome {
+        let keys: Vec<Key> = writes.iter().map(|(k, _)| k.clone()).collect();
+        let groups = self.partitions.group_by_partition(keys.iter());
+        let participants: Vec<(PartitionParticipant, Vec<(Key, Value)>)> = groups
+            .into_iter()
+            .map(|(pid, keys)| {
+                let part = Arc::clone(
+                    self.partitions
+                        .get(pid)
+                        .expect("group_by_partition returns valid ids"),
+                );
+                let ws: Vec<(Key, Value)> = writes
+                    .iter()
+                    .filter(|(k, _)| keys.contains(k))
+                    .cloned()
+                    .collect();
+                (PartitionParticipant::new(part), ws)
+            })
+            .collect();
+        self.run(
+            txn,
+            participants
+                .iter()
+                .map(|(p, w)| (p as &dyn Participant, w.as_slice())),
+        )
+    }
+
+    /// Run 2PC over explicit participants (for failure-injection tests).
+    pub fn run<'a>(
+        &self,
+        txn: TxnId,
+        participants: impl IntoIterator<Item = ParticipantWrites<'a>>,
+    ) -> TpcOutcome {
+        let participants: Vec<ParticipantWrites<'a>> = participants.into_iter().collect();
+        // Phase 1: collect votes.
+        let mut voted = 0;
+        for (p, writes) in &participants {
+            match p.prepare(txn, writes) {
+                Vote::Yes => voted += 1,
+                Vote::No => {
+                    // Phase 2: abort everyone who already voted.
+                    for (q, _) in participants.iter().take(voted) {
+                        q.abort(txn);
+                    }
+                    return TpcOutcome::Aborted { voted };
+                }
+            }
+        }
+        // Phase 2: commit everywhere.
+        for (p, _) in &participants {
+            p.commit(txn);
+        }
+        TpcOutcome::Committed {
+            participants: participants.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_store::LockPolicy;
+
+    fn map() -> Arc<PartitionMap> {
+        Arc::new(PartitionMap::new(4, LockPolicy::NoWait))
+    }
+
+    fn writes(n: u64) -> Vec<(Key, Value)> {
+        (0..n)
+            .map(|i| (Key::indexed("w", i), Value::Int(i as i64)))
+            .collect()
+    }
+
+    #[test]
+    fn cross_partition_commit_applies_everywhere() {
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let ws = writes(20);
+        let outcome = coord.commit_writes(TxnId(1), &ws);
+        assert!(matches!(outcome, TpcOutcome::Committed { participants } if participants > 1));
+        for (k, v) in &ws {
+            assert_eq!(pm.partition_of(k).store.get(k), Some(v.clone()));
+        }
+        // All locks released.
+        for p in pm.partitions() {
+            assert_eq!(p.locks.locked_keys(), 0);
+        }
+    }
+
+    #[test]
+    fn conflicting_lock_aborts_globally() {
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let ws = writes(20);
+        // Block one key on its home partition.
+        let victim = &ws[7].0;
+        pm.partition_of(victim)
+            .locks
+            .lock(TxnId(99), victim, croesus_store::LockMode::Exclusive)
+            .unwrap();
+        let outcome = coord.commit_writes(TxnId(1), &ws);
+        assert!(matches!(outcome, TpcOutcome::Aborted { .. }));
+        // Nothing is visible anywhere — atomicity.
+        for (k, _) in &ws {
+            assert_eq!(pm.partition_of(k).store.get(k), None, "leaked write at {k}");
+        }
+    }
+
+    #[test]
+    fn abort_releases_prepared_locks() {
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let ws = writes(20);
+        let victim = &ws[7].0;
+        pm.partition_of(victim)
+            .locks
+            .lock(TxnId(99), victim, croesus_store::LockMode::Exclusive)
+            .unwrap();
+        let _ = coord.commit_writes(TxnId(1), &ws);
+        pm.partition_of(victim).locks.release(TxnId(99), victim);
+        // Retry now succeeds: every previously-prepared lock was released.
+        let outcome = coord.commit_writes(TxnId(2), &ws);
+        assert!(matches!(outcome, TpcOutcome::Committed { .. }));
+    }
+
+    /// A participant that always refuses — simulates a failed edge node.
+    struct Refusenik;
+    impl Participant for Refusenik {
+        fn prepare(&self, _txn: TxnId, _writes: &[(Key, Value)]) -> Vote {
+            Vote::No
+        }
+        fn commit(&self, _txn: TxnId) {}
+        fn abort(&self, _txn: TxnId) {}
+    }
+
+    #[test]
+    fn injected_no_vote_aborts_and_rolls_back() {
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let part = Arc::clone(&pm.partitions()[0]);
+        part.store.put("pre".into(), Value::Int(1));
+        let good = PartitionParticipant::new(Arc::clone(&part));
+        let bad = Refusenik;
+        let ws_good: Vec<(Key, Value)> = vec![("pre".into(), Value::Int(2))];
+        let ws_bad: Vec<(Key, Value)> = vec![];
+        let outcome = coord.run(
+            TxnId(5),
+            [
+                (&good as &dyn Participant, ws_good.as_slice()),
+                (&bad as &dyn Participant, ws_bad.as_slice()),
+            ],
+        );
+        assert_eq!(outcome, TpcOutcome::Aborted { voted: 1 });
+        assert_eq!(
+            part.store.get(&"pre".into()),
+            Some(Value::Int(1)),
+            "good participant's staged write must be rolled back"
+        );
+        assert_eq!(part.locks.locked_keys(), 0);
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_local_commit() {
+        let pm = Arc::new(PartitionMap::new(1, LockPolicy::NoWait));
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let outcome = coord.commit_writes(TxnId(1), &writes(5));
+        assert_eq!(outcome, TpcOutcome::Committed { participants: 1 });
+    }
+
+    #[test]
+    fn empty_write_set_commits_trivially() {
+        let pm = map();
+        let coord = Coordinator::new(pm);
+        let outcome = coord.commit_writes(TxnId(1), &[]);
+        assert_eq!(outcome, TpcOutcome::Committed { participants: 0 });
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic video substrate.
+//!
+//! The Croesus paper evaluates on five real videos (street traffic with
+//! vehicles, street traffic with pedestrians, mall surveillance, an airport
+//! runway, and a pet in a park). Real footage is unavailable here, so this
+//! crate generates *synthetic scenes*: sequences of frames, each carrying a
+//! set of ground-truth objects (class, bounding box, and a latent *clarity*
+//! score describing how easy the object is to detect) plus an encoded payload
+//! size. The detector simulator (`croesus-detect`) consumes exactly this
+//! information — which is all a black-box CNN interface exposes to Croesus.
+//!
+//! * [`bbox`] — normalized bounding boxes with IoU/overlap computations.
+//! * [`label`] — interned label classes.
+//! * [`object`] — tracked objects with linear motion and lifetimes.
+//! * [`scene`] — the scene generator, parametrized by [`scene::SceneConfig`].
+//! * [`preset`] — the five paper videos as ready-made configurations.
+
+pub mod bbox;
+pub mod label;
+pub mod object;
+pub mod preset;
+pub mod scene;
+
+pub use bbox::BoundingBox;
+pub use label::LabelClass;
+pub use object::{GroundTruthObject, ObjectId, TrackedObject};
+pub use preset::VideoPreset;
+pub use scene::{Frame, SceneConfig, Video};

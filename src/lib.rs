@@ -1,0 +1,28 @@
+//! # Croesus
+//!
+//! A Rust reproduction of *"Croesus: Multi-Stage Processing and Transactions
+//! for Video-Analytics in Edge-Cloud Systems"* (ICDE 2022).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — deterministic discrete-event simulation, RNG, statistics.
+//! * [`video`] — synthetic video scenes and the paper's five video presets.
+//! * [`detect`] — simulated CNN detectors (Tiny-YOLOv3 / YOLOv3 profiles)
+//!   and accuracy evaluation.
+//! * [`store`] — key-value store, lock manager, undo log, partitions.
+//! * [`txn`] — the multi-stage transaction model, MS-SR and MS-IA protocols,
+//!   apologies, sequencer, two-phase commit, and history checkers.
+//! * [`net`] — edge-cloud network links, payload/compression models, cost.
+//! * [`core`] — the Croesus system: edge/cloud nodes, transactions bank,
+//!   bandwidth thresholding, the threshold optimizer, pipeline and baselines.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
+//! the paper-to-module map.
+
+pub use croesus_core as core;
+pub use croesus_detect as detect;
+pub use croesus_net as net;
+pub use croesus_sim as sim;
+pub use croesus_store as store;
+pub use croesus_txn as txn;
+pub use croesus_video as video;

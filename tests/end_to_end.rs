@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full Croesus pipeline against the
+//! baselines, across the paper's video presets.
+
+use croesus::core::{
+    run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdEvaluator, ThresholdPair,
+    ValidationPolicy,
+};
+use croesus::detect::{ModelProfile, SimulatedModel};
+use croesus::net::{Colocation, EdgeClass, Setup};
+use croesus::video::VideoPreset;
+
+const FRAMES: u64 = 120;
+
+fn cfg(preset: VideoPreset, pair: ThresholdPair) -> CroesusConfig {
+    CroesusConfig::new(preset, pair).with_frames(FRAMES)
+}
+
+#[test]
+fn croesus_beats_edge_accuracy_on_every_video() {
+    for preset in VideoPreset::FIG2 {
+        let pair = ThresholdPair::new(0.3, 0.7);
+        let croesus = run_croesus(&cfg(preset, pair));
+        let edge = run_edge_only(&cfg(preset, pair));
+        assert!(
+            croesus.f_score >= edge.f_score,
+            "{preset:?}: croesus {} < edge {}",
+            croesus.f_score,
+            edge.f_score
+        );
+    }
+}
+
+#[test]
+fn croesus_initial_commit_matches_edge_latency() {
+    for preset in [VideoPreset::StreetTraffic, VideoPreset::MallSurveillance] {
+        let croesus = run_croesus(&cfg(preset, ThresholdPair::new(0.2, 0.8)));
+        let edge = run_edge_only(&cfg(preset, ThresholdPair::new(0.2, 0.8)));
+        let diff = (croesus.initial_commit_ms - edge.initial_commit_ms).abs();
+        assert!(
+            diff < 30.0,
+            "{preset:?}: initial commits should track the edge baseline (diff {diff} ms)"
+        );
+    }
+}
+
+#[test]
+fn croesus_final_latency_sits_between_edge_and_cloud() {
+    let preset = VideoPreset::StreetTraffic;
+    let pair = ThresholdPair::new(0.4, 0.6);
+    let croesus = run_croesus(&cfg(preset, pair));
+    let edge = run_edge_only(&cfg(preset, pair));
+    let cloud = run_cloud_only(&cfg(preset, pair));
+    assert!(croesus.final_commit_ms > edge.final_commit_ms);
+    assert!(croesus.final_commit_ms < cloud.final_commit_ms);
+}
+
+#[test]
+fn full_bu_croesus_costs_more_than_cloud_baseline() {
+    // §5.2.1: "When BU is 100%, the total cloud latency for Croesus becomes
+    // even higher than state-of-the-art cloud" — it pays both paths.
+    let preset = VideoPreset::ParkDog;
+    let base = cfg(preset, ThresholdPair::new(0.4, 0.6));
+    let croesus = run_croesus(
+        &base
+            .clone()
+            .with_validation(ValidationPolicy::ForcedBu(1.0)),
+    );
+    let cloud = run_cloud_only(&base);
+    assert!(
+        croesus.final_commit_ms > cloud.final_commit_ms,
+        "croesus@100% {} vs cloud {}",
+        croesus.final_commit_ms,
+        cloud.final_commit_ms
+    );
+    assert!((croesus.f_score - 1.0).abs() < 1e-9, "all frames validated");
+}
+
+#[test]
+fn bandwidth_utilization_tracks_validation_policy() {
+    let preset = VideoPreset::StreetTraffic;
+    for bu in [0.0, 0.5, 1.0] {
+        let m = run_croesus(
+            &cfg(preset, ThresholdPair::new(0.4, 0.6))
+                .with_validation(ValidationPolicy::ForcedBu(bu)),
+        );
+        assert!(
+            (m.bandwidth_utilization - bu).abs() < 0.02,
+            "target {bu}, got {}",
+            m.bandwidth_utilization
+        );
+    }
+}
+
+#[test]
+fn evaluator_prediction_matches_pipeline_measurement() {
+    // The optimizer's fast surface evaluation and the full pipeline must
+    // agree: they share detections by determinism.
+    let preset = VideoPreset::MallSurveillance;
+    let pair = ThresholdPair::new(0.3, 0.7);
+    let seed = 42;
+    let video = preset.generate(FRAMES, seed);
+    let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), seed ^ 0xE);
+    let cloud_model = SimulatedModel::new(ModelProfile::yolov3_416(), seed ^ 0xC);
+    let ev = ThresholdEvaluator::build(&video, &edge_model, &cloud_model, 0.10);
+    let predicted = ev.evaluate(pair);
+    let measured = run_croesus(&cfg(preset, pair).with_seed(seed));
+    assert!(
+        (predicted.bu - measured.bandwidth_utilization).abs() < 1e-9,
+        "BU: predicted {} measured {}",
+        predicted.bu,
+        measured.bandwidth_utilization
+    );
+    assert!(
+        (predicted.f_score - measured.f_score).abs() < 1e-9,
+        "F: predicted {} measured {}",
+        predicted.f_score,
+        measured.f_score
+    );
+}
+
+#[test]
+fn colocated_cloud_cuts_final_latency() {
+    let preset = VideoPreset::StreetTraffic;
+    let pair = ThresholdPair::new(0.2, 0.8);
+    let far = run_croesus(&cfg(preset, pair).with_setup(Setup {
+        edge: EdgeClass::Xlarge,
+        colocation: Colocation::CrossCountry,
+    }));
+    let near = run_croesus(&cfg(preset, pair).with_setup(Setup {
+        edge: EdgeClass::Xlarge,
+        colocation: Colocation::SameLocation,
+    }));
+    assert!(
+        far.final_commit_ms > near.final_commit_ms + 50.0,
+        "far {} near {}",
+        far.final_commit_ms,
+        near.final_commit_ms
+    );
+    // Accuracy is a property of the models, not the network.
+    assert!((far.f_score - near.f_score).abs() < 0.02);
+}
+
+#[test]
+fn small_edge_slows_initial_commit_only() {
+    let preset = VideoPreset::ParkDog;
+    let pair = ThresholdPair::new(0.4, 0.6);
+    let small = run_croesus(&cfg(preset, pair).with_setup(Setup {
+        edge: EdgeClass::Small,
+        colocation: Colocation::CrossCountry,
+    }));
+    let regular = run_croesus(&cfg(preset, pair).with_setup(Setup {
+        edge: EdgeClass::Xlarge,
+        colocation: Colocation::CrossCountry,
+    }));
+    assert!(
+        small.initial_commit_ms > regular.initial_commit_ms * 1.8,
+        "small {} regular {}",
+        small.initial_commit_ms,
+        regular.initial_commit_ms
+    );
+    // The cloud detection share is identical.
+    assert!((small.breakdown.cloud_detect_ms - regular.breakdown.cloud_detect_ms).abs() < 30.0);
+}
+
+#[test]
+fn transfer_cost_scales_with_bu() {
+    let preset = VideoPreset::StreetTraffic;
+    let base = cfg(preset, ThresholdPair::new(0.4, 0.6));
+    let half = run_croesus(
+        &base
+            .clone()
+            .with_validation(ValidationPolicy::ForcedBu(0.5)),
+    );
+    let full = run_croesus(&base.with_validation(ValidationPolicy::ForcedBu(1.0)));
+    assert!(full.transfer_dollars > half.transfer_dollars * 1.8);
+    assert!(full.bytes_sent > half.bytes_sent * 18 / 10);
+}

@@ -1,0 +1,129 @@
+//! §4.5 integration: multi-partition multi-stage transactions.
+//!
+//! "In the multi-partition case, the data objects that are accessed by a
+//! transaction can be in multiple partitions. ... the partitions engage in
+//! a two-phase commit protocol. ... (2) for MS-IA, it is performed at the
+//! end of both the initial and final sections."
+
+use std::sync::Arc;
+
+use croesus::store::{Key, LockPolicy, PartitionMap, TxnId, Value};
+use croesus::txn::{Coordinator, TpcOutcome};
+
+/// Run one MS-IA multi-partition transaction: the initial section's writes
+/// commit atomically across partitions (2PC #1), and later the final
+/// section's corrections commit atomically too (2PC #2).
+#[test]
+fn ms_ia_runs_2pc_at_both_sections() {
+    let pm = Arc::new(PartitionMap::new(4, LockPolicy::NoWait));
+    let coord = Coordinator::new(Arc::clone(&pm));
+
+    // Initial section (the guess): record sightings on many partitions.
+    let initial_writes: Vec<(Key, Value)> = (0..16)
+        .map(|i| (Key::indexed("sighting", i), Value::from("seen:bus")))
+        .collect();
+    let outcome = coord.commit_writes(TxnId(1), &initial_writes);
+    assert!(matches!(outcome, TpcOutcome::Committed { participants } if participants > 1));
+
+    // The cloud corrects the label: the final section rewrites everywhere,
+    // again atomically.
+    let final_writes: Vec<(Key, Value)> = (0..16)
+        .map(|i| (Key::indexed("sighting", i), Value::from("seen:car")))
+        .collect();
+    let outcome = coord.commit_writes(TxnId(1), &final_writes);
+    assert!(matches!(outcome, TpcOutcome::Committed { .. }));
+
+    for (k, _) in &final_writes {
+        assert_eq!(
+            pm.partition_of(k).store.get(k),
+            Some(Value::from("seen:car")),
+            "correction must be visible on {k}'s home partition"
+        );
+    }
+}
+
+#[test]
+fn final_section_2pc_failure_leaves_initial_state_intact() {
+    let pm = Arc::new(PartitionMap::new(4, LockPolicy::NoWait));
+    let coord = Coordinator::new(Arc::clone(&pm));
+
+    let initial_writes: Vec<(Key, Value)> = (0..12)
+        .map(|i| (Key::indexed("s", i), Value::Int(1)))
+        .collect();
+    assert!(matches!(
+        coord.commit_writes(TxnId(1), &initial_writes),
+        TpcOutcome::Committed { .. }
+    ));
+
+    // A remote partition refuses the final round (a lock held elsewhere).
+    let victim = Key::indexed("s", 5);
+    pm.partition_of(&victim)
+        .locks
+        .lock(TxnId(99), &victim, croesus::store::LockMode::Exclusive)
+        .unwrap();
+    let final_writes: Vec<(Key, Value)> = (0..12)
+        .map(|i| (Key::indexed("s", i), Value::Int(2)))
+        .collect();
+    let outcome = coord.commit_writes(TxnId(2), &final_writes);
+    assert!(matches!(outcome, TpcOutcome::Aborted { .. }));
+
+    // Atomicity: not one partition shows a final-round write.
+    for (k, _) in &final_writes {
+        assert_eq!(pm.partition_of(k).store.get(k), Some(Value::Int(1)));
+    }
+
+    // After the blocker releases, the retry commits.
+    pm.partition_of(&victim).locks.release(TxnId(99), &victim);
+    assert!(matches!(
+        coord.commit_writes(TxnId(3), &final_writes),
+        TpcOutcome::Committed { .. }
+    ));
+}
+
+#[test]
+fn concurrent_coordinators_never_interleave_partially() {
+    // Two coordinators writing overlapping key sets: one aborts cleanly
+    // (NoWait) or both serialize; never a mixed state.
+    let pm = Arc::new(PartitionMap::new(2, LockPolicy::NoWait));
+    let writes_a: Vec<(Key, Value)> = (0..8)
+        .map(|i| (Key::indexed("k", i), Value::Int(100)))
+        .collect();
+    let writes_b: Vec<(Key, Value)> = (0..8)
+        .map(|i| (Key::indexed("k", i), Value::Int(200)))
+        .collect();
+    let pm_a = Arc::clone(&pm);
+    let pm_b = Arc::clone(&pm);
+    let wa = writes_a.clone();
+    let wb = writes_b.clone();
+    let ta = std::thread::spawn(move || Coordinator::new(pm_a).commit_writes(TxnId(1), &wa));
+    let tb = std::thread::spawn(move || Coordinator::new(pm_b).commit_writes(TxnId(2), &wb));
+    let ra = ta.join().unwrap();
+    let rb = tb.join().unwrap();
+
+    let committed_values: Vec<i64> = (0..8)
+        .filter_map(|i| {
+            let k = Key::indexed("k", i);
+            pm.partition_of(&k).store.get(&k).and_then(|v| v.as_int())
+        })
+        .collect();
+    match (ra, rb) {
+        (TpcOutcome::Committed { .. }, TpcOutcome::Committed { .. }) => {
+            // Both committed: the later writer's values everywhere.
+            assert_eq!(committed_values.len(), 8);
+            assert!(
+                committed_values.iter().all(|&v| v == 100)
+                    || committed_values.iter().all(|&v| v == 200),
+                "mixed state after two commits: {committed_values:?}"
+            );
+        }
+        (TpcOutcome::Committed { .. }, TpcOutcome::Aborted { .. }) => {
+            assert!(committed_values.iter().all(|&v| v == 100));
+        }
+        (TpcOutcome::Aborted { .. }, TpcOutcome::Committed { .. }) => {
+            assert!(committed_values.iter().all(|&v| v == 200));
+        }
+        (TpcOutcome::Aborted { .. }, TpcOutcome::Aborted { .. }) => {
+            assert!(committed_values.is_empty());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Safety integration tests: the recorded histories of concurrent MS-SR and
+//! MS-IA executions must satisfy their respective §4 ordering conditions.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use croesus::store::{KvStore, LockManager, LockPolicy, TxnId, Value};
+use croesus::txn::{
+    HistoryRecorder, MsIaExecutor, RwSet, Sequencer, TsplExecutor,
+};
+
+/// Run `n` concurrent increment transactions (read x initially, write x+1
+/// finally — the §4.2 anomaly workload) under TSPL.
+fn run_tspl_increments(n: u64, threads: usize) -> (Arc<KvStore>, HistoryRecorder) {
+    let history = HistoryRecorder::new();
+    let store = Arc::new(KvStore::new());
+    store.put("x".into(), Value::Int(0));
+    let executor = Arc::new(
+        TsplExecutor::new(
+            Arc::clone(&store),
+            Arc::new(LockManager::new(LockPolicy::WaitDie)),
+        )
+        .with_history(history.clone()),
+    );
+    let per = n / threads as u64;
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let executor = Arc::clone(&executor);
+            thread::spawn(move || {
+                for i in 0..per {
+                    let id = TxnId(t * per + i);
+                    let rw = RwSet::new().read("x").write("x");
+                    loop {
+                        let r = executor.execute(
+                            id,
+                            &rw,
+                            &rw,
+                            |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
+                            || thread::sleep(Duration::from_micros(100)),
+                            |ctx| {
+                                let v = ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0);
+                                ctx.write("x", v + 1)?;
+                                Ok(())
+                            },
+                        );
+                        if r.is_ok() {
+                            break;
+                        }
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (store, history)
+}
+
+#[test]
+fn tspl_history_satisfies_ms_sr_and_loses_no_updates() {
+    let (store, history) = run_tspl_increments(24, 4);
+    // MS-SR forbids the lost-update anomaly: x counts every increment.
+    assert_eq!(store.get(&"x".into()), Some(Value::Int(24)));
+    let checker = history.checker();
+    checker.check_ms_sr().expect("TSPL must satisfy MS-SR");
+    checker
+        .check_section_serializability()
+        .expect("sections must serialize");
+    assert_eq!(checker.committed_txns().len(), 24);
+}
+
+#[test]
+fn ms_ia_concurrent_history_satisfies_ms_ia() {
+    let history = HistoryRecorder::new();
+    let executor = Arc::new(
+        MsIaExecutor::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(LockPolicy::WaitDie)),
+        )
+        .with_history(history.clone()),
+    );
+    let handles: Vec<_> = (0..6u64)
+        .map(|t| {
+            let executor = Arc::clone(&executor);
+            thread::spawn(move || {
+                let rw = RwSet::new().read("hot").write("hot");
+                let pending = loop {
+                    match executor.run_initial(TxnId(t), &rw, |ctx| {
+                        let v = ctx.read("hot")?.and_then(|v| v.as_int()).unwrap_or(0);
+                        ctx.write("hot", v + 1)?;
+                        Ok(())
+                    }) {
+                        Ok((_, p)) => break p,
+                        Err(_) => thread::yield_now(),
+                    }
+                };
+                thread::sleep(Duration::from_micros(200)); // cloud wait, no locks
+                executor
+                    .run_final(pending, &rw, |ctx, _| {
+                        let v = ctx.read("hot")?.and_then(|v| v.as_int()).unwrap_or(0);
+                        ctx.write("hot", v)?;
+                        Ok(())
+                    })
+                    .unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let checker = history.checker();
+    checker.check_ms_ia(&[]).expect("MS-IA ordering must hold");
+    assert_eq!(checker.committed_txns().len(), 6);
+    // Because initial sections hold their locks while incrementing, the
+    // counter itself is exact even under MS-IA.
+    assert_eq!(executor.store().get(&"hot".into()), Some(Value::Int(6)));
+}
+
+#[test]
+fn sequenced_ms_ia_batches_preserve_exactness() {
+    // The paper's sequencer configuration: order a batch so conflicting
+    // transactions never overlap; the result equals serial execution.
+    let executor = MsIaExecutor::new(
+        Arc::new(KvStore::new()),
+        Arc::new(LockManager::new(LockPolicy::Block)),
+    );
+    executor.store().put("acc".into(), Value::Int(0));
+    let sets: Vec<RwSet> = (0..20)
+        .map(|i| {
+            if i % 2 == 0 {
+                RwSet::new().read("acc").write("acc")
+            } else {
+                RwSet::new().write(format!("private/{i}").as_str())
+            }
+        })
+        .collect();
+    let mut pendings = Vec::new();
+    Sequencer::run_batch::<croesus::txn::TxnError>(&sets, |idx| {
+        let rw = &sets[idx];
+        let (_, p) = executor.run_initial(TxnId(idx as u64), rw, |ctx| {
+            if idx % 2 == 0 {
+                let v = ctx.read("acc")?.and_then(|v| v.as_int()).unwrap_or(0);
+                ctx.write("acc", v + 1)?;
+            } else {
+                ctx.write(format!("private/{idx}").as_str(), idx as i64)?;
+            }
+            Ok(())
+        })?;
+        pendings.push((idx, p));
+        Ok(())
+    })
+    .unwrap();
+    for (idx, p) in pendings {
+        executor
+            .run_final(p, &RwSet::new(), |_, _| Ok(()))
+            .unwrap();
+        let _ = idx;
+    }
+    assert_eq!(executor.store().get(&"acc".into()), Some(Value::Int(10)));
+    assert_eq!(executor.stats().snapshot().aborts, 0, "sequenced = 0 aborts");
+}
+
+#[test]
+fn retraction_cascade_is_consistent_under_interleaving() {
+    // t1 guesses; t2 builds on it; t3 is unrelated. After t1 retracts,
+    // exactly t1 and t2 are gone and t3 survives.
+    let executor = MsIaExecutor::new(
+        Arc::new(KvStore::new()),
+        Arc::new(LockManager::new(LockPolicy::Block)),
+    );
+    let (_, p1) = executor
+        .run_initial(TxnId(1), &RwSet::new().write("guess"), |ctx| {
+            ctx.write("guess", 100)?;
+            Ok(())
+        })
+        .unwrap();
+    let (_, p2) = executor
+        .run_initial(
+            TxnId(2),
+            &RwSet::new().read("guess").write("derived"),
+            |ctx| {
+                let g = ctx.read("guess")?.and_then(|v| v.as_int()).unwrap_or(0);
+                ctx.write("derived", g * 2)?;
+                Ok(())
+            },
+        )
+        .unwrap();
+    let (_, p3) = executor
+        .run_initial(TxnId(3), &RwSet::new().write("elsewhere"), |ctx| {
+            ctx.write("elsewhere", 7)?;
+            Ok(())
+        })
+        .unwrap();
+    executor.run_final(p2, &RwSet::new(), |_, _| Ok(())).unwrap();
+    executor.run_final(p3, &RwSet::new(), |_, _| Ok(())).unwrap();
+    let report = executor
+        .run_final(p1, &RwSet::new(), |_, fctx| {
+            Ok(fctx.retract_self("trigger was wrong"))
+        })
+        .unwrap();
+    assert_eq!(report.retracted, vec![TxnId(2), TxnId(1)]);
+    let store = executor.store();
+    assert!(!store.contains(&"guess".into()));
+    assert!(!store.contains(&"derived".into()));
+    assert_eq!(store.get(&"elsewhere".into()), Some(Value::Int(7)));
+    assert_eq!(executor.apologies().apologies().len(), 2);
+}

@@ -12,7 +12,8 @@ use croesus_video::VideoPreset;
 
 fn detection(c: &mut Criterion) {
     let mut g = c.benchmark_group("detect");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let video = VideoPreset::MallSurveillance.generate(64, 42);
     let edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), 42);

@@ -13,7 +13,8 @@ use croesus_video::VideoPreset;
 
 fn optimizer(c: &mut Criterion) {
     let mut g = c.benchmark_group("optimizer");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     g.sample_size(20);
 
     let video = VideoPreset::StreetTraffic.generate(150, 42);

@@ -7,14 +7,13 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use croesus_core::{
-    run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdPair,
-};
+use croesus_core::{run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdPair};
 use croesus_video::VideoPreset;
 
 fn pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
-    g.measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
     g.sample_size(10);
 
     let cfg = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.4, 0.6))

@@ -15,9 +15,15 @@ use croesus_txn::{MsIaExecutor, RwSet, Sequencer, TsplExecutor};
 
 fn protocol_commit_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
-    let rw = RwSet::new().write("a").write("b").write("c").read("d").read("e");
+    let rw = RwSet::new()
+        .write("a")
+        .write("b")
+        .write("c")
+        .read("d")
+        .read("e");
 
     let tspl = TsplExecutor::new(
         Arc::new(KvStore::new()),
@@ -70,7 +76,8 @@ fn protocol_commit_paths(c: &mut Criterion) {
 
 fn sequencer_waves(c: &mut Criterion) {
     let mut g = c.benchmark_group("sequencer");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (label, key_range) in [("hot_50txn", 100u64), ("wide_50txn", 100_000u64)] {
         let workload = HotspotWorkload {
             key_range,

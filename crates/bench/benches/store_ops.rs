@@ -11,7 +11,8 @@ use croesus_store::{Key, KvStore, LockManager, LockMode, LockPolicy, TxnId, Undo
 
 fn kv_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("kv");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let store = KvStore::new();
     for i in 0..10_000u64 {
@@ -45,7 +46,8 @@ fn kv_ops(c: &mut Criterion) {
 
 fn lock_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("locks");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for policy in [LockPolicy::Block, LockPolicy::NoWait, LockPolicy::WaitDie] {
         let lm = LockManager::new(policy);
@@ -73,7 +75,8 @@ fn lock_ops(c: &mut Criterion) {
 
 fn undo_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("undo");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let store = KvStore::new();
     for i in 0..100u64 {
         store.put(Key::indexed("u", i), Value::Int(0));

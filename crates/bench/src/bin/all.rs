@@ -11,8 +11,18 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let harnesses = [
-        "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "table1", "table2",
-        "multistage", "queueing", "feedback",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6a",
+        "fig6b",
+        "fig6c",
+        "table1",
+        "table2",
+        "multistage",
+        "queueing",
+        "feedback",
     ];
     for h in harnesses {
         let path = dir.join(h);

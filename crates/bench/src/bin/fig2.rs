@@ -3,7 +3,7 @@
 //! configurations.
 
 use croesus_bench::{banner, config, f2, ms, pct, Table};
-use croesus_core::{run_cloud_only, run_edge_only, run_croesus, ThresholdPair, ValidationPolicy};
+use croesus_core::{run_cloud_only, run_croesus, run_edge_only, ThresholdPair, ValidationPolicy};
 use croesus_video::VideoPreset;
 
 fn main() {
@@ -16,8 +16,17 @@ fn main() {
             preset.description()
         );
         let mut t = Table::new(&[
-            "system", "edge-link", "edge-det", "init-txn", "cloud-link", "cloud-det",
-            "final-txn", "initial", "final", "F-score", "BU",
+            "system",
+            "edge-link",
+            "edge-det",
+            "init-txn",
+            "cloud-link",
+            "cloud-det",
+            "final-txn",
+            "initial",
+            "final",
+            "F-score",
+            "BU",
         ]);
         let base = config(preset, ThresholdPair::new(0.4, 0.6));
 
@@ -41,11 +50,7 @@ fn main() {
         let edge = run_edge_only(&base);
         push("edge (SotA)", &edge);
         for bu in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            let m = run_croesus(
-                &base
-                    .clone()
-                    .with_validation(ValidationPolicy::ForcedBu(bu)),
-            );
+            let m = run_croesus(&base.clone().with_validation(ValidationPolicy::ForcedBu(bu)));
             push(&format!("croesus BU={:.0}%", bu * 100.0), &m);
         }
         let cloud = run_cloud_only(&base);

@@ -2,7 +2,9 @@
 //! deployment setups ({small, regular edge} × {same, different location}).
 
 use croesus_bench::{banner, config, f2, ms, pct, Table, DEFAULT_MU, FRAMES, SEED};
-use croesus_core::{run_croesus, CroesusConfig, ThresholdEvaluator, ThresholdPair, ValidationPolicy};
+use croesus_core::{
+    run_croesus, CroesusConfig, ThresholdEvaluator, ThresholdPair, ValidationPolicy,
+};
 use croesus_detect::{ModelProfile, SimulatedModel};
 use croesus_net::Setup;
 use croesus_video::VideoPreset;

@@ -20,7 +20,13 @@ fn main() {
         .brute_force(DEFAULT_MU, 0.1)
         .pair;
 
-    let mut t = Table::new(&["system", "final latency (ms)", "bytes sent (MB)", "F-score", "BU"]);
+    let mut t = Table::new(&[
+        "system",
+        "final latency (ms)",
+        "bytes sent (MB)",
+        "F-score",
+        "BU",
+    ]);
     for codec in PayloadCodec::FIG6C {
         let cfg = config(preset, ThresholdPair::new(0.4, 0.6))
             .with_cloud_model(ModelKind::YoloV3_608)

@@ -6,7 +6,7 @@
 //! commit in parentheses, as in the paper.
 
 use croesus_bench::{banner, config, pct, Table, DEFAULT_MU, FRAMES, SEED};
-use croesus_core::{run_cloud_only, run_edge_only, run_croesus, ThresholdEvaluator, ThresholdPair};
+use croesus_core::{run_cloud_only, run_croesus, run_edge_only, ThresholdEvaluator, ThresholdPair};
 use croesus_detect::{ModelProfile, SimulatedModel};
 use croesus_video::VideoPreset;
 

@@ -246,7 +246,10 @@ mod tests {
     fn ms_sr_commits_everything_despite_aborts() {
         let r = run_ms_sr(&small(20));
         assert_eq!(r.commits, 60);
-        assert!(r.total_aborts > 0, "hot spot of 20 keys must cause wait-die kills");
+        assert!(
+            r.total_aborts > 0,
+            "hot spot of 20 keys must cause wait-die kills"
+        );
         assert!(r.abort_rate > 0.0 && r.abort_rate <= 1.0);
         assert!(r.first_attempt_aborts <= r.total_aborts);
     }
@@ -275,7 +278,11 @@ mod tests {
         );
         // With simulated section work, MS-IA holds are sub-10ms but
         // non-trivial (the paper reports milliseconds).
-        assert!(ia.avg_hold_ms > 0.05, "holds include section work: {}", ia.avg_hold_ms);
+        assert!(
+            ia.avg_hold_ms > 0.05,
+            "holds include section work: {}",
+            ia.avg_hold_ms
+        );
     }
 
     #[test]

@@ -17,8 +17,7 @@ use croesus_video::LabelClass;
 use crate::matching::FinalInput;
 
 /// An initial-section body.
-pub type InitialBody =
-    Box<dyn FnOnce(&mut SectionCtx) -> Result<SectionOutput, TxnError> + Send>;
+pub type InitialBody = Box<dyn FnOnce(&mut SectionCtx) -> Result<SectionOutput, TxnError> + Send>;
 
 /// A final-section body, fed the [`FinalInput`] produced by label matching.
 pub type FinalSectionBody =
@@ -230,14 +229,18 @@ mod tests {
     #[test]
     fn unknown_aux_kind_matches_nothing() {
         let b = bank();
-        assert!(b.triggered_by_aux("shake", &[det("building", 0.1)]).is_empty());
+        assert!(b
+            .triggered_by_aux("shake", &[det("building", 0.1)])
+            .is_empty());
     }
 
     #[test]
     fn instantiated_template_runs() {
         let b = bank();
         let mut rng = DetRng::new(1);
-        let inst = b.rules()[0].template.instantiate(&det("building", 0.4), &mut rng);
+        let inst = b.rules()[0]
+            .template
+            .instantiate(&det("building", 0.4), &mut rng);
         assert_eq!(inst.name, "noop");
     }
 }

@@ -51,7 +51,9 @@ pub fn run_edge_only(config: &CroesusConfig) -> RunMetrics {
 
     for frame in video.frames() {
         meter.record_processed();
-        let edge_link = topology.client_edge.transfer_latency(frame.bytes, &mut link_rng);
+        let edge_link = topology
+            .client_edge
+            .transfer_latency(frame.bytes, &mut link_rng);
         let (detections, edge_detect) = edge.detect(frame);
         let surviving: Vec<Detection> = detections
             .into_iter()
@@ -80,10 +82,7 @@ pub fn run_edge_only(config: &CroesusConfig) -> RunMetrics {
             config.overlap_threshold,
         ));
     }
-    collector.finish(
-        format!("edge-only {}", config.preset.paper_id()),
-        &meter,
-    )
+    collector.finish(format!("edge-only {}", config.preset.paper_id()), &meter)
 }
 
 /// Run the cloud-only baseline (optionally with compression/difference
@@ -109,7 +108,9 @@ pub fn run_cloud_only(config: &CroesusConfig) -> RunMetrics {
 
     for frame in video.frames() {
         meter.record_processed();
-        let edge_link = topology.client_edge.transfer_latency(frame.bytes, &mut link_rng);
+        let edge_link = topology
+            .client_edge
+            .transfer_latency(frame.bytes, &mut link_rng);
         let is_reference = frame.index.is_multiple_of(30);
         let encoded = config.codec.encode(frame.bytes, is_reference);
         let up = topology
@@ -174,7 +175,11 @@ mod tests {
     #[test]
     fn edge_baseline_is_fast_but_inaccurate() {
         let m = run_edge_only(&cfg(VideoPreset::MallSurveillance));
-        assert!(m.final_commit_ms < 300.0, "edge path only: {}", m.final_commit_ms);
+        assert!(
+            m.final_commit_ms < 300.0,
+            "edge path only: {}",
+            m.final_commit_ms
+        );
         assert!(m.f_score < 0.8, "tiny model on a hard video: {}", m.f_score);
         assert_eq!(m.bandwidth_utilization, 0.0);
         assert_eq!(m.bytes_sent, 0);
@@ -183,7 +188,11 @@ mod tests {
     #[test]
     fn cloud_baseline_is_slow_but_perfect() {
         let m = run_cloud_only(&cfg(VideoPreset::MallSurveillance));
-        assert!(m.final_commit_ms > 1000.0, "cloud path: {}", m.final_commit_ms);
+        assert!(
+            m.final_commit_ms > 1000.0,
+            "cloud path: {}",
+            m.final_commit_ms
+        );
         assert!((m.f_score - 1.0).abs() < 1e-9);
         assert!((m.bandwidth_utilization - 1.0).abs() < 1e-9);
         assert!(m.bytes_sent > 0);
@@ -205,9 +214,8 @@ mod tests {
     #[test]
     fn compression_reduces_cloud_baseline_latency_slightly() {
         let raw = run_cloud_only(&cfg(VideoPreset::ParkDog));
-        let compressed = run_cloud_only(
-            &cfg(VideoPreset::ParkDog).with_codec(PayloadCodec::compressed()),
-        );
+        let compressed =
+            run_cloud_only(&cfg(VideoPreset::ParkDog).with_codec(PayloadCodec::compressed()));
         assert!(compressed.bytes_sent < raw.bytes_sent);
         // Detection dominates, so the improvement is small (§5.2.5).
         assert!(compressed.final_commit_ms < raw.final_commit_ms);

@@ -79,11 +79,18 @@ impl Client {
     /// Render an initial-stage response ("rendered and augmented in the
     /// user's view" immediately).
     pub fn receive_initial(&mut self, frame_index: u64, responses: Vec<Value>) {
-        self.responses[frame_index as usize].initial.extend(responses);
+        self.responses[frame_index as usize]
+            .initial
+            .extend(responses);
     }
 
     /// Render a final-stage response, possibly with apologies.
-    pub fn receive_final(&mut self, frame_index: u64, responses: Vec<Value>, apologies: Vec<String>) {
+    pub fn receive_final(
+        &mut self,
+        frame_index: u64,
+        responses: Vec<Value>,
+        apologies: Vec<String>,
+    ) {
         let slot = &mut self.responses[frame_index as usize];
         slot.finals.extend(responses);
         slot.apologies.extend(apologies);
@@ -101,7 +108,10 @@ impl Client {
 
     /// Frames that received at least one initial-stage response.
     pub fn responsive_frames(&self) -> usize {
-        self.responses.iter().filter(|r| !r.initial.is_empty()).count()
+        self.responses
+            .iter()
+            .filter(|r| !r.initial.is_empty())
+            .count()
     }
 }
 
@@ -130,7 +140,10 @@ mod tests {
         let clicks: usize = (0..60).map(|i| c.capture(i).1.len()).sum();
         assert!((15..=45).contains(&clicks), "clicks {clicks}");
         let mut always = client(1.0);
-        assert_eq!((0..60).map(|i| always.capture(i).1.len()).sum::<usize>(), 60);
+        assert_eq!(
+            (0..60).map(|i| always.capture(i).1.len()).sum::<usize>(),
+            60
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ use parking_lot::Mutex;
 use croesus_detect::{Detection, DetectionModel, SimulatedModel};
 use croesus_sim::{DetRng, SimDuration};
 use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
-use croesus_txn::{MsIaExecutor, PendingFinal, RwSet, SectionCtx, SectionOutput, Sequencer, TxnError};
+use croesus_txn::{
+    MsIaExecutor, PendingFinal, RwSet, SectionCtx, SectionOutput, Sequencer, TxnError,
+};
 use croesus_video::Frame;
 
 use crate::bank::TransactionsBank;
@@ -102,7 +104,10 @@ impl EdgeNode {
 
     /// Run the small model over a frame.
     pub fn detect(&self, frame: &Frame) -> (Vec<Detection>, SimDuration) {
-        (self.model.detect(frame), self.model.inference_latency(frame))
+        (
+            self.model.detect(frame),
+            self.model.inference_latency(frame),
+        )
     }
 
     /// Trigger and run the initial sections for the surviving labels of a
@@ -122,7 +127,10 @@ impl EdgeNode {
             }
         }
         // Sequence by initial rw-set and execute.
-        let rwsets: Vec<RwSet> = instances.iter().map(|(_, i)| i.initial_rw.clone()).collect();
+        let rwsets: Vec<RwSet> = instances
+            .iter()
+            .map(|(_, i)| i.initial_rw.clone())
+            .collect();
         let mut slots: Vec<Option<(Detection, crate::bank::TxnInstance)>> =
             instances.into_iter().map(Some).collect();
         let mut committed = 0u64;
@@ -197,7 +205,8 @@ impl EdgeNode {
             if let Some(inst) = inst {
                 let txn = self.next_txn();
                 if let Ok((_, pending)) =
-                    self.executor.run_initial(txn, &inst.initial_rw, inst.initial)
+                    self.executor
+                        .run_initial(txn, &inst.initial_rw, inst.initial)
                 {
                     let input = FinalInput::correct(label);
                     let body = inst.final_section;

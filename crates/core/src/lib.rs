@@ -39,6 +39,8 @@ pub use metrics::{CorrectionCounts, LatencyBreakdown, MetricsCollector, RunMetri
 pub use optimizer::{OptimalThresholds, ThresholdEvaluator, ThresholdOutcome};
 pub use pipeline::{evaluation_bank, run_croesus};
 pub use queueing::{run_queueing, QueueingConfig, QueueingMetrics};
-pub use stages::{edge_cloud_chain, edge_fog_cloud_chain, run_stage_chain, ChainMetrics, Stage, StageStats};
+pub use stages::{
+    edge_cloud_chain, edge_fog_cloud_chain, run_stage_chain, ChainMetrics, Stage, StageStats,
+};
 pub use threshold::{BandDecision, FrameDecision, ThresholdPair};
 pub use workload::{HotspotWorkload, YcsbWorkload};

@@ -141,9 +141,9 @@ mod tests {
     #[test]
     fn all_three_cases_plus_missed() {
         let edge = vec![
-            det("car", 0.8, 0.0),    // matches cloud car at 0.02 → correct
-            det("bus", 0.6, 0.3),    // matches cloud car at 0.32 → corrected
-            det("car", 0.5, 0.7),    // no cloud counterpart → erroneous
+            det("car", 0.8, 0.0), // matches cloud car at 0.02 → correct
+            det("bus", 0.6, 0.3), // matches cloud car at 0.32 → corrected
+            det("car", 0.5, 0.7), // no cloud counterpart → erroneous
         ];
         let cloud = vec![
             det("car", 0.95, 0.02),
@@ -169,7 +169,10 @@ mod tests {
         let e = det("car", 0.8, 0.1);
         let c = det("bus", 0.9, 0.1);
         assert_eq!(
-            FinalInput::correct(e.clone()).effective_label().unwrap().class,
+            FinalInput::correct(e.clone())
+                .effective_label()
+                .unwrap()
+                .class,
             "car".into()
         );
         let corrected = FinalInput {

@@ -145,9 +145,8 @@ impl MetricsCollector {
         self.final_txn.push_duration(final_txn);
         let initial = edge_link + edge_detect + initial_txn;
         self.initial_commit.push_duration(initial);
-        self.final_commit.push(
-            (initial + cloud_link + cloud_detect + final_txn).as_millis_f64(),
-        );
+        self.final_commit
+            .push((initial + cloud_link + cloud_detect + final_txn).as_millis_f64());
     }
 
     /// Record a frame's accuracy counts.
@@ -156,7 +155,13 @@ impl MetricsCollector {
     }
 
     /// Record final-stage verdicts.
-    pub fn record_corrections(&mut self, correct: u64, corrected: u64, erroneous: u64, missed: u64) {
+    pub fn record_corrections(
+        &mut self,
+        correct: u64,
+        corrected: u64,
+        erroneous: u64,
+        missed: u64,
+    ) {
         self.corrections.correct += correct;
         self.corrections.corrected += corrected;
         self.corrections.erroneous += erroneous;
@@ -245,8 +250,16 @@ mod tests {
     #[test]
     fn accuracy_aggregates_counts() {
         let mut c = MetricsCollector::new();
-        c.record_accuracy(PrecisionRecall { tp: 9, fp: 1, fn_: 0 });
-        c.record_accuracy(PrecisionRecall { tp: 0, fp: 0, fn_: 1 });
+        c.record_accuracy(PrecisionRecall {
+            tp: 9,
+            fp: 1,
+            fn_: 0,
+        });
+        c.record_accuracy(PrecisionRecall {
+            tp: 0,
+            fp: 0,
+            fn_: 1,
+        });
         let m = c.finish("acc".into(), &BandwidthMeter::new());
         assert!((m.precision - 0.9).abs() < 1e-12);
         assert!((m.recall - 0.9).abs() < 1e-12);

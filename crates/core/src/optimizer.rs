@@ -159,9 +159,7 @@ impl ThresholdEvaluator {
         for pair in Self::grid(step) {
             let out = self.evaluate(pair);
             evaluations += 1;
-            if best_any.is_none()
-                || out.f_score > best_any.expect("set above").1.f_score
-            {
+            if best_any.is_none() || out.f_score > best_any.expect("set above").1.f_score {
                 best_any = Some((pair, out));
             }
             if out.f_score >= mu {
@@ -292,7 +290,11 @@ mod tests {
         let ev = evaluator(VideoPreset::StreetTraffic);
         let out = ev.evaluate(ThresholdPair::new(0.5, 0.5));
         assert!(out.bu < 0.05, "bu {}", out.bu);
-        assert!(out.f_score < 0.85, "edge-only accuracy is limited: {}", out.f_score);
+        assert!(
+            out.f_score < 0.85,
+            "edge-only accuracy is limited: {}",
+            out.f_score
+        );
     }
 
     #[test]
@@ -308,8 +310,16 @@ mod tests {
     fn airport_needs_no_cloud_for_high_accuracy() {
         let ev = evaluator(VideoPreset::AirportRunway);
         let out = ev.evaluate(ThresholdPair::new(0.3, 0.4));
-        assert!(out.bu < 0.3, "easy video needs little validation: {}", out.bu);
-        assert!(out.f_score > 0.8, "airport edge accuracy is high: {}", out.f_score);
+        assert!(
+            out.bu < 0.3,
+            "easy video needs little validation: {}",
+            out.bu
+        );
+        assert!(
+            out.f_score > 0.8,
+            "airport edge accuracy is high: {}",
+            out.f_score
+        );
     }
 
     #[test]
@@ -366,7 +376,11 @@ mod tests {
         );
         // The paper reports the gradient method reaching a comparable
         // operating point ~2.2× faster.
-        assert!(grad.outcome.f_score >= 0.85, "gradient f {}", grad.outcome.f_score);
+        assert!(
+            grad.outcome.f_score >= 0.85,
+            "gradient f {}",
+            grad.outcome.f_score
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use croesus_detect::{Detection, SimulatedModel};
 use croesus_detect::{score_against, ModelProfile};
+use croesus_detect::{Detection, SimulatedModel};
 use croesus_net::BandwidthMeter;
 use croesus_sim::DetRng;
 use croesus_video::LabelClass;
@@ -57,7 +57,9 @@ pub fn run_croesus(config: &CroesusConfig) -> RunMetrics {
 
     for frame in video.frames() {
         meter.record_processed();
-        let edge_link = topology.client_edge.transfer_latency(frame.bytes, &mut link_rng);
+        let edge_link = topology
+            .client_edge
+            .transfer_latency(frame.bytes, &mut link_rng);
         let (detections, edge_detect) = edge.detect(frame);
 
         // Thresholding / validation decision.
@@ -166,7 +168,12 @@ pub fn run_croesus(config: &CroesusConfig) -> RunMetrics {
                 .collect()
         } else {
             let fin = edge.finalize_local(frame.index);
-            collector.record_edge_frame(edge_link, edge_detect, initial.txn_latency, fin.txn_latency);
+            collector.record_edge_frame(
+                edge_link,
+                edge_detect,
+                initial.txn_latency,
+                fin.txn_latency,
+            );
             let (correct, corrected, erroneous, missed) = fin.counts;
             collector.record_corrections(correct, corrected, erroneous, missed);
             match config.validation {

@@ -12,8 +12,8 @@
 
 use std::collections::VecDeque;
 
-use croesus_detect::{DetectionModel, ModelKind, SimulatedModel};
 use croesus_detect::ModelProfile;
+use croesus_detect::{DetectionModel, ModelKind, SimulatedModel};
 use croesus_sim::{DetRng, OnlineStats, Scheduler, SimDuration, SimTime, Simulator};
 use croesus_video::VideoPreset;
 
@@ -111,7 +111,9 @@ struct World {
 
 fn start_edge(world: &mut World, sched: &mut Scheduler<World>, frame: usize, enqueued_at: SimTime) {
     world.edge_free -= 1;
-    world.edge_wait.push_duration(sched.now().saturating_since(enqueued_at));
+    world
+        .edge_wait
+        .push_duration(sched.now().saturating_since(enqueued_at));
     let service = world.plans[frame].edge_service;
     world.edge_busy += service;
     sched.after(service, move |w: &mut World, s| finish_edge(w, s, frame));
@@ -143,7 +145,12 @@ fn finish_edge(world: &mut World, sched: &mut Scheduler<World>, frame: usize) {
     }
 }
 
-fn start_cloud(world: &mut World, sched: &mut Scheduler<World>, frame: usize, enqueued_at: SimTime) {
+fn start_cloud(
+    world: &mut World,
+    sched: &mut Scheduler<World>,
+    frame: usize,
+    enqueued_at: SimTime,
+) {
     world.cloud_free -= 1;
     world
         .cloud_wait
@@ -178,7 +185,9 @@ pub fn run_queueing(config: &QueueingConfig) -> QueueingMetrics {
         .frames()
         .iter()
         .map(|f| {
-            let decision = config.thresholds.decide_frame(&edge_model.detect(f), &query);
+            let decision = config
+                .thresholds
+                .decide_frame(&edge_model.detect(f), &query);
             FramePlan {
                 edge_service: edge_model.inference_latency(f),
                 cloud_service: cloud_model.inference_latency(f),
@@ -235,8 +244,7 @@ pub fn run_queueing(config: &QueueingConfig) -> QueueingMetrics {
         edge_utilization: if end == SimTime::ZERO {
             0.0
         } else {
-            world.edge_busy.as_secs_f64()
-                / (end.as_secs_f64() * config.edge_servers as f64)
+            world.edge_busy.as_secs_f64() / (end.as_secs_f64() * config.edge_servers as f64)
         },
         bandwidth_utilization: if world.processed == 0 {
             0.0

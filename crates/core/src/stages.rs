@@ -65,7 +65,10 @@ pub struct ChainMetrics {
 ///
 /// Panics unless the chain has at least two stages.
 pub fn run_stage_chain(video: &Video, stages: &[Stage], seed: u64) -> ChainMetrics {
-    assert!(stages.len() >= 2, "a chain needs at least two stages (§3.5)");
+    assert!(
+        stages.len() >= 2,
+        "a chain needs at least two stages (§3.5)"
+    );
     let query: LabelClass = video.query_class().clone();
     let mut link_rng = DetRng::new(seed).fork_named("chain-links");
 
@@ -92,7 +95,9 @@ pub fn run_stage_chain(video: &Video, stages: &[Stage], seed: u64) -> ChainMetri
         let mut settled: Option<(usize, Vec<Detection>)> = None;
         for (i, stage) in stages.iter().enumerate() {
             if let Some(link) = &stage.link_from_previous {
-                cumulative_ms += link.transfer_latency(frame.bytes, &mut link_rng).as_millis_f64();
+                cumulative_ms += link
+                    .transfer_latency(frame.bytes, &mut link_rng)
+                    .as_millis_f64();
             }
             reach_counts[i] += 1;
             let labels: Vec<Detection> = stage
@@ -164,12 +169,7 @@ pub fn edge_cloud_chain(seed: u64, thresholds: ThresholdPair) -> Vec<Stage> {
         Stage {
             name: "cloud".into(),
             model: SimulatedModel::new(ModelProfile::yolov3_416(), seed ^ 0xC),
-            link_from_previous: Some(Link::new(
-                "edge→cloud",
-                Normal::new(62.0, 4.0),
-                50e6,
-                0.09,
-            )),
+            link_from_previous: Some(Link::new("edge→cloud", Normal::new(62.0, 4.0), 50e6, 0.09)),
             forward_thresholds: thresholds, // unused on the last stage
         },
     ]
@@ -200,12 +200,7 @@ pub fn edge_fog_cloud_chain(
         Stage {
             name: "cloud".into(),
             model: SimulatedModel::new(ModelProfile::yolov3_608(), seed ^ 0xC),
-            link_from_previous: Some(Link::new(
-                "fog→cloud",
-                Normal::new(62.0, 4.0),
-                50e6,
-                0.09,
-            )),
+            link_from_previous: Some(Link::new("fog→cloud", Normal::new(62.0, 4.0), 50e6, 0.09)),
             forward_thresholds: fog_thresholds, // unused on the last stage
         },
     ]

@@ -128,11 +128,7 @@ mod tests {
     use croesus_video::BoundingBox;
 
     fn det(class: &str, conf: f64) -> Detection {
-        Detection::new(
-            class.into(),
-            conf,
-            BoundingBox::new(0.4, 0.4, 0.2, 0.2),
-        )
+        Detection::new(class.into(), conf, BoundingBox::new(0.4, 0.4, 0.2, 0.2))
     }
 
     #[test]
@@ -167,7 +163,10 @@ mod tests {
     fn frame_not_sent_for_non_query_validate_labels() {
         let t = ThresholdPair::new(0.3, 0.7);
         let d = t.decide_frame(&[det("person", 0.5), det("car", 0.9)], &"car".into());
-        assert!(!d.send, "only query-class detections drive the send decision");
+        assert!(
+            !d.send,
+            "only query-class detections drive the send decision"
+        );
         assert_eq!(d.kept.len(), 1);
         assert_eq!(d.validate_band.len(), 1);
     }

@@ -38,7 +38,10 @@ impl YcsbWorkload {
     /// Custom operation count (must be even and non-zero: half inserts,
     /// half reads).
     pub fn with_ops(ops: usize) -> Self {
-        assert!(ops >= 2 && ops.is_multiple_of(2), "ops must be even and >= 2");
+        assert!(
+            ops >= 2 && ops.is_multiple_of(2),
+            "ops must be even and >= 2"
+        );
         YcsbWorkload {
             next_item: Arc::new(AtomicU64::new(0)),
             ops,
@@ -110,7 +113,9 @@ impl TxnTemplate for YcsbWorkload {
                 }
                 for k in &read_for_initial {
                     if let Some(v) = ctx.read(k.clone())? {
-                        out.response.push(v);
+                        // Responses leave the store's sharing domain, so
+                        // this clone is the protocol boundary, not hot path.
+                        out.response.push((*v).clone());
                     }
                 }
                 Ok(out)
@@ -299,12 +304,7 @@ mod tests {
         let _first = w.instantiate(&det("car"), &mut rng);
         let later = w.instantiate(&det("car"), &mut rng);
         for k in &later.initial_rw.reads {
-            let idx: u64 = k
-                .as_str()
-                .strip_prefix("item/")
-                .unwrap()
-                .parse()
-                .unwrap();
+            let idx: u64 = k.as_str().strip_prefix("item/").unwrap().parse().unwrap();
             assert!(idx < 3, "reads must target previously added items");
         }
     }
@@ -340,7 +340,10 @@ mod tests {
             .flat_map(|(i, a)| sets[i + 1..].iter().map(move |b| a.conflicts_with(b)))
             .filter(|&c| c)
             .count();
-        assert!(conflicts > 100, "tiny hotspot must conflict heavily: {conflicts}");
+        assert!(
+            conflicts > 100,
+            "tiny hotspot must conflict heavily: {conflicts}"
+        );
         let large = HotspotWorkload::new(1_000_000);
         let sets: Vec<RwSet> = (0..50).map(|_| large.rwset(&mut rng)).collect();
         let conflicts = sets

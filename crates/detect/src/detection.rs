@@ -67,11 +67,7 @@ mod tests {
             0.9,
             BoundingBox::centered(0.5, 0.5, 0.2, 0.2),
         );
-        let corner = Detection::new(
-            "building".into(),
-            0.9,
-            BoundingBox::new(0.0, 0.0, 0.2, 0.2),
-        );
+        let corner = Detection::new("building".into(), 0.9, BoundingBox::new(0.0, 0.0, 0.2, 0.2));
         let dets = [corner, center.clone()];
         let picked = closest_to_center(&dets).unwrap();
         assert_eq!(picked, &center);

@@ -262,11 +262,11 @@ mod tests {
     #[test]
     fn score_counts_fp_and_fn() {
         let d = vec![
-            det("car", 0.9, 0.0, 0.0, 0.1, 0.1),  // no ref overlap -> FP
-            det("car", 0.9, 0.5, 0.5, 0.2, 0.2),  // TP
+            det("car", 0.9, 0.0, 0.0, 0.1, 0.1), // no ref overlap -> FP
+            det("car", 0.9, 0.5, 0.5, 0.2, 0.2), // TP
         ];
         let r = vec![
-            det("car", 0.95, 0.5, 0.5, 0.2, 0.2), // matched
+            det("car", 0.95, 0.5, 0.5, 0.2, 0.2),   // matched
             det("car", 0.95, 0.8, 0.1, 0.15, 0.15), // missed -> FN
         ];
         let pr = score_against(&d, &r, &"car".into(), 0.10);

@@ -232,7 +232,10 @@ mod tests {
         m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), Some("car".into()));
         let out = m.detect_smoothed(&frame(1));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].confidence, 0.6, "confirmed detections keep their confidence");
+        assert_eq!(
+            out[0].confidence, 0.6,
+            "confirmed detections keep their confidence"
+        );
     }
 
     #[test]
@@ -248,7 +251,11 @@ mod tests {
     #[test]
     fn missed_object_is_recalled() {
         let m = FeedbackModel::new(FixedModel(vec![]), 10);
-        m.record_correction(0, BoundingBox::new(0.4, 0.4, 0.2, 0.2), Some("person".into()));
+        m.record_correction(
+            0,
+            BoundingBox::new(0.4, 0.4, 0.2, 0.2),
+            Some("person".into()),
+        );
         let out = m.detect_smoothed(&frame(2));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].class, LabelClass::new("person"));
@@ -267,7 +274,11 @@ mod tests {
     #[test]
     fn non_overlapping_corrections_do_not_apply() {
         let m = FeedbackModel::new(FixedModel(vec![det("bus", 0.6)]), 10);
-        m.record_correction(0, BoundingBox::new(0.0, 0.0, 0.05, 0.05), Some("car".into()));
+        m.record_correction(
+            0,
+            BoundingBox::new(0.0, 0.0, 0.05, 0.05),
+            Some("car".into()),
+        );
         let out = m.detect_smoothed(&frame(1));
         // The bus stands AND the car region is recalled.
         assert_eq!(out.len(), 2);
@@ -284,10 +295,7 @@ mod tests {
         let query: LabelClass = video.query_class().clone();
         let cloud = SimulatedModel::new(ModelProfile::yolov3_416(), 5);
         let raw_edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), 5);
-        let smoothed = FeedbackModel::new(
-            SimulatedModel::new(ModelProfile::tiny_yolov3(), 5),
-            15,
-        );
+        let smoothed = FeedbackModel::new(SimulatedModel::new(ModelProfile::tiny_yolov3(), 5), 15);
 
         let mut raw_pr = PrecisionRecall::default();
         let mut smooth_pr = PrecisionRecall::default();

@@ -26,8 +26,8 @@ pub mod model;
 pub mod profile;
 
 pub use detection::Detection;
+pub use eval::DEFAULT_OVERLAP_THRESHOLD;
 pub use eval::{match_detections, score_against, MatchOutcome, Matching};
 pub use feedback::FeedbackModel;
 pub use model::{DetectionModel, OracleModel, SimulatedModel};
 pub use profile::{ConfidenceModel, LatencyProfile, ModelKind, ModelProfile, Vocabulary};
-pub use eval::DEFAULT_OVERLAP_THRESHOLD;

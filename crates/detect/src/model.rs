@@ -275,7 +275,10 @@ mod tests {
     fn latency_is_deterministic_per_frame() {
         let v = video();
         let m = SimulatedModel::new(ModelProfile::yolov3_416(), 5);
-        assert_eq!(m.inference_latency(v.frame(4)), m.inference_latency(v.frame(4)));
+        assert_eq!(
+            m.inference_latency(v.frame(4)),
+            m.inference_latency(v.frame(4))
+        );
     }
 
     #[test]

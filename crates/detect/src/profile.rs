@@ -257,8 +257,16 @@ impl Vocabulary {
     pub fn standard() -> Vocabulary {
         Vocabulary::new(
             [
-                "person", "car", "bus", "truck", "airplane", "dog", "cat", "bicycle",
-                "motorbike", "building",
+                "person",
+                "car",
+                "bus",
+                "truck",
+                "airplane",
+                "dog",
+                "cat",
+                "bicycle",
+                "motorbike",
+                "building",
             ]
             .iter()
             .map(|s| LabelClass::new(s))
@@ -318,8 +326,14 @@ mod tests {
         let cm = ModelProfile::tiny_yolov3().confidence;
         let n = 5000;
         let q = 0.7;
-        let correct: f64 = (0..n).map(|_| cm.sample_real(&mut rng, q, true)).sum::<f64>() / n as f64;
-        let wrong: f64 = (0..n).map(|_| cm.sample_real(&mut rng, q, false)).sum::<f64>() / n as f64;
+        let correct: f64 = (0..n)
+            .map(|_| cm.sample_real(&mut rng, q, true))
+            .sum::<f64>()
+            / n as f64;
+        let wrong: f64 = (0..n)
+            .map(|_| cm.sample_real(&mut rng, q, false))
+            .sum::<f64>()
+            / n as f64;
         let fp: f64 = (0..n).map(|_| cm.sample_fp(&mut rng)).sum::<f64>() / n as f64;
         assert!(correct > wrong + 0.1, "correct {correct} wrong {wrong}");
         assert!(wrong > fp, "wrong {wrong} fp {fp}");
@@ -368,10 +382,14 @@ mod tests {
     fn perceived_quality_is_bounded_and_tracks_clarity() {
         let mut rng = DetRng::new(5);
         let p = ModelProfile::tiny_yolov3();
-        let clear: f64 =
-            (0..2000).map(|_| p.perceived_quality(&mut rng, 0.9)).sum::<f64>() / 2000.0;
-        let murky: f64 =
-            (0..2000).map(|_| p.perceived_quality(&mut rng, 0.3)).sum::<f64>() / 2000.0;
+        let clear: f64 = (0..2000)
+            .map(|_| p.perceived_quality(&mut rng, 0.9))
+            .sum::<f64>()
+            / 2000.0;
+        let murky: f64 = (0..2000)
+            .map(|_| p.perceived_quality(&mut rng, 0.3))
+            .sum::<f64>()
+            / 2000.0;
         assert!(clear > murky + 0.4);
         for _ in 0..1000 {
             let q = p.perceived_quality(&mut rng, 0.5);

@@ -124,7 +124,10 @@ mod tests {
         let e = PayloadCodec::compressed_difference().encode(150_000, false);
         assert_eq!(e.bytes, 33_000);
         assert!(
-            e.encode_latency > PayloadCodec::compressed().encode(150_000, false).encode_latency
+            e.encode_latency
+                > PayloadCodec::compressed()
+                    .encode(150_000, false)
+                    .encode_latency
         );
     }
 

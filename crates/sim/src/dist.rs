@@ -270,7 +270,11 @@ mod tests {
         let d = Kumaraswamy::new(2.0, 3.0);
         let s: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
         let (mean, _) = moments(&s);
-        assert!((mean - d.mean()).abs() < 0.005, "empirical {mean} analytic {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.005,
+            "empirical {mean} analytic {}",
+            d.mean()
+        );
     }
 
     #[test]

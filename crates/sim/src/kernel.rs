@@ -63,7 +63,11 @@ impl<W> Scheduler<W> {
     /// Panics if `at` is in the past — simulated causality must not run
     /// backwards.
     pub fn at(&mut self, at: SimTime, handler: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
-        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at:?} < {:?})",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry {
@@ -175,9 +179,12 @@ mod tests {
     #[test]
     fn events_fire_in_time_order() {
         let mut sim = Simulator::new(Vec::<u32>::new());
-        sim.scheduler().at(SimTime::from_micros(30), |w: &mut Vec<u32>, _| w.push(3));
-        sim.scheduler().at(SimTime::from_micros(10), |w, _| w.push(1));
-        sim.scheduler().at(SimTime::from_micros(20), |w, _| w.push(2));
+        sim.scheduler()
+            .at(SimTime::from_micros(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.scheduler()
+            .at(SimTime::from_micros(10), |w, _| w.push(1));
+        sim.scheduler()
+            .at(SimTime::from_micros(20), |w, _| w.push(2));
         sim.run();
         assert_eq!(sim.world(), &vec![1, 2, 3]);
         assert_eq!(sim.events_processed(), 3);
@@ -213,9 +220,10 @@ mod tests {
     fn run_until_stops_at_horizon() {
         let mut sim = Simulator::new(Vec::<u64>::new());
         for i in 1..=10 {
-            sim.scheduler().at(SimTime::from_micros(i * 10), move |w: &mut Vec<u64>, _| {
-                w.push(i)
-            });
+            sim.scheduler()
+                .at(SimTime::from_micros(i * 10), move |w: &mut Vec<u64>, _| {
+                    w.push(i)
+                });
         }
         let t = sim.run_until(SimTime::from_micros(45));
         assert_eq!(sim.world(), &vec![1, 2, 3, 4]);
@@ -228,10 +236,13 @@ mod tests {
     #[test]
     fn now_advances_with_events() {
         let mut sim = Simulator::new(Vec::<SimTime>::new());
-        sim.scheduler().at(SimTime::from_micros(100), |w: &mut Vec<SimTime>, s| {
-            w.push(s.now());
-            s.after(SimDuration::from_micros(50), |w: &mut Vec<SimTime>, s| w.push(s.now()));
-        });
+        sim.scheduler()
+            .at(SimTime::from_micros(100), |w: &mut Vec<SimTime>, s| {
+                w.push(s.now());
+                s.after(SimDuration::from_micros(50), |w: &mut Vec<SimTime>, s| {
+                    w.push(s.now())
+                });
+            });
         sim.run();
         assert_eq!(
             sim.world(),
@@ -253,8 +264,10 @@ mod tests {
     fn pending_counts_queue() {
         let mut sim = Simulator::new(());
         assert_eq!(sim.scheduler().pending(), 0);
-        sim.scheduler().after(SimDuration::from_millis(1), |_, _| {});
-        sim.scheduler().after(SimDuration::from_millis(2), |_, _| {});
+        sim.scheduler()
+            .after(SimDuration::from_millis(1), |_, _| {});
+        sim.scheduler()
+            .after(SimDuration::from_millis(2), |_, _| {});
         assert_eq!(sim.scheduler().pending(), 2);
         sim.run();
         assert_eq!(sim.scheduler().pending(), 0);

@@ -68,7 +68,9 @@ impl DetRng {
     /// Forking does not consume randomness from `self`, so the set of forks
     /// taken from a generator never perturbs its own stream.
     pub fn fork(&self, stream: u64) -> DetRng {
-        DetRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A))))
+        DetRng::new(splitmix64(
+            self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)),
+        ))
     }
 
     /// Derive a child generator from a string label.
@@ -273,7 +275,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input in order");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
     }
 
     #[test]

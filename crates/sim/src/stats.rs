@@ -20,7 +20,10 @@ impl Summary {
         if values.is_empty() {
             return None;
         }
-        assert!(values.iter().all(|v| !v.is_nan()), "summary input contains NaN");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "summary input contains NaN"
+        );
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
         let n = sorted.len() as f64;
@@ -356,11 +359,9 @@ mod tests {
 
     #[test]
     fn summary_from_durations_in_ms() {
-        let s = Summary::from_durations(&[
-            SimDuration::from_millis(10),
-            SimDuration::from_millis(20),
-        ])
-        .unwrap();
+        let s =
+            Summary::from_durations(&[SimDuration::from_millis(10), SimDuration::from_millis(20)])
+                .unwrap();
         assert_eq!(s.mean(), 15.0);
     }
 
@@ -444,7 +445,11 @@ mod tests {
 
     #[test]
     fn precision_recall_f_score() {
-        let pr = PrecisionRecall { tp: 8, fp: 2, fn_: 4 };
+        let pr = PrecisionRecall {
+            tp: 8,
+            fp: 2,
+            fn_: 4,
+        };
         assert!((pr.precision() - 0.8).abs() < 1e-12);
         assert!((pr.recall() - 8.0 / 12.0).abs() < 1e-12);
         let f = pr.f_score();
@@ -462,8 +467,23 @@ mod tests {
 
     #[test]
     fn precision_recall_add() {
-        let mut a = PrecisionRecall { tp: 1, fp: 2, fn_: 3 };
-        a.add(PrecisionRecall { tp: 4, fp: 5, fn_: 6 });
-        assert_eq!(a, PrecisionRecall { tp: 5, fp: 7, fn_: 9 });
+        let mut a = PrecisionRecall {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+        };
+        a.add(PrecisionRecall {
+            tp: 4,
+            fp: 5,
+            fn_: 6,
+        });
+        assert_eq!(
+            a,
+            PrecisionRecall {
+                tp: 5,
+                fp: 7,
+                fn_: 9
+            }
+        );
     }
 }

@@ -236,7 +236,10 @@ mod tests {
         assert_eq!(t.as_micros(), 5_000);
         let d = (t + SimDuration::from_millis(7)) - t;
         assert_eq!(d, SimDuration::from_millis(7));
-        assert_eq!(t.saturating_since(SimTime::from_micros(9_000)), SimDuration::ZERO);
+        assert_eq!(
+            t.saturating_since(SimTime::from_micros(9_000)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

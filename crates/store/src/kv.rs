@@ -5,24 +5,34 @@
 //! individual operation is atomic and that versions increase monotonically
 //! per key. Sharding by key hash keeps unrelated operations from contending
 //! on one map lock.
+//!
+//! Hot-path properties (see the crate docs for the full contract):
+//!
+//! * **Zero rehashing** — shard selection and the shard `HashMap` both
+//!   reuse the FNV-1a hash cached inside [`Key`]; no byte of key text is
+//!   hashed after key construction.
+//! * **Zero-copy reads** — values are stored as `Arc<Value>`, so `get`,
+//!   `get_versioned` and `snapshot` return refcount bumps, never deep
+//!   clones of string/byte payloads.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::value::{Key, Value};
+use crate::value::{Key, KeyHashBuilder, Value};
 
 /// A value with its per-key version. Versions start at 1 for the first
 /// write and increase by 1 with every subsequent write to the same key.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Versioned {
-    /// The stored value.
-    pub value: Value,
+    /// The stored value (shared, never deep-cloned on read).
+    pub value: Arc<Value>,
     /// Monotonic per-key version.
     pub version: u64,
 }
+
+type ShardMap = HashMap<Key, Versioned, KeyHashBuilder>;
 
 /// The sharded store.
 ///
@@ -30,11 +40,11 @@ pub struct Versioned {
 /// use croesus_store::{KvStore, Value};
 /// let store = KvStore::new();
 /// store.put("balance/alice".into(), Value::Int(50));
-/// assert_eq!(store.get(&"balance/alice".into()), Some(Value::Int(50)));
+/// assert_eq!(store.get(&"balance/alice".into()).as_deref(), Some(&Value::Int(50)));
 /// assert_eq!(store.get_versioned(&"balance/alice".into()).unwrap().version, 1);
 /// ```
 pub struct KvStore {
-    shards: Vec<RwLock<HashMap<Key, Versioned>>>,
+    shards: Vec<RwLock<ShardMap>>,
 }
 
 impl KvStore {
@@ -51,19 +61,24 @@ impl KvStore {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0, "store needs at least one shard");
         KvStore {
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| RwLock::new(ShardMap::default()))
+                .collect(),
         }
     }
 
-    fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, Versioned>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+    #[inline]
+    fn shard(&self, key: &Key) -> &RwLock<ShardMap> {
+        &self.shards[key.shard_index(self.shards.len())]
     }
 
-    /// Read a value.
-    pub fn get(&self, key: &Key) -> Option<Value> {
-        self.shard(key).read().get(key).map(|v| v.value.clone())
+    /// Read a value. Cheap: a shard read-lock, one hash-free map probe and
+    /// an `Arc` clone.
+    pub fn get(&self, key: &Key) -> Option<Arc<Value>> {
+        self.shard(key)
+            .read()
+            .get(key)
+            .map(|v| Arc::clone(&v.value))
     }
 
     /// Read a value with its version.
@@ -72,7 +87,8 @@ impl KvStore {
     }
 
     /// Write a value; returns the previous versioned value if any.
-    pub fn put(&self, key: Key, value: Value) -> Option<Versioned> {
+    pub fn put(&self, key: Key, value: impl Into<Arc<Value>>) -> Option<Versioned> {
+        let value = value.into();
         let mut shard = self.shard(&key).write();
         let next_version = shard.get(&key).map_or(1, |v| v.version + 1);
         shard.insert(
@@ -97,7 +113,7 @@ impl KvStore {
     /// Restore a key to a previous state: `Some(value)` reinstates the
     /// value (bumping the version — history is linear, not rewound),
     /// `None` deletes the key. The undo machinery uses this.
-    pub fn restore(&self, key: Key, previous: Option<Value>) {
+    pub fn restore(&self, key: Key, previous: Option<Arc<Value>>) {
         match previous {
             Some(value) => {
                 self.put(key, value);
@@ -115,7 +131,7 @@ impl KvStore {
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Remove all keys.
@@ -126,18 +142,14 @@ impl KvStore {
     }
 
     /// Snapshot every key-value pair (sorted by key, for deterministic
-    /// comparisons in tests and checkers).
+    /// comparisons in tests and checkers). Fills one preallocated buffer —
+    /// no per-shard intermediate `Vec`s — and clones only `Arc`s.
     pub fn snapshot(&self) -> Vec<(Key, Versioned)> {
-        let mut all: Vec<(Key, Versioned)> = self
-            .shards
-            .iter()
-            .flat_map(|s| {
-                s.read()
-                    .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let mut all: Vec<(Key, Versioned)> = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            let shard = s.read();
+            all.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
     }
@@ -159,7 +171,19 @@ mod tests {
         let s = KvStore::new();
         assert_eq!(s.get(&"a".into()), None);
         s.put("a".into(), Value::Int(1));
-        assert_eq!(s.get(&"a".into()), Some(Value::Int(1)));
+        assert_eq!(s.get(&"a".into()).as_deref(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn get_is_zero_copy() {
+        let s = KvStore::new();
+        s.put("k".into(), Value::Str("payload".into()));
+        let a = s.get(&"k".into()).unwrap();
+        let b = s.get(&"k".into()).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "reads must share the stored allocation"
+        );
     }
 
     #[test]
@@ -198,8 +222,8 @@ mod tests {
     fn restore_reinstates_or_deletes() {
         let s = KvStore::new();
         s.put("k".into(), Value::Int(2));
-        s.restore("k".into(), Some(Value::Int(1)));
-        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+        s.restore("k".into(), Some(Value::Int(1).into()));
+        assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(1)));
         s.restore("k".into(), None);
         assert_eq!(s.get(&"k".into()), None);
     }

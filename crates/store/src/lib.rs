@@ -13,6 +13,52 @@
 //!   apologies and retractions.
 //! * [`partition`] — named partitions (store + lock manager) for the
 //!   multi-partition / two-phase-commit extension (§4.5).
+//!
+//! # The hashing contract
+//!
+//! [`Key`] computes the **FNV-1a hash of its text exactly once, at
+//! construction**, and every consumer reuses it:
+//!
+//! * `HashMap` probes go through [`value::KeyHashBuilder`], a pass-through
+//!   hasher that forwards the cached hash (finalized with a splitmix64
+//!   avalanche) instead of SipHashing the key text;
+//! * [`KvStore`] and [`LockManager`] pick shards from the *upper* 32 bits
+//!   of the mixed hash, keeping shard residues decorrelated from map
+//!   bucket indices;
+//! * [`PartitionMap::partition_of`] routes on the **raw** FNV-1a value —
+//!   byte-identical to the historical per-call FNV scan, and therefore
+//!   **stable across runs, processes and versions**. Routing stability is
+//!   pinned by golden-value tests; do not change [`value::fnv1a`] without
+//!   a data-migration story.
+//!
+//! The net effect: after a key is constructed, no store, lock-manager or
+//! routing operation hashes a single byte of key text.
+//!
+//! # The ownership contract
+//!
+//! Stored values live behind `Arc<Value>`. Reads ([`KvStore::get`],
+//! [`KvStore::get_versioned`], [`KvStore::snapshot`], undo pre-images)
+//! return refcount bumps that *alias the stored allocation*:
+//!
+//! * `Value`s are immutable once stored — there is no `&mut` path to a
+//!   stored value, so aliasing is safe by construction;
+//! * a reader's `Arc<Value>` stays valid (and unchanged) even if the key
+//!   is overwritten or deleted afterwards — it simply keeps the old
+//!   version alive, snapshot-style;
+//! * code that hands values across an ownership boundary (e.g. client
+//!   responses in `SectionOutput`) clones the inner `Value` explicitly at
+//!   that boundary.
+//!
+//! # Lock batching
+//!
+//! [`LockManager::acquire_all`] / [`LockManager::release_all`] group lock
+//! pairs by shard and take each shard mutex once per *transaction* rather
+//! than once per key. Keys are granted incrementally along a global
+//! `(shard index, key)` order — the total order is what makes concurrent
+//! batched acquisition deadlock-free under [`LockPolicy::Block`] — and a
+//! prior-mode journal rolls failed acquisitions back to the exact
+//! pre-call state (pre-held locks and upgrade modes included); see the
+//! [`lock`] module docs for the full argument.
 
 pub mod kv;
 pub mod lock;

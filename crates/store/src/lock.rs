@@ -15,16 +15,31 @@
 //!
 //! Waiting uses per-shard condvars; all policies additionally accept an
 //! optional timeout.
+//!
+//! # Batched acquisition
+//!
+//! [`acquire_all`](LockManager::acquire_all) groups a transaction's lock
+//! pairs by shard and acquires each shard's batch under a *single mutex
+//! hold per attempt*, walking a global `(shard index, key)` order. Grants
+//! are incremental: each grantable key is taken and *held* immediately,
+//! and the transaction waits only at the first conflicting key. The global
+//! total order makes concurrent batched acquisition deadlock-free under
+//! `Block` (the same ordered-resources argument as sorted per-key
+//! acquisition), holding the granted prefix preserves wait-die's
+//! priority-based progress for the oldest transaction, and a prior-mode
+//! journal makes failed acquisitions side-effect-free — pre-held locks and
+//! modes survive a failed batch untouched. Compared to per-key acquisition
+//! this takes each shard mutex once per *transaction* instead of once per
+//! *key*, and wakes waiters once per shard batch on release.
+//! [`release_all`](LockManager::release_all) is batched the same way.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::value::Key;
+use crate::value::{Key, KeyHashBuilder};
 
 /// Transaction identifier. Doubles as the transaction's *age* for wait-die:
 /// smaller ids are older and win conflicts.
@@ -56,7 +71,7 @@ pub enum LockMode {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockPolicy {
     /// Wait until granted (caller must prevent deadlock, e.g. by ordered
-    /// acquisition).
+    /// acquisition or by always using [`LockManager::acquire_all`]).
     Block,
     /// Fail immediately with [`LockError::WouldBlock`].
     NoWait,
@@ -87,9 +102,11 @@ impl fmt::Display for LockError {
 
 impl std::error::Error for LockError {}
 
+type LockTable = HashMap<Key, BTreeMap<TxnId, LockMode>, KeyHashBuilder>;
+
 #[derive(Default)]
 struct Shard {
-    table: Mutex<HashMap<Key, BTreeMap<TxnId, LockMode>>>,
+    table: Mutex<LockTable>,
     released: Condvar,
 }
 
@@ -122,10 +139,9 @@ impl LockManager {
         self.policy
     }
 
-    fn shard(&self, key: &Key) -> &Shard {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+    #[inline]
+    fn shard_index(&self, key: &Key) -> usize {
+        key.shard_index(self.shards.len())
     }
 
     /// Whether `txn` can be granted `mode` given current `owners`.
@@ -138,8 +154,153 @@ impl LockManager {
         }
     }
 
+    /// Grant `(key, mode)` to `txn` in `table` (the key must be grantable).
+    /// Returns the mode `txn` held *before* this grant (`None` = not held),
+    /// so a failed multi-key acquisition can restore the exact prior state.
+    fn grant(table: &mut LockTable, txn: TxnId, key: &Key, mode: LockMode) -> Option<LockMode> {
+        let owners = table.entry(key.clone()).or_default();
+        match owners.entry(txn) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let prior = *e.get();
+                // Upgrade persists; downgrade does not overwrite.
+                if mode == LockMode::Exclusive {
+                    *e.get_mut() = LockMode::Exclusive;
+                }
+                Some(prior)
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(mode);
+                None
+            }
+        }
+    }
+
+    /// Remove `txn` from `key`'s owner set in `table` (no-op if not held).
+    fn ungrant(table: &mut LockTable, txn: TxnId, key: &Key) {
+        if let Some(owners) = table.get_mut(key) {
+            owners.remove(&txn);
+            if owners.is_empty() {
+                table.remove(key);
+            }
+        }
+    }
+
+    /// Undo one [`grant`](Self::grant): restore `txn`'s pre-grant state on
+    /// `key` — drop the lock if it was not held before, or restore the
+    /// prior mode (undoing an upgrade) if it was.
+    fn restore_grant(table: &mut LockTable, txn: TxnId, key: &Key, prior: Option<LockMode>) {
+        match prior {
+            None => Self::ungrant(table, txn, key),
+            Some(mode) => {
+                table.entry(key.clone()).or_default().insert(txn, mode);
+            }
+        }
+    }
+
+    /// Acquire every `(key, mode)` pair in `batch` — all of which must live
+    /// in shard `shard_idx`, in ascending key order — under one shard-mutex
+    /// hold per attempt.
+    ///
+    /// Grants are **incremental in key order** for every policy: each
+    /// grantable key is taken (and *held*) immediately and the transaction
+    /// waits only at the first conflicting key. Because every multi-key
+    /// acquisition walks the same global `(shard index, key)` order, the
+    /// held prefix can never participate in a wait cycle under `Block`
+    /// (classic total-order resource acquisition — same argument as the
+    /// seed's sorted per-key protocol, one mutex hold per shard instead of
+    /// per key). Under `WaitDie` holding the prefix also preserves the
+    /// priority guarantee: younger contenders die against it instead of
+    /// starving the batch.
+    ///
+    /// Every grant (with the prior mode it replaced) is appended to
+    /// `journal`; on failure the *caller* restores the journal, so a failed
+    /// acquisition leaves pre-held locks and modes exactly as they were.
+    /// Single-key batches pass `None` — they fail only at the first key,
+    /// with nothing granted.
+    fn acquire_shard_batch<'a>(
+        &self,
+        txn: TxnId,
+        shard_idx: usize,
+        batch: &[(&'a Key, LockMode)],
+        timeout: Option<Duration>,
+        mut journal: Option<&mut Vec<(usize, &'a Key, Option<LockMode>)>>,
+    ) -> Result<(), LockError> {
+        debug_assert!(batch.len() == 1 || journal.is_some());
+        let shard = &self.shards[shard_idx];
+        let mut next = 0; // first batch entry not yet granted by this call
+        let mut table = shard.table.lock();
+        loop {
+            while next < batch.len() {
+                let (key, mode) = batch[next];
+                let grantable = table
+                    .get(key)
+                    .is_none_or(|owners| Self::grantable(owners, txn, mode));
+                if !grantable {
+                    break;
+                }
+                let prior = Self::grant(&mut table, txn, key, mode);
+                if let Some(j) = journal.as_deref_mut() {
+                    j.push((shard_idx, key, prior));
+                }
+                next += 1;
+            }
+            if next == batch.len() {
+                return Ok(());
+            }
+            // Conflict at batch[next]; the granted prefix stays held and the
+            // journal records it — the caller rolls back on error.
+            match self.policy {
+                LockPolicy::NoWait => return Err(LockError::WouldBlock),
+                LockPolicy::WaitDie => {
+                    // Standard wait-die on the blocking key: die if any
+                    // conflicting holder is *older* (smaller id); wait only
+                    // when every conflicting holder is younger.
+                    let (key, _) = batch[next];
+                    let older_holder = table
+                        .get(key)
+                        .is_some_and(|owners| owners.keys().any(|&o| o != txn && o < txn));
+                    if older_holder {
+                        return Err(LockError::Die);
+                    }
+                }
+                LockPolicy::Block => {}
+            }
+            // Wait for a release in this shard, then re-check from `next`.
+            match timeout {
+                Some(t) => {
+                    if shard.released.wait_for(&mut table, t).timed_out() {
+                        return Err(LockError::Timeout);
+                    }
+                }
+                None => shard.released.wait(&mut table),
+            }
+        }
+    }
+
+    /// Restore every journaled grant (reverse order), returning each key to
+    /// its exact pre-call state. One mutex hold + one wakeup per shard
+    /// touched; journal entries are shard-contiguous by construction.
+    fn rollback_journal(&self, txn: TxnId, journal: &[(usize, &Key, Option<LockMode>)]) {
+        let mut end = journal.len();
+        while end > 0 {
+            let shard_idx = journal[end - 1].0;
+            let start = journal[..end]
+                .iter()
+                .rposition(|e| e.0 != shard_idx)
+                .map_or(0, |p| p + 1);
+            let shard = &self.shards[shard_idx];
+            let mut table = shard.table.lock();
+            for &(_, key, prior) in journal[start..end].iter().rev() {
+                Self::restore_grant(&mut table, txn, key, prior);
+            }
+            drop(table);
+            shard.released.notify_all();
+            end = start;
+        }
+    }
+
     /// Acquire `mode` on `key` for `txn`, waiting per the policy, with an
-    /// optional wall-clock timeout.
+    /// optional wall-clock timeout (re-armed per wait).
     ///
     /// Re-entrant: a transaction already holding the key in a covering mode
     /// returns immediately; holding `Shared` and requesting `Exclusive`
@@ -151,49 +312,7 @@ impl LockManager {
         mode: LockMode,
         timeout: Option<Duration>,
     ) -> Result<(), LockError> {
-        let shard = self.shard(key);
-        let mut table = shard.table.lock();
-        loop {
-            let owners = table.entry(key.clone()).or_default();
-            if Self::grantable(owners, txn, mode) {
-                let slot = owners.entry(txn).or_insert(mode);
-                // Upgrade persists; downgrade does not overwrite.
-                if mode == LockMode::Exclusive {
-                    *slot = LockMode::Exclusive;
-                }
-                return Ok(());
-            }
-            match self.policy {
-                LockPolicy::NoWait => {
-                    Self::cleanup_if_empty(&mut table, key);
-                    return Err(LockError::WouldBlock);
-                }
-                LockPolicy::WaitDie => {
-                    let oldest_other = owners
-                        .keys()
-                        .filter(|&&o| o != txn)
-                        .min()
-                        .copied()
-                        .expect("conflict implies another owner");
-                    if txn > oldest_other {
-                        // Younger than a holder: die.
-                        Self::cleanup_if_empty(&mut table, key);
-                        return Err(LockError::Die);
-                    }
-                }
-                LockPolicy::Block => {}
-            }
-            // Wait for a release, then re-check.
-            match timeout {
-                Some(t) => {
-                    if shard.released.wait_for(&mut table, t).timed_out() {
-                        Self::cleanup_if_empty(&mut table, key);
-                        return Err(LockError::Timeout);
-                    }
-                }
-                None => shard.released.wait(&mut table),
-            }
-        }
+        self.acquire_shard_batch(txn, self.shard_index(key), &[(key, mode)], timeout, None)
     }
 
     /// Convenience: acquire with the policy's default (no timeout).
@@ -201,61 +320,97 @@ impl LockManager {
         self.acquire(txn, key, mode, None)
     }
 
-    /// Acquire a set of keys in sorted order (deadlock-free under Block).
-    /// On failure, any locks acquired by this call are rolled back.
+    /// Acquire a set of keys, batched by shard: one shard-mutex hold per
+    /// shard (not per key), shards in increasing index order, keys in
+    /// ascending order within each shard — a global total order that makes
+    /// concurrent batched acquisition deadlock-free under `Block` even for
+    /// overlapping sets.
+    ///
+    /// On failure, every grant made by this call is rolled back to its
+    /// exact prior state: locks the transaction already held before the
+    /// call (re-entrant grants, upgrades) keep their pre-call modes.
     pub fn acquire_all(
         &self,
         txn: TxnId,
         keys: &[(Key, LockMode)],
         timeout: Option<Duration>,
     ) -> Result<(), LockError> {
-        let mut sorted: Vec<&(Key, LockMode)> = keys.iter().collect();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut acquired: Vec<&Key> = Vec::with_capacity(sorted.len());
-        for (key, mode) in sorted {
-            match self.acquire(txn, key, *mode, timeout) {
-                Ok(()) => acquired.push(key),
-                Err(e) => {
-                    for k in acquired {
-                        self.release(txn, k);
-                    }
-                    return Err(e);
-                }
+        match keys.len() {
+            0 => return Ok(()),
+            1 => return self.acquire(txn, &keys[0].0, keys[0].1, timeout),
+            _ => {}
+        }
+        // Shard-major, then key order: the global acquisition order that
+        // underpins deadlock freedom under Block.
+        let mut sorted: Vec<(usize, &Key, LockMode)> = keys
+            .iter()
+            .map(|(k, m)| (self.shard_index(k), k, *m))
+            .collect();
+        sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+
+        let mut journal: Vec<(usize, &Key, Option<LockMode>)> = Vec::with_capacity(sorted.len());
+        let mut batch: Vec<(&Key, LockMode)> = Vec::with_capacity(sorted.len());
+        let mut start = 0;
+        while start < sorted.len() {
+            let shard_idx = sorted[start].0;
+            let end = sorted[start..]
+                .iter()
+                .position(|e| e.0 != shard_idx)
+                .map_or(sorted.len(), |p| start + p);
+            batch.clear();
+            batch.extend(sorted[start..end].iter().map(|&(_, k, m)| (k, m)));
+            if let Err(e) =
+                self.acquire_shard_batch(txn, shard_idx, &batch, timeout, Some(&mut journal))
+            {
+                self.rollback_journal(txn, &journal);
+                return Err(e);
             }
+            start = end;
         }
         Ok(())
     }
 
-    fn cleanup_if_empty(table: &mut HashMap<Key, BTreeMap<TxnId, LockMode>>, key: &Key) {
-        if table.get(key).is_some_and(BTreeMap::is_empty) {
-            table.remove(key);
-        }
-    }
-
     /// Release `txn`'s lock on `key` (no-op if not held).
     pub fn release(&self, txn: TxnId, key: &Key) {
-        let shard = self.shard(key);
+        let shard = &self.shards[self.shard_index(key)];
         let mut table = shard.table.lock();
-        if let Some(owners) = table.get_mut(key) {
-            owners.remove(&txn);
-            if owners.is_empty() {
-                table.remove(key);
-            }
-        }
+        Self::ungrant(&mut table, txn, key);
         drop(table);
         shard.released.notify_all();
     }
 
-    /// Release a set of keys.
+    /// Release a set of keys, batched by shard: one mutex hold and one
+    /// condvar wakeup per shard touched, instead of one per key.
     pub fn release_all<'a>(&self, txn: TxnId, keys: impl IntoIterator<Item = &'a Key>) {
-        for key in keys {
-            self.release(txn, key);
+        let mut items: Vec<(usize, &Key)> =
+            keys.into_iter().map(|k| (self.shard_index(k), k)).collect();
+        items.sort_unstable_by_key(|e| e.0);
+        let mut start = 0;
+        while start < items.len() {
+            let shard_idx = items[start].0;
+            let end = items[start..]
+                .iter()
+                .position(|e| e.0 != shard_idx)
+                .map_or(items.len(), |p| start + p);
+            let shard = &self.shards[shard_idx];
+            let mut table = shard.table.lock();
+            for &(_, key) in &items[start..end] {
+                Self::ungrant(&mut table, txn, key);
+            }
+            drop(table);
+            shard.released.notify_all();
+            start = end;
         }
     }
 
     /// The mode `txn` holds on `key`, if any.
     pub fn held_mode(&self, txn: TxnId, key: &Key) -> Option<LockMode> {
-        self.shard(key).table.lock().get(key)?.get(&txn).copied()
+        self.shards[self.shard_index(key)]
+            .table
+            .lock()
+            .get(key)?
+            .get(&txn)
+            .copied()
     }
 
     /// Number of keys with at least one holder (diagnostics).
@@ -380,7 +535,10 @@ mod tests {
             })
         };
         thread::sleep(Duration::from_millis(50));
-        assert!(!got_it.load(Ordering::SeqCst), "older txn should still wait");
+        assert!(
+            !got_it.load(Ordering::SeqCst),
+            "older txn should still wait"
+        );
         lm.release(TxnId(5), &k("a"));
         waiter.join().unwrap();
         assert!(got_it.load(Ordering::SeqCst));
@@ -426,6 +584,25 @@ mod tests {
     }
 
     #[test]
+    fn acquire_all_rolls_back_across_many_shards() {
+        // Enough keys to span most shards, with the conflict parked on an
+        // arbitrary one: every key from every other shard batch must be
+        // released again.
+        let lm = LockManager::new(LockPolicy::NoWait);
+        let keys: Vec<(Key, LockMode)> = (0..200)
+            .map(|i| (Key::indexed("r", i), LockMode::Exclusive))
+            .collect();
+        let victim = keys[137].0.clone();
+        lm.lock(TxnId(1), &victim, LockMode::Exclusive).unwrap();
+        assert!(lm.acquire_all(TxnId(2), &keys, None).is_err());
+        assert_eq!(lm.locked_keys(), 1, "only the pre-held victim remains");
+        lm.release(TxnId(1), &victim);
+        assert!(lm.acquire_all(TxnId(2), &keys, None).is_ok());
+        lm.release_all(TxnId(2), keys.iter().map(|(k, _)| k));
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
     fn acquire_all_sorted_order_prevents_deadlock() {
         let lm = Arc::new(LockManager::new(LockPolicy::Block));
         let keys_ab = vec![(k("a"), LockMode::Exclusive), (k("b"), LockMode::Exclusive)];
@@ -434,7 +611,11 @@ mod tests {
         let threads: Vec<_> = (0..8)
             .map(|i| {
                 let lm = Arc::clone(&lm);
-                let keys = if i % 2 == 0 { keys_ab.clone() } else { keys_ba.clone() };
+                let keys = if i % 2 == 0 {
+                    keys_ab.clone()
+                } else {
+                    keys_ba.clone()
+                };
                 let done = Arc::clone(&done);
                 thread::spawn(move || {
                     for _ in 0..50 {
@@ -450,6 +631,112 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn failed_acquire_all_preserves_preheld_locks() {
+        // Regression: rollback must distinguish locks granted by the failed
+        // call from re-entrant grants of locks the transaction already
+        // held. Sweep many key pairs so both shard orders are exercised.
+        let lm = LockManager::new(LockPolicy::NoWait);
+        for i in 0..100u64 {
+            let a = Key::indexed("pre", i * 2);
+            let b = Key::indexed("pre", i * 2 + 1);
+            lm.lock(TxnId(1), &a, LockMode::Exclusive).unwrap();
+            lm.lock(TxnId(2), &b, LockMode::Exclusive).unwrap();
+            let pairs = vec![
+                (a.clone(), LockMode::Exclusive),
+                (b.clone(), LockMode::Exclusive),
+            ];
+            assert_eq!(
+                lm.acquire_all(TxnId(1), &pairs, None),
+                Err(LockError::WouldBlock)
+            );
+            assert_eq!(
+                lm.held_mode(TxnId(1), &a),
+                Some(LockMode::Exclusive),
+                "pre-held lock on {a} lost by failed acquire_all"
+            );
+            lm.release(TxnId(1), &a);
+            lm.release(TxnId(2), &b);
+        }
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn failed_acquire_all_restores_upgrade_to_prior_mode() {
+        // A Shared lock upgraded to Exclusive inside a failed batch must
+        // come back as Shared — neither lost nor left Exclusive.
+        let lm = LockManager::new(LockPolicy::NoWait);
+        for i in 0..100u64 {
+            let a = Key::indexed("up", i * 2);
+            let b = Key::indexed("up", i * 2 + 1);
+            lm.lock(TxnId(1), &a, LockMode::Shared).unwrap();
+            lm.lock(TxnId(2), &b, LockMode::Exclusive).unwrap();
+            let pairs = vec![
+                (a.clone(), LockMode::Exclusive),
+                (b.clone(), LockMode::Exclusive),
+            ];
+            assert_eq!(
+                lm.acquire_all(TxnId(1), &pairs, None),
+                Err(LockError::WouldBlock)
+            );
+            assert_eq!(
+                lm.held_mode(TxnId(1), &a),
+                Some(LockMode::Shared),
+                "upgrade on {a} not restored to Shared by failed acquire_all"
+            );
+            // A concurrent reader is compatible again — the upgrade really
+            // was undone in the table, not just in held_mode's view.
+            assert!(lm.lock(TxnId(3), &a, LockMode::Shared).is_ok());
+            lm.release(TxnId(1), &a);
+            lm.release(TxnId(2), &b);
+            lm.release(TxnId(3), &a);
+        }
+        assert_eq!(lm.locked_keys(), 0);
+    }
+
+    #[test]
+    fn wait_die_batch_holds_partial_grants_so_oldest_cannot_starve() {
+        // Regression test for incremental in-shard grants: the oldest
+        // transaction's batch takes grantable keys immediately and *holds*
+        // them while waiting for the rest, so younger single-key cyclers
+        // die against the held prefix instead of starving the batch.
+        use std::sync::atomic::AtomicBool;
+        let lm = Arc::new(LockManager::with_shards(LockPolicy::WaitDie, 1));
+        let keys: Vec<(Key, LockMode)> = (0..4)
+            .map(|i| (Key::indexed("s", i), LockMode::Exclusive))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let youngers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let lm = Arc::clone(&lm);
+                let stop = Arc::clone(&stop);
+                let keys = keys.clone();
+                thread::spawn(move || {
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (k, _) = &keys[i % keys.len()];
+                        i += 1;
+                        if lm.lock(TxnId(100 + t), k, LockMode::Exclusive).is_ok() {
+                            lm.release(TxnId(100 + t), k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // The oldest transaction must complete every round despite the
+        // younger churn (watchdogless: wait-die guarantees it never dies,
+        // and held partial grants guarantee forward progress).
+        for _ in 0..50 {
+            lm.acquire_all(TxnId(1), &keys, None).unwrap();
+            lm.release_all(TxnId(1), keys.iter().map(|(k, _)| k));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in youngers {
+            t.join().unwrap();
+        }
         assert_eq!(lm.locked_keys(), 0);
     }
 

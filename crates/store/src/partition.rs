@@ -54,14 +54,17 @@ impl PartitionMap {
     }
 
     /// The partition owning `key` (FNV-1a over the key text; stable across
-    /// runs, unlike `DefaultHasher`).
+    /// runs, unlike `DefaultHasher`). The hash is the one cached inside
+    /// [`Key`] at construction, so routing costs an index computation —
+    /// and stays byte-identical to the historical per-call FNV-1a scan.
+    #[inline]
     pub fn partition_of(&self, key: &Key) -> &Arc<Partition> {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in key.as_str().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        &self.partitions[(h % self.partitions.len() as u64) as usize]
+        &self.partitions[self.partition_index(key)]
+    }
+
+    #[inline]
+    fn partition_index(&self, key: &Key) -> usize {
+        (key.hash_u64() % self.partitions.len() as u64) as usize
     }
 
     /// Partition by id.
@@ -85,21 +88,25 @@ impl PartitionMap {
     }
 
     /// Group keys by owning partition — the first step of any
-    /// multi-partition operation.
+    /// multi-partition operation. Single pass: keys are dropped into a
+    /// bucket per partition (the partition count is fixed and small), so
+    /// the cost is O(keys + partitions) rather than a linear group scan
+    /// per key.
     pub fn group_by_partition<'a>(
         &self,
         keys: impl IntoIterator<Item = &'a Key>,
     ) -> Vec<(PartitionId, Vec<Key>)> {
-        let mut groups: Vec<(PartitionId, Vec<Key>)> = Vec::new();
+        let mut buckets: Vec<Vec<Key>> = (0..self.partitions.len()).map(|_| Vec::new()).collect();
         for key in keys {
-            let pid = self.partition_of(key).id;
-            match groups.iter_mut().find(|(id, _)| *id == pid) {
-                Some((_, ks)) => ks.push(key.clone()),
-                None => groups.push((pid, vec![key.clone()])),
-            }
+            buckets[self.partition_index(key)].push(key.clone());
         }
-        groups.sort_by_key(|(id, _)| *id);
-        groups
+        // Bucket index == partition id, so this is already id-sorted.
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ks)| !ks.is_empty())
+            .map(|(i, ks)| (PartitionId(i as u32), ks))
+            .collect()
     }
 }
 
@@ -115,6 +122,33 @@ mod tests {
         let p1 = pm.partition_of(&key).id;
         let p2 = pm.partition_of(&key).id;
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn routing_is_byte_stable_against_golden_values() {
+        // Golden FNV-1a assignments computed independently of the Key
+        // implementation: these pin the routing function across refactors
+        // (the cached in-Key hash must keep routing byte-identical).
+        let pm = PartitionMap::new(4, LockPolicy::Block);
+        for (text, expected) in [
+            ("user/7", 0u32),
+            ("balance/alice", 0),
+            ("k/0", 1),
+            ("k/1", 2),
+            ("k/2", 3),
+            ("sighting/19", 1),
+            ("rooms/library", 3),
+        ] {
+            assert_eq!(
+                pm.partition_of(&Key::new(text)).id,
+                PartitionId(expected),
+                "routing changed for {text}"
+            );
+        }
+        let pm3 = PartitionMap::new(3, LockPolicy::Block);
+        for (text, expected) in [("user/7", 0u32), ("balance/alice", 1), ("k/2", 2)] {
+            assert_eq!(pm3.partition_of(&Key::new(text)).id, PartitionId(expected));
+        }
     }
 
     #[test]
@@ -134,7 +168,12 @@ mod tests {
             .unwrap()
             .store
             .put("k".into(), Value::Int(1));
-        assert!(pm.get(PartitionId(1)).unwrap().store.get(&"k".into()).is_none());
+        assert!(pm
+            .get(PartitionId(1))
+            .unwrap()
+            .store
+            .get(&"k".into())
+            .is_none());
     }
 
     #[test]

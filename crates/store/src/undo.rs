@@ -6,6 +6,8 @@
 //! [`UndoLog`] records, per write, the state a key had before the
 //! transaction touched it, so the apology machinery can restore it.
 
+use std::sync::Arc;
+
 use crate::kv::KvStore;
 use crate::value::{Key, Value};
 
@@ -15,7 +17,8 @@ pub struct UndoRecord {
     /// The written key.
     pub key: Key,
     /// The value before the first write by this transaction, if any.
-    pub previous: Option<Value>,
+    /// Shared with the store's history — never a deep clone.
+    pub previous: Option<Arc<Value>>,
 }
 
 /// The undo log of one transaction section.
@@ -33,14 +36,14 @@ impl UndoLog {
     /// Record a write's pre-image. Only the *first* write to a key within
     /// this log keeps its pre-image — later writes by the same transaction
     /// would otherwise undo to an intermediate state.
-    pub fn record(&mut self, key: Key, previous: Option<Value>) {
+    pub fn record(&mut self, key: Key, previous: Option<Arc<Value>>) {
         if !self.records.iter().any(|r| r.key == key) {
             self.records.push(UndoRecord { key, previous });
         }
     }
 
     /// Perform a write through the store, recording the pre-image.
-    pub fn put(&mut self, store: &KvStore, key: Key, value: Value) {
+    pub fn put(&mut self, store: &KvStore, key: Key, value: impl Into<Arc<Value>>) {
         let prev = store.get(&key);
         self.record(key.clone(), prev);
         store.put(key, value);
@@ -67,8 +70,11 @@ impl UndoLog {
 
     /// The recorded pre-image for `key`, if this log touched it.
     /// `Some(None)` means the key did not exist before.
-    pub fn pre_image(&self, key: &Key) -> Option<&Option<Value>> {
-        self.records.iter().find(|r| r.key == *key).map(|r| &r.previous)
+    pub fn pre_image(&self, key: &Key) -> Option<&Option<Arc<Value>>> {
+        self.records
+            .iter()
+            .find(|r| r.key == *key)
+            .map(|r| &r.previous)
     }
 
     /// Number of distinct keys recorded.
@@ -92,9 +98,9 @@ mod tests {
         s.put("k".into(), Value::Int(1));
         let mut log = UndoLog::new();
         log.put(&s, "k".into(), Value::Int(2));
-        assert_eq!(s.get(&"k".into()), Some(Value::Int(2)));
+        assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(2)));
         log.rollback(&s);
-        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+        assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(1)));
     }
 
     #[test]
@@ -115,7 +121,7 @@ mod tests {
         log.delete(&s, &"k".into());
         assert!(!s.contains(&"k".into()));
         log.rollback(&s);
-        assert_eq!(s.get(&"k".into()), Some(Value::Int(9)));
+        assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(9)));
     }
 
     #[test]
@@ -127,7 +133,7 @@ mod tests {
         log.put(&s, "k".into(), Value::Int(3));
         assert_eq!(log.len(), 1);
         log.rollback(&s);
-        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+        assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(1)));
     }
 
     #[test]
@@ -149,7 +155,10 @@ mod tests {
         let mut log = UndoLog::new();
         log.put(&s, "k".into(), Value::Int(2));
         log.put(&s, "fresh".into(), Value::Int(3));
-        assert_eq!(log.pre_image(&"k".into()), Some(&Some(Value::Int(1))));
+        assert_eq!(
+            log.pre_image(&"k".into()),
+            Some(&Some(Value::Int(1).into()))
+        );
         assert_eq!(log.pre_image(&"fresh".into()), Some(&None));
         assert_eq!(log.pre_image(&"untouched".into()), None);
     }
@@ -159,7 +168,7 @@ mod tests {
         let s = KvStore::new();
         s.put("k".into(), Value::Int(1));
         UndoLog::new().rollback(&s);
-        assert_eq!(s.get(&"k".into()), Some(Value::Int(1)));
+        assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(1)));
         assert!(UndoLog::new().is_empty());
     }
 

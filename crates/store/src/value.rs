@@ -1,28 +1,133 @@
 //! Keys and values.
+//!
+//! [`Key`] caches its own FNV-1a hash at construction: the hot path
+//! (shard selection, `HashMap` lookup, partition routing) never re-hashes
+//! the key text. [`Value`]s are stored behind `Arc` so reads are refcount
+//! bumps, not deep clones — see the crate docs for the aliasing rules.
 
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::Arc;
 
-/// A database key. Interned behind `Arc<str>` — keys are cloned freely into
-/// lock tables, undo logs and read/write sets.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Key(Arc<str>);
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over a byte string. This is the *routing* hash: it is stable
+/// across runs and processes, and [`crate::PartitionMap`] has always used
+/// exactly this function, so cached key hashes keep routing byte-identical.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Finalizing mix (splitmix64 tail). FNV-1a's low bits correlate with the
+/// partition/shard residues, so everything that *indexes* by hash (shard
+/// selection, `HashMap` buckets) goes through this avalanche first;
+/// only partition routing uses the raw FNV value.
+#[inline]
+pub(crate) fn mix64(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+struct KeyInner {
+    hash: u64,
+    text: Box<str>,
+}
+
+/// A database key. Interned behind `Arc` — keys are cloned freely into
+/// lock tables, undo logs and read/write sets — with its FNV-1a hash
+/// computed exactly once at construction and reused everywhere:
+/// equality checks, `HashMap` hashing (via [`KeyHashBuilder`] pass-through),
+/// store/lock-manager shard selection and partition routing.
+#[derive(Clone)]
+pub struct Key(Arc<KeyInner>);
 
 impl Key {
     /// Create a key from a string.
     pub fn new(s: &str) -> Self {
-        Key(Arc::from(s))
+        Key(Arc::new(KeyInner {
+            hash: fnv1a(s.as_bytes()),
+            text: Box::from(s),
+        }))
     }
 
     /// Key text.
     pub fn as_str(&self) -> &str {
-        &self.0
+        &self.0.text
+    }
+
+    /// The cached FNV-1a hash of the key text. Stable across runs and
+    /// processes (unlike `DefaultHasher`), so it is safe to route on.
+    #[inline]
+    pub fn hash_u64(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Shard index in `[0, n)` for in-process sharded containers. Uses the
+    /// *upper* bits of the mixed hash so it stays decorrelated from
+    /// `HashMap` bucket indices (low mixed bits) and partition residues
+    /// (raw hash modulus).
+    #[inline]
+    pub(crate) fn shard_index(&self, n: usize) -> usize {
+        ((mix64(self.0.hash) >> 32) % n as u64) as usize
     }
 
     /// A key in a numbered keyspace, e.g. `Key::indexed("user", 42)` →
     /// `"user/42"`. The workloads use this for YCSB-style key selection.
     pub fn indexed(space: &str, index: u64) -> Self {
-        Key(Arc::from(format!("{space}/{index}").as_str()))
+        use std::fmt::Write;
+        let mut text = String::with_capacity(space.len() + 21);
+        text.push_str(space);
+        text.push('/');
+        write!(text, "{index}").expect("writing to a String cannot fail");
+        Key(Arc::new(KeyInner {
+            hash: fnv1a(text.as_bytes()),
+            text: text.into_boxed_str(),
+        }))
+    }
+}
+
+impl PartialEq for Key {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality catches the common clone-of-same-key case; the
+        // cached hash rejects almost all unequal keys without a byte scan.
+        Arc::ptr_eq(&self.0, &other.0)
+            || (self.0.hash == other.0.hash && self.0.text == other.0.text)
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Single u64 write: with [`KeyHasher`] this makes map hashing a
+        // pass-through of the cached hash instead of a SipHash of the text.
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic by text — ordering is a user-visible contract
+        // (sorted snapshots, ordered lock acquisition).
+        self.0.text.cmp(&other.0.text)
     }
 }
 
@@ -34,21 +139,58 @@ impl From<&str> for Key {
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Key(Arc::from(s.as_str()))
+        Key(Arc::new(KeyInner {
+            hash: fnv1a(s.as_bytes()),
+            text: s.into_boxed_str(),
+        }))
     }
 }
 
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Key({})", self.0)
+        write!(f, "Key({})", self.as_str())
     }
 }
 
 impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
+
+/// Pass-through [`Hasher`] for [`Key`]-keyed maps: consumes the single
+/// `write_u64` of the cached key hash and finalizes with [`mix64`], so a
+/// map operation performs zero bytes of real hashing.
+#[derive(Clone, Copy, Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.0)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if a non-Key type is hashed with this hasher
+        // (e.g. a unit test); fall back to FNV-1a rather than panic.
+        self.0 = bytes.iter().fold(self.0 ^ FNV_OFFSET, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+        });
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Combine rather than overwrite so composite keys hashing several
+        // u64s (e.g. `(TxnId, Key)` tuples) don't collapse to the last
+        // write. For the single-write `Key` case this is `0 ^ n == n` —
+        // the pure pass-through the hot path relies on.
+        self.0 = self.0.rotate_left(32) ^ n;
+    }
+}
+
+/// `BuildHasher` plugging [`KeyHasher`] into `HashMap`.
+pub type KeyHashBuilder = BuildHasherDefault<KeyHasher>;
 
 /// A stored value. A small sum type keeps the example applications natural
 /// (token balances are integers, building info is text) without dragging in
@@ -122,6 +264,20 @@ impl From<Vec<u8>> for Value {
     }
 }
 
+// Heterogeneous equality so call sites can compare an `Arc<Value>` read
+// straight against a plain `Value` without unwrapping.
+impl PartialEq<Value> for Arc<Value> {
+    fn eq(&self, other: &Value) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<Arc<Value>> for Value {
+    fn eq(&self, other: &Arc<Value>) -> bool {
+        *self == **other
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +293,41 @@ mod tests {
     fn key_ordering_is_lexicographic() {
         assert!(Key::new("a") < Key::new("b"));
         assert!(Key::indexed("k", 10) < Key::indexed("k", 9)); // lexicographic!
+    }
+
+    #[test]
+    fn cached_hash_is_fnv1a_of_text() {
+        for s in [
+            "",
+            "a",
+            "user/42",
+            "τ-unicode",
+            "a/very/long/key/path/0123456789",
+        ] {
+            assert_eq!(Key::new(s).hash_u64(), fnv1a(s.as_bytes()));
+        }
+        // Construction routes (new / from-String / indexed) agree.
+        assert_eq!(
+            Key::indexed("user", 42).hash_u64(),
+            Key::from(String::from("user/42")).hash_u64()
+        );
+    }
+
+    #[test]
+    fn indexed_formats_boundary_values() {
+        assert_eq!(Key::indexed("k", 0).as_str(), "k/0");
+        assert_eq!(
+            Key::indexed("k", u64::MAX).as_str(),
+            format!("k/{}", u64::MAX)
+        );
+    }
+
+    #[test]
+    fn key_hasher_passes_cached_hash_through() {
+        use std::hash::BuildHasher;
+        let key = Key::new("user/7");
+        let hashed = KeyHashBuilder::default().hash_one(&key);
+        assert_eq!(hashed, mix64(key.hash_u64()));
     }
 
     #[test]
@@ -158,5 +349,13 @@ mod tests {
     fn key_display() {
         assert_eq!(format!("{}", Key::new("x/1")), "x/1");
         assert_eq!(format!("{:?}", Key::new("x")), "Key(x)");
+    }
+
+    #[test]
+    fn arc_value_compares_against_value() {
+        let v: Arc<Value> = Arc::new(Value::Int(3));
+        assert!(v == Value::Int(3));
+        assert!(Value::Int(3) == v);
+        assert!(v != Value::Int(4));
     }
 }

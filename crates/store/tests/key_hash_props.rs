@@ -1,0 +1,74 @@
+//! Property tests for the cached key hash: the hash stored inside a `Key`
+//! at construction must always equal an independent FNV-1a recomputation
+//! of the key text, for every construction route, and the pass-through
+//! map hasher must agree with it.
+
+use proptest::prelude::*;
+
+use croesus_store::value::{fnv1a, KeyHashBuilder};
+use croesus_store::Key;
+
+/// Independent FNV-1a reference implementation (kept deliberately separate
+/// from the one in `croesus_store::value`).
+fn reference_fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn arb_ascii_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..64)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+proptest! {
+    #[test]
+    fn cached_hash_equals_recomputation(s in arb_ascii_string()) {
+        let key = Key::new(&s);
+        prop_assert_eq!(key.hash_u64(), reference_fnv1a(s.as_bytes()));
+        prop_assert_eq!(key.hash_u64(), fnv1a(s.as_bytes()));
+    }
+
+    #[test]
+    fn construction_routes_agree(s in arb_ascii_string()) {
+        let from_str = Key::new(&s);
+        let from_string = Key::from(s.clone());
+        prop_assert_eq!(from_str.hash_u64(), from_string.hash_u64());
+        prop_assert_eq!(&from_str, &from_string);
+    }
+
+    #[test]
+    fn indexed_matches_formatted(space in prop::collection::vec(97u8..123, 1..8), idx in any::<u64>()) {
+        let space = String::from_utf8(space).expect("ascii letters");
+        let indexed = Key::indexed(&space, idx);
+        let formatted = Key::new(&format!("{space}/{idx}"));
+        prop_assert_eq!(indexed.as_str(), formatted.as_str());
+        prop_assert_eq!(indexed.hash_u64(), formatted.hash_u64());
+        prop_assert_eq!(indexed.hash_u64(), reference_fnv1a(formatted.as_str().as_bytes()));
+    }
+
+    #[test]
+    fn hashmap_round_trips_with_passthrough_hasher(
+        texts in prop::collection::vec(arb_ascii_string(), 0..32)
+    ) {
+        let mut map: std::collections::HashMap<Key, usize, KeyHashBuilder> =
+            std::collections::HashMap::default();
+        for (i, t) in texts.iter().enumerate() {
+            map.insert(Key::new(t), i); // later duplicates overwrite
+        }
+        for t in &texts {
+            let last = texts.iter().rposition(|u| u == t).unwrap();
+            prop_assert_eq!(map.get(&Key::new(t)), Some(&last));
+        }
+    }
+}
+
+#[test]
+fn unicode_keys_hash_consistently() {
+    for s in ["τ-unicode", "日本語/キー", "emoji/🔑", "mixed/π/42"] {
+        assert_eq!(Key::new(s).hash_u64(), reference_fnv1a(s.as_bytes()));
+    }
+}

@@ -139,9 +139,10 @@ impl ApologyManager {
                 let depends = affected.iter().any(|&a| {
                     let base = &inner.entries[a];
                     base.seq < later.seq
-                        && base.writes.iter().any(|w| {
-                            later.reads.contains(w) || later.writes.contains(w)
-                        })
+                        && base
+                            .writes
+                            .iter()
+                            .any(|w| later.reads.contains(w) || later.writes.contains(w))
                 });
                 if depends {
                     affected.insert(i);
@@ -213,7 +214,12 @@ impl ApologyManager {
 
     /// Number of live (registered, unretracted) entries.
     pub fn live_count(&self) -> usize {
-        self.inner.lock().entries.iter().filter(|e| !e.retracted).count()
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|e| !e.retracted)
+            .count()
     }
 }
 
@@ -248,9 +254,9 @@ mod tests {
         store.put("a".into(), Value::Int(1));
         let mgr = ApologyManager::new();
         run_initial(&mgr, &store, TxnId(1), &[], &[("a", 99)]);
-        assert_eq!(store.get(&"a".into()), Some(Value::Int(99)));
+        assert_eq!(store.get(&"a".into()).as_deref(), Some(&Value::Int(99)));
         let report = mgr.retract(TxnId(1), &store, "wrong label");
-        assert_eq!(store.get(&"a".into()), Some(Value::Int(1)));
+        assert_eq!(store.get(&"a".into()).as_deref(), Some(&Value::Int(1)));
         assert_eq!(report.retracted, vec![TxnId(1)]);
         assert_eq!(report.cascade_size(), 0);
         assert!(report.apologies[0].reason.contains("wrong label"));
@@ -292,7 +298,7 @@ mod tests {
         run_initial(&mgr, &store, TxnId(2), &[], &[("z", 2)]);
         let report = mgr.retract(TxnId(1), &store, "only t1");
         assert_eq!(report.retracted, vec![TxnId(1)]);
-        assert_eq!(store.get(&"z".into()), Some(Value::Int(2)));
+        assert_eq!(store.get(&"z".into()).as_deref(), Some(&Value::Int(2)));
         assert!(mgr.is_live(TxnId(2)));
         assert!(!mgr.is_live(TxnId(1)));
     }
@@ -325,13 +331,13 @@ mod tests {
         transfer(&mgr, 2, "B", "C", 10);
         transfer(&mgr, 3, "B", "C", 50);
         // State now: A=0, B=0, C=60.
-        assert_eq!(store.get(&"C".into()), Some(Value::Int(60)));
+        assert_eq!(store.get(&"C".into()).as_deref(), Some(&Value::Int(60)));
         let report = mgr.retract(TxnId(1), &store, "recipient was D, not B");
         assert_eq!(report.retracted, vec![TxnId(3), TxnId(2), TxnId(1)]);
         // Everything rolled back to the start.
-        assert_eq!(store.get(&"A".into()), Some(Value::Int(50)));
-        assert_eq!(store.get(&"B".into()), Some(Value::Int(10)));
-        assert_eq!(store.get(&"C".into()), Some(Value::Int(0)));
+        assert_eq!(store.get(&"A".into()).as_deref(), Some(&Value::Int(50)));
+        assert_eq!(store.get(&"B".into()).as_deref(), Some(&Value::Int(10)));
+        assert_eq!(store.get(&"C".into()).as_deref(), Some(&Value::Int(0)));
         assert_eq!(mgr.apologies().len(), 3);
     }
 
@@ -375,6 +381,6 @@ mod tests {
         run_initial(&mgr, &store, TxnId(2), &["q"], &[("r", 7)]);
         let report = mgr.retract(TxnId(1), &store, "x");
         assert_eq!(report.retracted, vec![TxnId(1)]);
-        assert_eq!(store.get(&"r".into()), Some(Value::Int(7)));
+        assert_eq!(store.get(&"r".into()).as_deref(), Some(&Value::Int(7)));
     }
 }

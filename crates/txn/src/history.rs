@@ -287,7 +287,9 @@ impl HistoryChecker {
             if s.section != SectionKind::Initial {
                 continue;
             }
-            let Some(init_seq) = s.commit_seq else { continue };
+            let Some(init_seq) = s.commit_seq else {
+                continue;
+            };
             match self.committed(s.txn, SectionKind::Final) {
                 Some(f) => {
                     let f_seq = f.commit_seq.expect("committed() implies Some");
@@ -300,10 +302,7 @@ impl HistoryChecker {
                 }
                 None if still_pending.contains(&s.txn) => {}
                 None => {
-                    return Err(format!(
-                        "{}: initial committed but final never did",
-                        s.txn
-                    ));
+                    return Err(format!("{}: initial committed but final never did", s.txn));
                 }
             }
         }
@@ -423,7 +422,10 @@ impl HistoryChecker {
                 // consistency instead: conflicting sections must have
                 // distinct commit seqs (they do, globally ordered) — nothing
                 // further to verify at this granularity.
-                let (sa, sb) = (a.commit_seq.expect("committed"), b.commit_seq.expect("committed"));
+                let (sa, sb) = (
+                    a.commit_seq.expect("committed"),
+                    b.commit_seq.expect("committed"),
+                );
                 if sa == sb {
                     return Err(format!(
                         "sections of {} and {} share a commit seq",
@@ -539,11 +541,7 @@ mod tests {
         h.record_commit(t2, SectionKind::Initial);
         for t in [t2, t1] {
             h.record_begin(t, SectionKind::Final);
-            h.record_write(
-                t,
-                SectionKind::Final,
-                &k(if t == t1 { "a" } else { "b" }),
-            );
+            h.record_write(t, SectionKind::Final, &k(if t == t1 { "a" } else { "b" }));
             h.record_commit(t, SectionKind::Final);
         }
         assert!(h.checker().check_ms_sr().is_ok());

@@ -25,7 +25,11 @@ pub struct InvariantViolation {
 
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invariant '{}' violated: {}", self.invariant, self.detail)
+        write!(
+            f,
+            "invariant '{}' violated: {}",
+            self.invariant, self.detail
+        )
     }
 }
 

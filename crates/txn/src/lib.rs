@@ -39,8 +39,7 @@ pub mod tpc;
 pub use apology::{Apology, ApologyManager, RetractionReport};
 pub use history::{HistoryChecker, HistoryRecorder, SectionEvent, SectionKind};
 pub use invariant::{
-    merge_decision, FnInvariant, Invariant, InvariantViolation, MergeOutcome,
-    NonNegativeInvariant,
+    merge_decision, FnInvariant, Invariant, InvariantViolation, MergeOutcome, NonNegativeInvariant,
 };
 pub use model::{RwSet, SectionCtx, SectionOutput, TxnError};
 pub use ms_ia::{FinalCtx, MsIaExecutor, PendingFinal};

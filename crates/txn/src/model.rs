@@ -192,7 +192,9 @@ impl<'a> SectionCtx<'a> {
     }
 
     /// Read a key. Errors if the key was not declared as a read or write.
-    pub fn read(&mut self, key: impl Into<Key>) -> Result<Option<Value>, TxnError> {
+    /// Returns a shared handle to the stored value — a refcount bump, not
+    /// a deep clone.
+    pub fn read(&mut self, key: impl Into<Key>) -> Result<Option<std::sync::Arc<Value>>, TxnError> {
         let key = key.into();
         if !self.declared.reads.contains(&key) && !self.declared.writes.contains(&key) {
             return Err(TxnError::UndeclaredAccess(key.to_string()));
@@ -311,8 +313,14 @@ mod tests {
         );
         assert!(ctx.write("w", 1).is_ok());
         // Reads do not authorize writes.
-        assert!(matches!(ctx.write("a", 1), Err(TxnError::UndeclaredAccess(_))));
-        assert!(matches!(ctx.delete("a"), Err(TxnError::UndeclaredAccess(_))));
+        assert!(matches!(
+            ctx.write("a", 1),
+            Err(TxnError::UndeclaredAccess(_))
+        ));
+        assert!(matches!(
+            ctx.delete("a"),
+            Err(TxnError::UndeclaredAccess(_))
+        ));
     }
 
     #[test]
@@ -332,9 +340,9 @@ mod tests {
             );
             ctx.write("w", 2).unwrap();
         }
-        assert_eq!(store.get(&"w".into()), Some(Value::Int(2)));
+        assert_eq!(store.get(&"w".into()).as_deref(), Some(&Value::Int(2)));
         undo.rollback(&store);
-        assert_eq!(store.get(&"w".into()), Some(Value::Int(1)));
+        assert_eq!(store.get(&"w".into()).as_deref(), Some(&Value::Int(1)));
     }
 
     #[test]
@@ -351,7 +359,7 @@ mod tests {
             &mut undo,
             None,
         );
-        assert_eq!(ctx.read("w").unwrap(), Some(Value::Int(7)));
+        assert_eq!(ctx.read("w").unwrap().as_deref(), Some(&Value::Int(7)));
         assert_eq!(ctx.section(), SectionKind::Final);
         assert_eq!(ctx.txn(), TxnId(1));
     }

@@ -100,7 +100,7 @@ impl FinalCtx<'_> {
 ///     ctx.write("x", 2)?;
 ///     Ok(())
 /// }).unwrap();
-/// assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(2)));
+/// assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
 /// ```
 pub struct MsIaExecutor {
     store: Arc<KvStore>,
@@ -276,11 +276,8 @@ mod tests {
     use std::thread;
 
     fn executor(policy: LockPolicy) -> MsIaExecutor {
-        MsIaExecutor::new(
-            Arc::new(KvStore::new()),
-            Arc::new(LockManager::new(policy)),
-        )
-        .with_history(HistoryRecorder::new())
+        MsIaExecutor::new(Arc::new(KvStore::new()), Arc::new(LockManager::new(policy)))
+            .with_history(HistoryRecorder::new())
     }
 
     #[test]
@@ -294,13 +291,13 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(1)));
+        assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(1)));
         ex.run_final(pending, &rw_f, |ctx, _| {
             ctx.write("x", 2)?;
             Ok(())
         })
         .unwrap();
-        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(2)));
+        assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
         assert_eq!(ex.stats().snapshot().commits, 1);
     }
 
@@ -321,8 +318,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen, Some(10), "t2 observed t1's initial effects");
-        ex.run_final(pending1, &RwSet::new(), |_, _| Ok(())).unwrap();
-        ex.run_final(pending2, &RwSet::new(), |_, _| Ok(())).unwrap();
+        ex.run_final(pending1, &RwSet::new(), |_, _| Ok(()))
+            .unwrap();
+        ex.run_final(pending2, &RwSet::new(), |_, _| Ok(()))
+            .unwrap();
     }
 
     #[test]
@@ -371,7 +370,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(report.retracted, vec![TxnId(1)]);
-        assert_eq!(store.get(&"room".into()), Some(Value::Str("free".into())));
+        assert_eq!(
+            store.get(&"room".into()).as_deref(),
+            Some(&Value::Str("free".into()))
+        );
         assert_eq!(ex.apologies().apologies().len(), 1);
     }
 
@@ -396,7 +398,9 @@ mod tests {
         ex.run_final(p2, &RwSet::new(), |_, _| Ok(())).unwrap();
         // t1's final discovers the error and retracts: cascade takes t2.
         let report = ex
-            .run_final(p1, &RwSet::new(), |_, fctx| Ok(fctx.retract_self("wrong player")))
+            .run_final(p1, &RwSet::new(), |_, fctx| {
+                Ok(fctx.retract_self("wrong player"))
+            })
             .unwrap();
         assert_eq!(report.retracted, vec![TxnId(2), TxnId(1)]);
         assert!(!ex.store().contains(&"b".into()));
@@ -437,7 +441,7 @@ mod tests {
         .unwrap();
         // Lost update happened (both read 0): that is exactly the anomaly
         // MS-IA permits and MS-SR forbids.
-        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(1)));
+        assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(1)));
         let checker = history.checker();
         assert!(checker.check_ms_ia(&[]).is_ok());
         assert!(checker.check_ms_sr().is_err());

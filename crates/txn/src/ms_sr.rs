@@ -185,8 +185,7 @@ impl TsplExecutor {
     }
 
     fn release_quiet(&self, txn: TxnId, pairs: &[(croesus_store::Key, croesus_store::LockMode)]) {
-        self.locks
-            .release_all(txn, pairs.iter().map(|(k, _)| k));
+        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
     }
 
     fn abort(&self, txn: TxnId, _started: Instant, _epoch: Option<Instant>) {
@@ -205,11 +204,8 @@ mod tests {
     use std::thread;
 
     fn executor(policy: LockPolicy) -> TsplExecutor {
-        TsplExecutor::new(
-            Arc::new(KvStore::new()),
-            Arc::new(LockManager::new(policy)),
-        )
-        .with_history(HistoryRecorder::new())
+        TsplExecutor::new(Arc::new(KvStore::new()), Arc::new(LockManager::new(policy)))
+            .with_history(HistoryRecorder::new())
     }
 
     #[test]
@@ -232,7 +228,10 @@ mod tests {
             .unwrap();
         assert_eq!(i, 0);
         assert_eq!(f, "done");
-        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(42)));
+        assert_eq!(
+            ex.store().get(&"x".into()).as_deref(),
+            Some(&Value::Int(42))
+        );
         assert_eq!(ex.stats().snapshot().commits, 1);
     }
 
@@ -280,8 +279,14 @@ mod tests {
             .lock(TxnId(99), &"x".into(), croesus_store::LockMode::Exclusive)
             .unwrap();
         let rw = RwSet::new().write("x");
-        let r: Result<((), ()), _> =
-            ex.execute(TxnId(100), &rw, &RwSet::new(), |_| Ok(()), || {}, |_| Ok(()));
+        let r: Result<((), ()), _> = ex.execute(
+            TxnId(100),
+            &rw,
+            &RwSet::new(),
+            |_| Ok(()),
+            || {},
+            |_| Ok(()),
+        );
         assert!(matches!(r, Err(TxnError::Aborted(_))));
     }
 
@@ -308,8 +313,8 @@ mod tests {
         );
         assert!(r.is_err());
         assert_eq!(
-            store.get(&"y".into()),
-            Some(Value::Int(0)),
+            store.get(&"y".into()).as_deref(),
+            Some(&Value::Int(0)),
             "initial write must be undone because initial commit never happened"
         );
     }
@@ -320,9 +325,8 @@ mod tests {
         let store = Arc::new(KvStore::new());
         store.put("x".into(), Value::Int(0));
         let locks = Arc::new(LockManager::new(LockPolicy::Block));
-        let ex = Arc::new(
-            TsplExecutor::new(Arc::clone(&store), locks).with_history(history.clone()),
-        );
+        let ex =
+            Arc::new(TsplExecutor::new(Arc::clone(&store), locks).with_history(history.clone()));
         // The §4.2 increment anomaly: read x in initial, write x+1 in final.
         let threads: Vec<_> = (0..4)
             .map(|i| {
@@ -354,9 +358,11 @@ mod tests {
             t.join().unwrap();
         }
         // No lost updates: x incremented once per transaction.
-        assert_eq!(store.get(&"x".into()), Some(Value::Int(4)));
+        assert_eq!(store.get(&"x".into()).as_deref(), Some(&Value::Int(4)));
         let checker = history.checker();
-        checker.check_ms_sr().expect("TSPL history must satisfy MS-SR");
+        checker
+            .check_ms_sr()
+            .expect("TSPL history must satisfy MS-SR");
     }
 
     #[test]

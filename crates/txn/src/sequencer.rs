@@ -45,9 +45,7 @@ impl Sequencer {
             // transaction that precedes it in the batch.
             let mut placed = false;
             for w in (0..waves.len()).rev() {
-                let conflicts_here = waves[w]
-                    .iter()
-                    .any(|&j| rwsets[j].conflicts_with(rw));
+                let conflicts_here = waves[w].iter().any(|&j| rwsets[j].conflicts_with(rw));
                 if conflicts_here {
                     // Must go in a wave strictly after w.
                     if w + 1 < waves.len() {
@@ -162,11 +160,11 @@ mod tests {
     #[test]
     fn mixed_batch_preserves_order_of_conflicts() {
         let sets = vec![
-            rw(&[], &["a"]),      // 0
-            rw(&["a"], &["b"]),   // 1: conflicts with 0
-            rw(&[], &["c"]),      // 2: independent
-            rw(&["b"], &[]),      // 3: conflicts with 1
-            rw(&[], &["a"]),      // 4: conflicts with 0 and 1
+            rw(&[], &["a"]),    // 0
+            rw(&["a"], &["b"]), // 1: conflicts with 0
+            rw(&[], &["c"]),    // 2: independent
+            rw(&["b"], &[]),    // 3: conflicts with 1
+            rw(&[], &["a"]),    // 4: conflicts with 0 and 1
         ];
         let waves = Sequencer::waves(&sets);
         assert_valid_waves(&sets, &waves);

@@ -107,7 +107,10 @@ impl StagedExecutor {
     /// Begin an m-stage transaction. Panics unless `stages >= 2` — one
     /// stage is a plain transaction, and the paper's model starts at two.
     pub fn begin(&self, txn: TxnId, stages: usize) -> StageToken {
-        assert!(stages >= 2, "a multi-stage transaction needs at least 2 stages");
+        assert!(
+            stages >= 2,
+            "a multi-stage transaction needs at least 2 stages"
+        );
         StageToken {
             txn,
             index: 0,
@@ -239,7 +242,7 @@ mod tests {
             })
             .unwrap();
         assert!(done.is_none());
-        assert_eq!(ex.store().get(&"x".into()), Some(Value::Int(2)));
+        assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
         let checker = ex.history.as_ref().unwrap().checker();
         checker.check_stage_order().unwrap();
         checker.check_ms_ia(&[]).unwrap();
@@ -272,7 +275,12 @@ mod tests {
         let (_, t) = ex.run_stage(t, &RwSet::new(), |_| Ok(())).unwrap();
         let (_, done) = ex.run_stage(t.unwrap(), &RwSet::new(), |_| Ok(())).unwrap();
         assert!(done.is_none());
-        ex.history.as_ref().unwrap().checker().check_ms_ia(&[]).unwrap();
+        ex.history
+            .as_ref()
+            .unwrap()
+            .checker()
+            .check_ms_ia(&[])
+            .unwrap();
     }
 
     #[test]
@@ -320,7 +328,9 @@ mod tests {
             })
             .unwrap();
         let _ = t;
-        let report = ex.apologies().retract(TxnId(1), ex.store(), "stage-0 was wrong");
+        let report = ex
+            .apologies()
+            .retract(TxnId(1), ex.store(), "stage-0 was wrong");
         assert_eq!(report.retracted.len(), 1);
         assert!(!ex.store().contains(&"guess".into()));
     }

@@ -68,7 +68,9 @@ impl ProtocolStats {
 
     /// Record the latency from transaction start to initial commit.
     pub fn record_initial_latency(&self, latency: Duration) {
-        self.initial_latency_ms.lock().push(latency.as_secs_f64() * 1e3);
+        self.initial_latency_ms
+            .lock()
+            .push(latency.as_secs_f64() * 1e3);
     }
 
     /// Current counters and means.

@@ -207,7 +207,7 @@ mod tests {
         let outcome = coord.commit_writes(TxnId(1), &ws);
         assert!(matches!(outcome, TpcOutcome::Committed { participants } if participants > 1));
         for (k, v) in &ws {
-            assert_eq!(pm.partition_of(k).store.get(k), Some(v.clone()));
+            assert_eq!(pm.partition_of(k).store.get(k).as_deref(), Some(&v.clone()));
         }
         // All locks released.
         for p in pm.partitions() {
@@ -280,8 +280,8 @@ mod tests {
         );
         assert_eq!(outcome, TpcOutcome::Aborted { voted: 1 });
         assert_eq!(
-            part.store.get(&"pre".into()),
-            Some(Value::Int(1)),
+            part.store.get(&"pre".into()).as_deref(),
+            Some(&Value::Int(1)),
             "good participant's staged write must be rolled back"
         );
         assert_eq!(part.locks.locked_keys(), 0);

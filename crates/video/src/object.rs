@@ -124,7 +124,10 @@ mod tests {
         o.velocity = (0.2, 0.0);
         // After enough frames the clamped box has zero width.
         let visible_frames: Vec<u64> = (10..50).filter(|&f| o.visible_at(f)).collect();
-        assert!(visible_frames.len() < 40, "object should exit the frame early");
+        assert!(
+            visible_frames.len() < 40,
+            "object should exit the frame early"
+        );
         assert!(o.visible_at(10));
     }
 

@@ -300,7 +300,10 @@ mod tests {
             ..SceneConfig::default()
         };
         let v = Video::generate(cfg, 13);
-        assert!(v.frame(0).objects.len() >= 4, "most initial objects visible");
+        assert!(
+            v.frame(0).objects.len() >= 4,
+            "most initial objects visible"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn main() {
     let edge = run_edge_only(&config);
     let cloud = run_cloud_only(&config);
 
-    println!("\n{:<12} {:>12} {:>12} {:>8} {:>7}", "system", "initial ms", "final ms", "F", "BU%");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>8} {:>7}",
+        "system", "initial ms", "final ms", "F", "BU%"
+    );
     for m in [&edge, &croesus, &cloud] {
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>8.2} {:>7.1}",

@@ -49,7 +49,7 @@ impl TxnTemplate for DisplayBuildingInfo {
             initial: Box::new(move |ctx| {
                 let info = ctx.read(guessed_initial.as_str())?;
                 Ok(SectionOutput {
-                    response: info.into_iter().collect(),
+                    response: info.into_iter().map(|v| (*v).clone()).collect(),
                 })
             }),
             final_section: Box::new(move |ctx, input: &FinalInput| {
@@ -62,7 +62,9 @@ impl TxnTemplate for DisplayBuildingInfo {
                             format!(
                                 "APOLOGY: showing {} ({})",
                                 correct.class,
-                                right.and_then(|v| v.as_str().map(String::from)).unwrap_or_default()
+                                right
+                                    .and_then(|v| v.as_str().map(String::from))
+                                    .unwrap_or_default()
                             ),
                         )?;
                     }
@@ -102,7 +104,10 @@ impl TxnTemplate for ReserveStudyRoom {
             final_rw,
             initial: Box::new(move |ctx| {
                 let key = format!("rooms/{g1}");
-                let free = ctx.read(key.as_str())?.and_then(|v| v.as_int()).unwrap_or(0);
+                let free = ctx
+                    .read(key.as_str())?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
                 if free > 0 {
                     ctx.write(key.as_str(), free - 1)?;
                     Ok(SectionOutput::respond(format!("reserved in {g1}")))
@@ -114,10 +119,16 @@ impl TxnTemplate for ReserveStudyRoom {
                 if let LabelVerdict::Corrected(correct) = &input.verdict {
                     // Undo the wrong reservation, book the right building.
                     let wrong = format!("rooms/{g2}");
-                    let w = ctx.read(wrong.as_str())?.and_then(|v| v.as_int()).unwrap_or(0);
+                    let w = ctx
+                        .read(wrong.as_str())?
+                        .and_then(|v| v.as_int())
+                        .unwrap_or(0);
                     ctx.write(wrong.as_str(), w + 1)?;
                     let right = format!("rooms/{}", correct.class);
-                    let r = ctx.read(right.as_str())?.and_then(|v| v.as_int()).unwrap_or(0);
+                    let r = ctx
+                        .read(right.as_str())?
+                        .and_then(|v| v.as_int())
+                        .unwrap_or(0);
                     if r > 0 {
                         ctx.write(right.as_str(), r - 1)?;
                         ctx.write(
@@ -127,7 +138,10 @@ impl TxnTemplate for ReserveStudyRoom {
                     } else {
                         ctx.write(
                             "render/reservation",
-                            format!("APOLOGY: {} has no rooms; reservation cancelled", correct.class),
+                            format!(
+                                "APOLOGY: {} has no rooms; reservation cancelled",
+                                correct.class
+                            ),
                         )?;
                     }
                 }
@@ -138,14 +152,24 @@ impl TxnTemplate for ReserveStudyRoom {
 }
 
 fn det(class: &str, conf: f64) -> Detection {
-    Detection::new(class.into(), conf, BoundingBox::centered(0.5, 0.5, 0.3, 0.3))
+    Detection::new(
+        class.into(),
+        conf,
+        BoundingBox::centered(0.5, 0.5, 0.3, 0.3),
+    )
 }
 
 fn main() {
     // The edge database: building info and study-room counts.
     let store = Arc::new(KvStore::new());
-    store.put("info/engineering".into(), Value::from("3 study rooms, open late"));
-    store.put("info/library".into(), Value::from("12 study rooms, quiet floors"));
+    store.put(
+        "info/engineering".into(),
+        Value::from("3 study rooms, open late"),
+    );
+    store.put(
+        "info/library".into(),
+        Value::from("12 study rooms, quiet floors"),
+    );
     store.put("rooms/engineering".into(), Value::Int(1));
     store.put("rooms/library".into(), Value::Int(5));
 
@@ -168,7 +192,10 @@ fn main() {
     // Frame 1: the edge model says "engineering" (it is actually the
     // library — the cloud will correct it). The user also clicks.
     let edge_label = det("engineering", 0.55);
-    println!("edge detected: {} (confidence {:.2})", edge_label.class, edge_label.confidence);
+    println!(
+        "edge detected: {} (confidence {:.2})",
+        edge_label.class, edge_label.confidence
+    );
 
     let mut pendings = Vec::new();
     for rule in bank.triggered_by_label(&edge_label) {
@@ -216,13 +243,13 @@ fn main() {
         println!("  {key} = {:?}", store.get(&key.into()));
     }
     assert_eq!(
-        store.get(&"rooms/engineering".into()),
-        Some(Value::Int(1)),
+        store.get(&"rooms/engineering".into()).as_deref(),
+        Some(&Value::Int(1)),
         "the wrong reservation was returned"
     );
     assert_eq!(
-        store.get(&"rooms/library".into()),
-        Some(Value::Int(4)),
+        store.get(&"rooms/library".into()).as_deref(),
+        Some(&Value::Int(4)),
         "the corrected reservation landed in the library"
     );
     println!("\nthe guess was wrong, the final stage fixed it, and the user got an apology.");

@@ -18,20 +18,31 @@ fn main() {
         Some("pedestrians") => VideoPreset::StreetPedestrians,
         _ => VideoPreset::MallSurveillance,
     };
-    let mu: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.80);
+    let mu: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.80);
 
-    println!("video: {} — query '{}', µ = {mu}", preset.description(), preset.query());
+    println!(
+        "video: {} — query '{}', µ = {mu}",
+        preset.description(),
+        preset.query()
+    );
     let video = preset.generate(300, 42);
     let edge = SimulatedModel::new(ModelProfile::tiny_yolov3(), 42 ^ 0xE);
     let cloud = SimulatedModel::new(ModelProfile::yolov3_416(), 42 ^ 0xC);
     let ev = ThresholdEvaluator::build(&video, &edge, &cloud, 0.10);
 
     // A few interpretable operating points.
-    println!("\n{:>12} {:>8} {:>8} {:>10} {:>8}", "(θL, θU)", "BU%", "F", "precision", "recall");
-    for (lo, hi) in [(0.5, 0.5), (0.5, 0.6), (0.4, 0.6), (0.3, 0.7), (0.2, 0.8), (0.0, 0.9)] {
+    println!(
+        "\n{:>12} {:>8} {:>8} {:>10} {:>8}",
+        "(θL, θU)", "BU%", "F", "precision", "recall"
+    );
+    for (lo, hi) in [
+        (0.5, 0.5),
+        (0.5, 0.6),
+        (0.4, 0.6),
+        (0.3, 0.7),
+        (0.2, 0.8),
+        (0.0, 0.9),
+    ] {
         let out = ev.evaluate(ThresholdPair::new(lo, hi));
         println!(
             "{:>12} {:>8.1} {:>8.2} {:>10.2} {:>8.2}",
@@ -52,7 +63,11 @@ fn main() {
         brute.outcome.bu * 100.0,
         brute.outcome.f_score,
         brute.evaluations,
-        if brute.feasible { "" } else { " (µ unreachable — best effort)" }
+        if brute.feasible {
+            ""
+        } else {
+            " (µ unreachable — best effort)"
+        }
     );
     println!(
         "gradient:    ({:.1},{:.1}) BU {:.0}% F {:.2} — {} evaluations ({:.1}x fewer)",

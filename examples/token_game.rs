@@ -15,12 +15,13 @@
 use std::sync::Arc;
 
 use croesus::store::{Key, KvStore, LockManager, LockPolicy, TxnId, Value};
-use croesus::txn::{
-    Invariant, MsIaExecutor, NonNegativeInvariant, RwSet,
-};
+use croesus::txn::{Invariant, MsIaExecutor, NonNegativeInvariant, RwSet};
 
 fn balance(store: &KvStore, player: &str) -> i64 {
-    store.get(&player.into()).and_then(|v| v.as_int()).unwrap_or(0)
+    store
+        .get(&player.into())
+        .and_then(|v| v.as_int())
+        .unwrap_or(0)
 }
 
 fn print_balances(store: &KvStore, when: &str) {
@@ -64,8 +65,12 @@ fn main() {
     print_balances(&store, "after guesses (t1: A→B 50, t2: B→C 10, t3: B→C 50)");
 
     // t2 and t3's cloud inputs were correct: their final sections terminate.
-    executor.run_final(p2, &RwSet::new(), |_, _| Ok(())).unwrap();
-    executor.run_final(p3, &RwSet::new(), |_, _| Ok(())).unwrap();
+    executor
+        .run_final(p2, &RwSet::new(), |_, _| Ok(()))
+        .unwrap();
+    executor
+        .run_final(p3, &RwSet::new(), |_, _| Ok(()))
+        .unwrap();
 
     // t1's final section learns the recipient was D, not B. A full cascade
     // would drag t2 and t3 down with it; the invariant-confluent merge
@@ -73,10 +78,14 @@ fn main() {
     // tokens legitimately went to C), and retract only what B could not
     // have sent — the 50 tokens of t3.
     let rw = RwSet::new()
-        .read("A").write("A")
-        .read("B").write("B")
-        .read("C").write("C")
-        .read("D").write("D");
+        .read("A")
+        .write("A")
+        .read("B")
+        .write("B")
+        .read("C")
+        .write("C")
+        .read("D")
+        .write("D");
     let store_for_check = Arc::clone(&store);
     executor
         .run_final(p1, &rw, move |ctx, _fctx| {
@@ -86,8 +95,9 @@ fn main() {
             ctx.write("B", b - 50)?;
             ctx.write("D", d + 50)?;
             // 2. Check the invariant: no player below zero.
-            let inv = NonNegativeInvariant::over(["A".into(), "B".into(), "C".into(), "D".into()]
-                as [Key; 4]);
+            let inv = NonNegativeInvariant::over(
+                ["A".into(), "B".into(), "C".into(), "D".into()] as [Key; 4]
+            );
             if let Err(violation) = inv.check(&store_for_check) {
                 println!("invariant violated after redirect: {violation}");
                 // 3. Merge: B is at -50 because t3 spent tokens B never
@@ -109,12 +119,20 @@ fn main() {
     print_balances(&store, "after t1's final section (correct recipient: D)");
 
     // The invariant now holds and the merge retained t2.
-    let inv = NonNegativeInvariant::over(["A".into(), "B".into(), "C".into(), "D".into()]
-        as [Key; 4]);
+    let inv =
+        NonNegativeInvariant::over(["A".into(), "B".into(), "C".into(), "D".into()] as [Key; 4]);
     inv.check(&store).expect("merge restored the invariant");
     assert_eq!(balance(&store, "A"), 0);
     assert_eq!(balance(&store, "B"), 0);
-    assert_eq!(balance(&store, "C"), 10, "t2's legitimate transfer survived the merge");
-    assert_eq!(balance(&store, "D"), 50, "the rightful recipient got the tokens");
+    assert_eq!(
+        balance(&store, "C"),
+        10,
+        "t2's legitimate transfer survived the merge"
+    );
+    assert_eq!(
+        balance(&store, "D"),
+        50,
+        "the rightful recipient got the tokens"
+    );
     println!("\nmerge retained t2, retracted only t3 — minimal retraction, invariants restored.");
 }

@@ -35,8 +35,8 @@ fn ms_ia_runs_2pc_at_both_sections() {
 
     for (k, _) in &final_writes {
         assert_eq!(
-            pm.partition_of(k).store.get(k),
-            Some(Value::from("seen:car")),
+            pm.partition_of(k).store.get(k).as_deref(),
+            Some(&Value::from("seen:car")),
             "correction must be visible on {k}'s home partition"
         );
     }
@@ -69,7 +69,10 @@ fn final_section_2pc_failure_leaves_initial_state_intact() {
 
     // Atomicity: not one partition shows a final-round write.
     for (k, _) in &final_writes {
-        assert_eq!(pm.partition_of(k).store.get(k), Some(Value::Int(1)));
+        assert_eq!(
+            pm.partition_of(k).store.get(k).as_deref(),
+            Some(&Value::Int(1))
+        );
     }
 
     // After the blocker releases, the retry commits.

@@ -160,6 +160,19 @@ proptest! {
     }
 
     #[test]
+    fn key_cached_hash_matches_recomputation(bytes in prop::collection::vec(32u8..127, 0..48)) {
+        let text = String::from_utf8(bytes).expect("printable ascii");
+        let key = Key::new(&text);
+        // Independent FNV-1a recomputation of the key text.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        prop_assert_eq!(key.hash_u64(), h);
+    }
+
+    #[test]
     fn kv_versions_count_writes(n in 1usize..50) {
         let store = KvStore::new();
         for i in 0..n {

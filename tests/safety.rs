@@ -6,9 +6,7 @@ use std::thread;
 use std::time::Duration;
 
 use croesus::store::{KvStore, LockManager, LockPolicy, TxnId, Value};
-use croesus::txn::{
-    HistoryRecorder, MsIaExecutor, RwSet, Sequencer, TsplExecutor,
-};
+use croesus::txn::{HistoryRecorder, MsIaExecutor, RwSet, Sequencer, TsplExecutor};
 
 /// Run `n` concurrent increment transactions (read x initially, write x+1
 /// finally — the §4.2 anomaly workload) under TSPL.
@@ -63,7 +61,7 @@ fn run_tspl_increments(n: u64, threads: usize) -> (Arc<KvStore>, HistoryRecorder
 fn tspl_history_satisfies_ms_sr_and_loses_no_updates() {
     let (store, history) = run_tspl_increments(24, 4);
     // MS-SR forbids the lost-update anomaly: x counts every increment.
-    assert_eq!(store.get(&"x".into()), Some(Value::Int(24)));
+    assert_eq!(store.get(&"x".into()).as_deref(), Some(&Value::Int(24)));
     let checker = history.checker();
     checker.check_ms_sr().expect("TSPL must satisfy MS-SR");
     checker
@@ -116,7 +114,10 @@ fn ms_ia_concurrent_history_satisfies_ms_ia() {
     assert_eq!(checker.committed_txns().len(), 6);
     // Because initial sections hold their locks while incrementing, the
     // counter itself is exact even under MS-IA.
-    assert_eq!(executor.store().get(&"hot".into()), Some(Value::Int(6)));
+    assert_eq!(
+        executor.store().get(&"hot".into()).as_deref(),
+        Some(&Value::Int(6))
+    );
 }
 
 #[test]
@@ -154,13 +155,18 @@ fn sequenced_ms_ia_batches_preserve_exactness() {
     })
     .unwrap();
     for (idx, p) in pendings {
-        executor
-            .run_final(p, &RwSet::new(), |_, _| Ok(()))
-            .unwrap();
+        executor.run_final(p, &RwSet::new(), |_, _| Ok(())).unwrap();
         let _ = idx;
     }
-    assert_eq!(executor.store().get(&"acc".into()), Some(Value::Int(10)));
-    assert_eq!(executor.stats().snapshot().aborts, 0, "sequenced = 0 aborts");
+    assert_eq!(
+        executor.store().get(&"acc".into()).as_deref(),
+        Some(&Value::Int(10))
+    );
+    assert_eq!(
+        executor.stats().snapshot().aborts,
+        0,
+        "sequenced = 0 aborts"
+    );
 }
 
 #[test]
@@ -194,8 +200,12 @@ fn retraction_cascade_is_consistent_under_interleaving() {
             Ok(())
         })
         .unwrap();
-    executor.run_final(p2, &RwSet::new(), |_, _| Ok(())).unwrap();
-    executor.run_final(p3, &RwSet::new(), |_, _| Ok(())).unwrap();
+    executor
+        .run_final(p2, &RwSet::new(), |_, _| Ok(()))
+        .unwrap();
+    executor
+        .run_final(p3, &RwSet::new(), |_, _| Ok(()))
+        .unwrap();
     let report = executor
         .run_final(p1, &RwSet::new(), |_, fctx| {
             Ok(fctx.retract_self("trigger was wrong"))
@@ -205,6 +215,9 @@ fn retraction_cascade_is_consistent_under_interleaving() {
     let store = executor.store();
     assert!(!store.contains(&"guess".into()));
     assert!(!store.contains(&"derived".into()));
-    assert_eq!(store.get(&"elsewhere".into()), Some(Value::Int(7)));
+    assert_eq!(
+        store.get(&"elsewhere".into()).as_deref(),
+        Some(&Value::Int(7))
+    );
     assert_eq!(executor.apologies().apologies().len(), 2);
 }

@@ -1,0 +1,282 @@
+//! Minimal API-compatible stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop: warm up for `warm_up_time`, then sample
+//! batches until `measurement_time` elapses and report the mean ns/iter.
+//!
+//! Two environment variables tune runs:
+//!
+//! * `CRITERION_QUICK=1` — shrink warm-up/measurement to ~10%/25% of the
+//!   configured times (CI smoke mode).
+//! * `CRITERION_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"id": "group/name", "ns_per_iter": f64, "iters": u64}`.
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (ignored by this stand-in beyond
+/// API compatibility: every batch re-runs setup exactly once per iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// One benchmark's measurement, as recorded by [`Bencher`].
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse command-line configuration. This stand-in only recognises the
+    /// environment (`CRITERION_QUICK`), ignoring harness CLI flags such as
+    /// `--bench` that cargo passes to `harness = false` targets.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Override the default measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (measurement_time, warm_up_time, sample_size) =
+            (self.measurement_time, self.warm_up_time, self.sample_size);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement_time,
+            warm_up_time,
+            sample_size,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how long to measure each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set how long to warm up each benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        let (warm, meas) = if quick {
+            (self.warm_up_time / 10, self.measurement_time / 4)
+        } else {
+            (self.warm_up_time, self.measurement_time)
+        };
+        let mut b = Bencher {
+            warm_up_time: warm,
+            measurement_time: meas,
+            total_ns: 0,
+            total_iters: 0,
+        };
+        f(&mut b);
+        let ns_per_iter = if b.total_iters == 0 {
+            0.0
+        } else {
+            b.total_ns as f64 / b.total_iters as f64
+        };
+        let sample = Sample {
+            id: id.clone(),
+            ns_per_iter,
+            iters: b.total_iters,
+        };
+        report(&sample);
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn report(s: &Sample) {
+    let per_sec = if s.ns_per_iter > 0.0 {
+        1e9 / s.ns_per_iter
+    } else {
+        0.0
+    };
+    println!(
+        "{:<40} time: {:>12.1} ns/iter   ({:>10.0} iters/s, n={})",
+        s.id, s.ns_per_iter, per_sec, s.iters
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\": \"{}\", \"ns_per_iter\": {:.3}, \"iters\": {}}}",
+                s.id, s.ns_per_iter, s.iters
+            );
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    total_ns: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        // Measurement: sample in growing batches until the budget is spent.
+        let start = Instant::now();
+        let mut batch = 1u64;
+        while start.elapsed() < self.measurement_time {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total_ns += t0.elapsed().as_nanos();
+            self.total_iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Measure `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+            self.total_iters += 1;
+        }
+    }
+}
+
+/// Group benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(Vec::<u64>::new, |mut v| v.push(1), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -7,7 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use croesus_core::{run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdPair};
+use croesus_core::{Croesus, CroesusConfig, ProtocolKind, ThresholdPair};
 use croesus_video::VideoPreset;
 
 fn pipeline(c: &mut Criterion) {
@@ -19,13 +19,28 @@ fn pipeline(c: &mut Criterion) {
     let cfg = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.4, 0.6))
         .with_frames(60);
     g.bench_function("croesus_60_frames", |b| {
-        b.iter(|| black_box(run_croesus(&cfg)))
+        b.iter(|| black_box(Croesus::multistage(&cfg).run()))
     });
+    // The protocol axis: the same pipeline under MS-SR and staged.
+    for kind in [ProtocolKind::MsSr, ProtocolKind::Staged] {
+        let cfg = cfg.clone();
+        g.bench_function(format!("croesus_60_frames_{kind}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Croesus::builder()
+                        .config(cfg.clone())
+                        .protocol(kind)
+                        .build()
+                        .run(),
+                )
+            })
+        });
+    }
     g.bench_function("edge_only_60_frames", |b| {
-        b.iter(|| black_box(run_edge_only(&cfg)))
+        b.iter(|| black_box(Croesus::edge_only(&cfg).run()))
     });
     g.bench_function("cloud_only_60_frames", |b| {
-        b.iter(|| black_box(run_cloud_only(&cfg)))
+        b.iter(|| black_box(Croesus::cloud_only(&cfg).run()))
     });
     g.finish();
 }

@@ -3,7 +3,7 @@
 //! configurations.
 
 use croesus_bench::{banner, config, f2, ms, pct, Table};
-use croesus_core::{run_cloud_only, run_croesus, run_edge_only, ThresholdPair, ValidationPolicy};
+use croesus_core::{Croesus, ThresholdPair, ValidationPolicy};
 use croesus_video::VideoPreset;
 
 fn main() {
@@ -47,13 +47,15 @@ fn main() {
             ]);
         };
 
-        let edge = run_edge_only(&base);
+        let edge = Croesus::edge_only(&base).run();
         push("edge (SotA)", &edge);
         for bu in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            let m = run_croesus(&base.clone().with_validation(ValidationPolicy::ForcedBu(bu)));
+            let m =
+                Croesus::multistage(&base.clone().with_validation(ValidationPolicy::ForcedBu(bu)))
+                    .run();
             push(&format!("croesus BU={:.0}%", bu * 100.0), &m);
         }
-        let cloud = run_cloud_only(&base);
+        let cloud = Croesus::cloud_only(&base).run();
         push("cloud (SotA)", &cloud);
         t.print();
     }

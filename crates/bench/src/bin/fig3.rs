@@ -2,7 +2,7 @@
 //! (street traffic, querying vehicles).
 
 use croesus_bench::{banner, config, f2, ms, pct, Table};
-use croesus_core::{run_croesus, ThresholdPair};
+use croesus_core::{Croesus, ThresholdPair};
 use croesus_video::VideoPreset;
 
 fn main() {
@@ -19,10 +19,11 @@ fn main() {
     ];
     let mut t = Table::new(&["(θL, θU)", "final latency (ms)", "BU", "F-score"]);
     for (lo, hi) in pairs {
-        let m = run_croesus(&config(
+        let m = Croesus::multistage(&config(
             VideoPreset::StreetTraffic,
             ThresholdPair::new(lo, hi),
-        ));
+        ))
+        .run();
         t.row(vec![
             format!("({lo:.1}, {hi:.1})"),
             ms(m.final_commit_ms),

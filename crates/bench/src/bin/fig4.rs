@@ -2,9 +2,7 @@
 //! deployment setups ({small, regular edge} × {same, different location}).
 
 use croesus_bench::{banner, config, f2, ms, pct, Table, DEFAULT_MU, FRAMES, SEED};
-use croesus_core::{
-    run_croesus, CroesusConfig, ThresholdEvaluator, ThresholdPair, ValidationPolicy,
-};
+use croesus_core::{Croesus, CroesusConfig, ThresholdEvaluator, ThresholdPair, ValidationPolicy};
 use croesus_detect::{ModelProfile, SimulatedModel};
 use croesus_net::Setup;
 use croesus_video::VideoPreset;
@@ -35,7 +33,7 @@ fn main() {
             let cfg: CroesusConfig = config(preset, pair)
                 .with_setup(setup)
                 .with_validation(ValidationPolicy::Thresholds(pair));
-            let m = run_croesus(&cfg);
+            let m = Croesus::multistage(&cfg).run();
             t.row(vec![
                 setup.label(),
                 ms(m.initial_commit_ms),

@@ -3,7 +3,7 @@
 //! park video (v1) with the larger YOLOv3-608 cloud model.
 
 use croesus_bench::{banner, config, f2, ms, pct, Table, DEFAULT_MU, FRAMES, SEED};
-use croesus_core::{run_cloud_only, run_croesus, ThresholdEvaluator, ThresholdPair};
+use croesus_core::{Croesus, ThresholdEvaluator, ThresholdPair};
 use croesus_detect::{ModelKind, ModelProfile, SimulatedModel};
 use croesus_net::PayloadCodec;
 use croesus_video::VideoPreset;
@@ -31,7 +31,7 @@ fn main() {
         let cfg = config(preset, ThresholdPair::new(0.4, 0.6))
             .with_cloud_model(ModelKind::YoloV3_608)
             .with_codec(codec);
-        let m = run_cloud_only(&cfg);
+        let m = Croesus::cloud_only(&cfg).run();
         t.row(vec![
             format!("cloud{}", codec.label()),
             ms(m.final_commit_ms),
@@ -44,7 +44,7 @@ fn main() {
         let cfg = config(preset, pair)
             .with_cloud_model(ModelKind::YoloV3_608)
             .with_codec(codec);
-        let m = run_croesus(&cfg);
+        let m = Croesus::multistage(&cfg).run();
         t.row(vec![
             format!("croesus{}", codec.label()),
             ms(m.final_commit_ms),

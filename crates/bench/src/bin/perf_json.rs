@@ -1,7 +1,9 @@
-//! Machine-readable perf snapshot: measures the storage/locking hot path
-//! and the Fig-6 contention harness, then writes `BENCH_PR1.json` so the
-//! perf trajectory is tracked PR over PR (future PRs emit `BENCH_PR<n>.json`
-//! next to it).
+//! Machine-readable perf snapshot: measures the storage/locking hot path,
+//! the Fig-6 contention harness, and — since PR 2 — the throughput of each
+//! multi-stage protocol through the unified `dyn MultiStageProtocol` API,
+//! then writes `BENCH_PR2.json` so the perf trajectory is tracked PR over
+//! PR (future PRs emit `BENCH_PR<n>.json` next to it; never overwrite an
+//! earlier PR's file).
 //!
 //! Usage:
 //!
@@ -14,12 +16,13 @@ use std::time::{Duration, Instant};
 
 use croesus_bench::contention::{run_ms_ia, run_ms_sr, ContentionConfig};
 use croesus_store::{Key, KvStore, LockManager, LockMode, LockPolicy, TxnId, Value};
+use croesus_txn::{ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet};
 
-/// Criterion `ns/iter` numbers for the benches named in the PR-1 acceptance
-/// criteria: median of 3 interleaved `CRITERION_QUICK=1` runs on the same
-/// host, seed code (per-key lock acquisition, SipHash double-hashing,
-/// deep-clone reads) vs. the PR-1 hot-path rework. Kept as data so the
-/// trajectory survives even if the old code is gone.
+/// Criterion `ns/iter` numbers recorded during PR 1 (median of 3
+/// interleaved `CRITERION_QUICK=1` runs): seed code vs. the PR-1 hot-path
+/// rework. Kept as data so the trajectory survives even if the old code is
+/// gone. For live criterion numbers run the benches with
+/// `CRITERION_JSON=<path>`.
 const CRITERION_PRE_PR1: &[(&str, f64)] = &[
     ("kv/get_hit", 140.1),
     ("kv/put_overwrite", 155.3),
@@ -75,6 +78,38 @@ fn ops_per_sec(budget: Duration, mut op: impl FnMut()) -> f64 {
     }
 }
 
+/// Full two-stage transactions per second for one protocol, driven through
+/// `dyn MultiStageProtocol` exactly like the pipeline drives it.
+fn protocol_txn_per_sec(kind: ProtocolKind, budget: Duration) -> f64 {
+    let ex = kind.build(ExecutorCore::new(
+        Arc::new(KvStore::new()),
+        Arc::new(LockManager::new(LockPolicy::Block)),
+    ));
+    let rw = RwSet::new()
+        .write("a")
+        .write("b")
+        .write("c")
+        .read("d")
+        .read("e");
+    let stages = [rw.clone(), rw.clone()];
+    let mut id = 0u64;
+    ops_per_sec(budget, || {
+        id += 1;
+        let h = ex.begin(TxnId(id), &stages);
+        let (_, h) = ex
+            .stage(h, &rw, |ctx| {
+                ctx.write("a", 1i64)?;
+                Ok(())
+            })
+            .unwrap();
+        ex.stage(h.expect("two stages"), &rw, |ctx| {
+            ctx.write("b", 2i64)?;
+            Ok(())
+        })
+        .unwrap();
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -82,7 +117,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let budget = if quick {
         Duration::from_millis(120)
     } else {
@@ -122,6 +157,11 @@ fn main() {
         lm2.release_all(TxnId(1), batch_pairs.iter().map(|(k, _)| k));
     });
 
+    eprintln!("measuring per-protocol transaction throughput...");
+    let ms_sr_tps = protocol_txn_per_sec(ProtocolKind::MsSr, budget);
+    let ms_ia_tps = protocol_txn_per_sec(ProtocolKind::MsIa, budget);
+    let staged_tps = protocol_txn_per_sec(ProtocolKind::Staged, budget);
+
     eprintln!("running Fig-6 contention harness...");
     let mut cfg = ContentionConfig::paper(100);
     if quick {
@@ -142,7 +182,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 1,
+  "pr": 2,
   "generated_by": "cargo run -p croesus-bench --release --bin perf_json",
   "quick": {quick},
   "store": {{
@@ -154,13 +194,19 @@ fn main() {
     "acquire_all_10_keys_batches_per_sec": {acquire_all_batches:.0},
     "acquire_all_10_keys_locks_per_sec": {locks_per_sec:.0}
   }},
+  "protocols": {{
+    "note": "full 2-stage txns/sec (5-key rw-set, no cloud wait), each driven through dyn MultiStageProtocol — the unified API introduced in PR 2",
+    "ms_sr_txn_per_sec": {ms_sr_tps:.0},
+    "ms_ia_txn_per_sec": {ms_ia_tps:.0},
+    "staged_txn_per_sec": {staged_tps:.0}
+  }},
   "fig6_contention": {{
     "config": {{"txns": {txns}, "threads": {threads}, "key_range": {key_range}, "updates": {updates}}},
     "ms_sr": {{"avg_lock_hold_ms": {sr_hold:.3}, "abort_rate": {sr_abort:.4}, "commits": {sr_commits}}},
     "ms_ia": {{"avg_lock_hold_ms": {ia_hold:.3}, "abort_rate": {ia_abort:.4}, "commits": {ia_commits}}}
   }},
   "criterion_ns_per_iter_pr1_record": {{
-    "note": "frozen historical record measured once during PR 1 (median of 3 interleaved CRITERION_QUICK=1 runs), NOT re-measured by this binary; for live criterion numbers run the benches with CRITERION_JSON=<path>",
+    "note": "frozen historical record measured once during PR 1, NOT re-measured by this binary; for live criterion numbers run the benches with CRITERION_JSON=<path>",
     "pre_pr1_seed": {{
 {pre}
     }},

@@ -6,7 +6,7 @@
 //! commit in parentheses, as in the paper.
 
 use croesus_bench::{banner, config, pct, Table, DEFAULT_MU, FRAMES, SEED};
-use croesus_core::{run_cloud_only, run_croesus, run_edge_only, ThresholdEvaluator, ThresholdPair};
+use croesus_core::{Croesus, ThresholdEvaluator, ThresholdPair};
 use croesus_detect::{ModelProfile, SimulatedModel};
 use croesus_video::VideoPreset;
 
@@ -31,9 +31,9 @@ fn main() {
         let opt = ev.brute_force(DEFAULT_MU, 0.1);
 
         let base = config(preset, opt.pair);
-        let croesus = run_croesus(&base);
-        let edge = run_edge_only(&base);
-        let cloud = run_cloud_only(&config(preset, ThresholdPair::new(0.4, 0.6)));
+        let croesus = Croesus::multistage(&base).run();
+        let edge = Croesus::edge_only(&base).run();
+        let cloud = Croesus::cloud_only(&config(preset, ThresholdPair::new(0.4, 0.6))).run();
 
         t.row(vec![
             preset.paper_id().to_string(),

@@ -1,6 +1,7 @@
 //! The concurrency experiments behind Figure 6(a) and 6(b): genuinely
-//! concurrent execution of the real MS-SR (TSPL) and MS-IA protocol code
-//! over a hot-spot workload.
+//! concurrent execution of the real protocol implementations over a
+//! hot-spot workload, driven through `dyn`
+//! [`MultiStageProtocol`] so every protocol runs under the same harness.
 //!
 //! The edge→cloud round trip (≈1.25 s with YOLOv3-416) is replaced by a
 //! scaled-down real sleep; reported lock-hold times add back the unscaled
@@ -19,14 +20,18 @@ use std::time::Duration;
 use croesus_core::HotspotWorkload;
 use croesus_sim::DetRng;
 use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
-use croesus_txn::{MsIaExecutor, RwSet, Sequencer, TsplExecutor};
+use croesus_txn::{
+    ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, RwSet, Sequencer,
+    TxnHandle,
+};
 
 /// Configuration of one contention run.
 #[derive(Clone, Copy, Debug)]
 pub struct ContentionConfig {
     /// Total transactions to commit.
     pub txns: usize,
-    /// Worker threads (MS-SR only; MS-IA uses the sequencer).
+    /// Worker threads (MS-SR only; the released protocols use the
+    /// sequencer).
     pub threads: usize,
     /// Hot-spot key range.
     pub key_range: u64,
@@ -87,15 +92,20 @@ fn rwsets(cfg: &ContentionConfig) -> Vec<RwSet> {
     (0..cfg.txns).map(|_| workload.rwset(&mut rng)).collect()
 }
 
+fn protocol(kind: ProtocolKind, policy: LockPolicy) -> Arc<Box<dyn MultiStageProtocol>> {
+    Arc::new(kind.build(ExecutorCore::new(
+        Arc::new(KvStore::new()),
+        Arc::new(LockManager::new(policy)),
+    )))
+}
+
 /// Run the workload under MS-SR (TSPL) with the given lock policy
 /// (wait-die in the paper; no-wait as an ablation), `cfg.threads` workers,
 /// retrying killed transactions with their original ids until they commit.
+/// Locks stay held across the (scaled) cloud wait — that is the protocol.
 pub fn run_ms_sr_with_policy(cfg: &ContentionConfig, policy: LockPolicy) -> ContentionResult {
     let sets = Arc::new(rwsets(cfg));
-    let executor = Arc::new(TsplExecutor::new(
-        Arc::new(KvStore::new()),
-        Arc::new(LockManager::new(policy)),
-    ));
+    let executor = protocol(ProtocolKind::MsSr, policy);
     let next = Arc::new(AtomicUsize::new(0));
     let first_attempt_aborts = Arc::new(AtomicU64::new(0));
     let wait = cfg.scaled_cloud_wait;
@@ -118,33 +128,35 @@ pub fn run_ms_sr_with_policy(cfg: &ContentionConfig, policy: LockPolicy) -> Cont
                 // them before initial commit and hold across the wait.
                 loop {
                     attempt += 1;
-                    let r: Result<((), ()), _> = executor.execute(
-                        TxnId(idx as u64),
-                        rw,
-                        rw,
-                        |ctx| {
-                            thread::sleep(work);
-                            for k in &rw.writes {
-                                ctx.write(k.clone(), 1i64)?;
+                    let h = executor.begin(TxnId(idx as u64), &[rw.clone(), rw.clone()]);
+                    let initial = executor.stage(h, rw, |ctx| {
+                        thread::sleep(work);
+                        for k in &rw.writes {
+                            ctx.write(k.clone(), 1i64)?;
+                        }
+                        Ok(())
+                    });
+                    match initial {
+                        Ok((_, pending)) => {
+                            thread::sleep(wait);
+                            executor
+                                .stage(pending.expect("two stages"), rw, |ctx| {
+                                    thread::sleep(work);
+                                    for k in &rw.writes {
+                                        ctx.write(k.clone(), 2i64)?;
+                                    }
+                                    Ok(())
+                                })
+                                .expect("final stages cannot abort");
+                            break;
+                        }
+                        Err(_) => {
+                            if attempt == 1 {
+                                first_attempt_aborts.fetch_add(1, Ordering::Relaxed);
                             }
-                            Ok(())
-                        },
-                        || thread::sleep(wait),
-                        |ctx| {
-                            thread::sleep(work);
-                            for k in &rw.writes {
-                                ctx.write(k.clone(), 2i64)?;
-                            }
-                            Ok(())
-                        },
-                    );
-                    if r.is_ok() {
-                        break;
+                            thread::yield_now();
+                        }
                     }
-                    if attempt == 1 {
-                        first_attempt_aborts.fetch_add(1, Ordering::Relaxed);
-                    }
-                    thread::yield_now();
                 }
             })
         })
@@ -172,31 +184,36 @@ pub fn run_ms_sr(cfg: &ContentionConfig) -> ContentionResult {
     run_ms_sr_with_policy(cfg, LockPolicy::WaitDie)
 }
 
-/// Run the workload under MS-IA with the paper's single-threaded batch
-/// sequencer: conflicting transactions never overlap, so the abort rate is
-/// 0% and locks are held only for the duration of a section.
-pub fn run_ms_ia(cfg: &ContentionConfig) -> ContentionResult {
+/// Run the workload under a lock-releasing protocol (MS-IA or staged)
+/// with the paper's single-threaded batch sequencer: conflicting
+/// transactions never overlap, so the abort rate is 0% and locks are held
+/// only for the duration of a section. The cloud wait happens between the
+/// stages, with no locks held — the whole point of MS-IA.
+pub fn run_released(kind: ProtocolKind, cfg: &ContentionConfig) -> ContentionResult {
+    assert!(
+        kind != ProtocolKind::MsSr,
+        "MS-SR holds locks across waits; use run_ms_sr"
+    );
     let sets = rwsets(cfg);
-    let executor = MsIaExecutor::new(
+    let executor = kind.build(ExecutorCore::new(
         Arc::new(KvStore::new()),
         Arc::new(LockManager::new(LockPolicy::Block)),
-    );
+    ));
     let work = cfg.section_work;
 
-    // Initial sections wave by wave, then final sections (the cloud wait
-    // happens in between, with no locks held — MS-IA's whole point).
-    let mut pendings: Vec<Option<croesus_txn::PendingFinal>> =
-        (0..sets.len()).map(|_| None).collect();
+    // Initial sections wave by wave, then final sections.
+    let mut pendings: Vec<Option<TxnHandle>> = (0..sets.len()).map(|_| None).collect();
     Sequencer::run_batch::<croesus_txn::TxnError>(&sets, |idx| {
         let rw = &sets[idx];
-        let (_, p) = executor.run_initial(TxnId(idx as u64), rw, |ctx| {
+        let h = executor.begin(TxnId(idx as u64), &[rw.clone(), rw.clone()]);
+        let (_, p) = executor.stage(h, rw, |ctx| {
             thread::sleep(work);
             for k in &rw.writes {
                 ctx.write(k.clone(), 1i64)?;
             }
             Ok(())
         })?;
-        pendings[idx] = Some(p);
+        pendings[idx] = p;
         Ok(())
     })
     .expect("sequenced initial sections cannot conflict");
@@ -205,7 +222,7 @@ pub fn run_ms_ia(cfg: &ContentionConfig) -> ContentionResult {
         let rw = &sets[idx];
         let p = pending.expect("every initial committed");
         executor
-            .run_final(p, rw, |ctx, _| {
+            .stage(p, rw, |ctx| {
                 thread::sleep(work);
                 for k in &rw.writes {
                     ctx.write(k.clone(), 2i64)?;
@@ -222,6 +239,20 @@ pub fn run_ms_ia(cfg: &ContentionConfig) -> ContentionResult {
         first_attempt_aborts: snap.aborts,
         abort_rate: snap.abort_rate(),
         avg_hold_ms: snap.avg_lock_hold_ms,
+    }
+}
+
+/// MS-IA under the sequencer (the paper's 0%-abort configuration).
+pub fn run_ms_ia(cfg: &ContentionConfig) -> ContentionResult {
+    run_released(ProtocolKind::MsIa, cfg)
+}
+
+/// Any protocol under its natural harness: MS-SR threaded with wait-die,
+/// the others sequenced.
+pub fn run_protocol(kind: ProtocolKind, cfg: &ContentionConfig) -> ContentionResult {
+    match kind {
+        ProtocolKind::MsSr => run_ms_sr(cfg),
+        _ => run_released(kind, cfg),
     }
 }
 
@@ -260,6 +291,13 @@ mod tests {
         assert_eq!(r.commits, 60);
         assert_eq!(r.total_aborts, 0);
         assert_eq!(r.abort_rate, 0.0);
+    }
+
+    #[test]
+    fn staged_matches_ms_ia_under_the_sequencer() {
+        let r = run_protocol(ProtocolKind::Staged, &small(20));
+        assert_eq!(r.commits, 60);
+        assert_eq!(r.total_aborts, 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The state-of-the-art baselines of §5.
+//! The state-of-the-art baselines of §5 — legacy entry points.
 //!
 //! * **Edge baseline** — "a performance-centric video analytics application
 //!   where a compact model (Tiny YOLOv3) is deployed on the edge machine
@@ -10,20 +10,14 @@
 //!   and waits for the big model; by the paper's ground-truth convention
 //!   its accuracy is 1.0.
 //!
-//! Both accept a [`PayloadCodec`] so Figure 6(c)'s hybrid variants
-//! (cloud+compression, cloud+compression+difference) fall out of the same
-//! code path.
+//! Both are now [`DeploymentMode`](crate::system::DeploymentMode)s of the
+//! unified [`Croesus`] builder (so they run under any protocol and any
+//! edge-fleet size, and accept a [`croesus_net::PayloadCodec`] for Figure
+//! 6(c)'s hybrid variants). The free functions remain as deprecated shims.
 
-use croesus_detect::{score_against, Detection, ModelProfile, SimulatedModel};
-use croesus_net::BandwidthMeter;
-use croesus_sim::DetRng;
-use croesus_video::LabelClass;
-
-use crate::cloud::CloudNode;
 use crate::config::CroesusConfig;
-use crate::edge::EdgeNode;
-use crate::metrics::{MetricsCollector, RunMetrics};
-use crate::pipeline::evaluation_bank;
+use crate::metrics::RunMetrics;
+use crate::system::Croesus;
 
 /// Default edge-baseline confidence filter: detections below this are
 /// dropped (the conventional 0.5 deployment threshold; Figure 3 shows the
@@ -31,134 +25,22 @@ use crate::pipeline::evaluation_bank;
 pub const EDGE_BASELINE_CONFIDENCE: f64 = 0.5;
 
 /// Run the edge-only baseline over the configured video.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Croesus::edge_only(config).run()` (or `Croesus::builder()`) instead"
+)]
 pub fn run_edge_only(config: &CroesusConfig) -> RunMetrics {
-    let video = config.preset.generate(config.num_frames, config.seed);
-    let query: LabelClass = video.query_class().clone();
-    let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), config.seed ^ 0xE)
-        .with_hardware_factor(config.setup.edge.hardware_factor());
-    let cloud = CloudNode::new(config.cloud_model, config.seed ^ 0xC);
-    let edge = EdgeNode::new(
-        edge_model,
-        evaluation_bank(),
-        config.overlap_threshold,
-        config.seed,
-    );
-    let topology = config.setup.topology();
-    let mut link_rng = DetRng::new(config.seed).fork_named("links");
-
-    let mut meter = BandwidthMeter::new();
-    let mut collector = MetricsCollector::new();
-
-    for frame in video.frames() {
-        meter.record_processed();
-        let edge_link = topology
-            .client_edge
-            .transfer_latency(frame.bytes, &mut link_rng);
-        let (detections, edge_detect) = edge.detect(frame);
-        let surviving: Vec<Detection> = detections
-            .into_iter()
-            .filter(|d| d.confidence >= EDGE_BASELINE_CONFIDENCE)
-            .collect();
-        let initial = edge.run_initial_stage(frame.index, &surviving);
-        collector.record_transactions(initial.committed);
-        // Single-stage: finalize immediately with the edge labels.
-        let fin = edge.finalize_local(frame.index);
-        collector.record_edge_frame(edge_link, edge_detect, initial.txn_latency, fin.txn_latency);
-
-        // Score against the cloud reference (computed but never paid for).
-        let (cloud_labels, _) = cloud.process(frame);
-        let cloud_query: Vec<Detection> = cloud_labels
-            .into_iter()
-            .filter(|l| l.is_class(&query))
-            .collect();
-        let edge_query: Vec<Detection> = surviving
-            .into_iter()
-            .filter(|l| l.is_class(&query))
-            .collect();
-        collector.record_accuracy(score_against(
-            &edge_query,
-            &cloud_query,
-            &query,
-            config.overlap_threshold,
-        ));
-    }
-    collector.finish(format!("edge-only {}", config.preset.paper_id()), &meter)
+    Croesus::edge_only(config).run()
 }
 
 /// Run the cloud-only baseline (optionally with compression/difference
 /// pre-processing at the edge) over the configured video.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Croesus::cloud_only(config).run()` (or `Croesus::builder()`) instead"
+)]
 pub fn run_cloud_only(config: &CroesusConfig) -> RunMetrics {
-    let video = config.preset.generate(config.num_frames, config.seed);
-    let query: LabelClass = video.query_class().clone();
-    let cloud = CloudNode::new(config.cloud_model, config.seed ^ 0xC);
-    // The cloud baseline still needs an edge datastore for its
-    // transactions: the data lives at the edge partition.
-    let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), config.seed ^ 0xE);
-    let edge = EdgeNode::new(
-        edge_model,
-        evaluation_bank(),
-        config.overlap_threshold,
-        config.seed,
-    );
-    let topology = config.setup.topology();
-    let mut link_rng = DetRng::new(config.seed).fork_named("links");
-
-    let mut meter = BandwidthMeter::new();
-    let mut collector = MetricsCollector::new();
-
-    for frame in video.frames() {
-        meter.record_processed();
-        let edge_link = topology
-            .client_edge
-            .transfer_latency(frame.bytes, &mut link_rng);
-        let is_reference = frame.index.is_multiple_of(30);
-        let encoded = config.codec.encode(frame.bytes, is_reference);
-        let up = topology
-            .edge_cloud
-            .transfer_latency(encoded.bytes, &mut link_rng)
-            + encoded.encode_latency;
-        let down = topology.edge_cloud.transfer_latency(2_048, &mut link_rng);
-        let (cloud_labels, cloud_detect) = cloud.process(frame);
-        meter.record_sent(
-            encoded.bytes,
-            topology.edge_cloud.transfer_cost(encoded.bytes),
-        );
-
-        // Transactions trigger only after the accurate labels arrive; both
-        // sections run back-to-back with the correct input.
-        let cloud_query: Vec<Detection> = cloud_labels
-            .iter()
-            .filter(|l| l.is_class(&query))
-            .cloned()
-            .collect();
-        let initial = edge.run_initial_stage(frame.index, &cloud_labels);
-        collector.record_transactions(initial.committed);
-        let fin = edge.finalize_local(frame.index);
-
-        collector.record_validated_frame(
-            edge_link,
-            croesus_sim::SimDuration::ZERO,
-            initial.txn_latency,
-            up + down,
-            cloud_detect,
-            fin.txn_latency,
-        );
-        // By the ground-truth convention, cloud output scores perfectly.
-        collector.record_accuracy(score_against(
-            &cloud_query,
-            &cloud_query,
-            &query,
-            config.overlap_threshold,
-        ));
-    }
-    collector.finish(
-        format!(
-            "cloud-only{} {}",
-            config.codec.label(),
-            config.preset.paper_id()
-        ),
-        &meter,
-    )
+    Croesus::cloud_only(config).run()
 }
 
 #[cfg(test)]
@@ -172,9 +54,17 @@ mod tests {
         CroesusConfig::new(preset, ThresholdPair::new(0.4, 0.6)).with_frames(60)
     }
 
+    fn edge_only(config: &CroesusConfig) -> RunMetrics {
+        Croesus::edge_only(config).run()
+    }
+
+    fn cloud_only(config: &CroesusConfig) -> RunMetrics {
+        Croesus::cloud_only(config).run()
+    }
+
     #[test]
     fn edge_baseline_is_fast_but_inaccurate() {
-        let m = run_edge_only(&cfg(VideoPreset::MallSurveillance));
+        let m = edge_only(&cfg(VideoPreset::MallSurveillance));
         assert!(
             m.final_commit_ms < 300.0,
             "edge path only: {}",
@@ -187,7 +77,7 @@ mod tests {
 
     #[test]
     fn cloud_baseline_is_slow_but_perfect() {
-        let m = run_cloud_only(&cfg(VideoPreset::MallSurveillance));
+        let m = cloud_only(&cfg(VideoPreset::MallSurveillance));
         assert!(
             m.final_commit_ms > 1000.0,
             "cloud path: {}",
@@ -201,8 +91,8 @@ mod tests {
 
     #[test]
     fn edge_baseline_on_easy_video_is_decent() {
-        let easy = run_edge_only(&cfg(VideoPreset::AirportRunway));
-        let hard = run_edge_only(&cfg(VideoPreset::MallSurveillance));
+        let easy = edge_only(&cfg(VideoPreset::AirportRunway));
+        let hard = edge_only(&cfg(VideoPreset::MallSurveillance));
         assert!(
             easy.f_score > hard.f_score + 0.2,
             "airport {} vs mall {}",
@@ -213,9 +103,9 @@ mod tests {
 
     #[test]
     fn compression_reduces_cloud_baseline_latency_slightly() {
-        let raw = run_cloud_only(&cfg(VideoPreset::ParkDog));
+        let raw = cloud_only(&cfg(VideoPreset::ParkDog));
         let compressed =
-            run_cloud_only(&cfg(VideoPreset::ParkDog).with_codec(PayloadCodec::compressed()));
+            cloud_only(&cfg(VideoPreset::ParkDog).with_codec(PayloadCodec::compressed()));
         assert!(compressed.bytes_sent < raw.bytes_sent);
         // Detection dominates, so the improvement is small (§5.2.5).
         assert!(compressed.final_commit_ms < raw.final_commit_ms);
@@ -225,8 +115,17 @@ mod tests {
 
     #[test]
     fn baselines_are_reproducible() {
-        let a = run_edge_only(&cfg(VideoPreset::StreetTraffic));
-        let b = run_edge_only(&cfg(VideoPreset::StreetTraffic));
+        let a = edge_only(&cfg(VideoPreset::StreetTraffic));
+        let b = edge_only(&cfg(VideoPreset::StreetTraffic));
         assert_eq!(a.f_score, b.f_score);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #[allow(deprecated)]
+        let m = run_edge_only(&cfg(VideoPreset::StreetTraffic));
+        let n = edge_only(&cfg(VideoPreset::StreetTraffic));
+        assert_eq!(m.f_score, n.f_score);
+        assert_eq!(m.label, n.label);
     }
 }

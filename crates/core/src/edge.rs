@@ -6,6 +6,12 @@
 //! client), and keeps the pending final sections until the cloud labels
 //! arrive (or the frame is locally finalized when thresholding decides not
 //! to validate it).
+//!
+//! Transaction processing goes through `dyn`
+//! [`MultiStageProtocol`] — the edge node does not care whether the
+//! deployment runs MS-IA (the paper's default), MS-SR, or the staged
+//! discipline; swap the protocol at construction and every workload runs
+//! unchanged.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,20 +22,20 @@ use parking_lot::Mutex;
 
 use croesus_detect::{Detection, DetectionModel, SimulatedModel};
 use croesus_sim::{DetRng, SimDuration};
-use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
+use croesus_store::{KvStore, LockManager, TxnId};
 use croesus_txn::{
-    MsIaExecutor, PendingFinal, RwSet, SectionCtx, SectionOutput, Sequencer, TxnError,
+    ExecutorCore, MultiStageProtocol, ProtocolKind, RwSet, SectionOutput, Sequencer, StageOutcome,
+    TxnError, TxnHandle,
 };
 use croesus_video::Frame;
 
 use crate::bank::TransactionsBank;
 use crate::matching::{match_edge_to_cloud, FinalInput};
 
-type FinalBody =
-    Box<dyn FnOnce(&mut SectionCtx, &FinalInput) -> Result<SectionOutput, TxnError> + Send>;
+type FinalBody = crate::bank::FinalSectionBody;
 
 struct PendingTxn {
-    pending: PendingFinal,
+    handle: TxnHandle,
     final_rw: RwSet,
     final_body: FinalBody,
     edge_label: Detection,
@@ -58,7 +64,7 @@ pub struct FinalStage {
 /// The edge node.
 pub struct EdgeNode {
     model: SimulatedModel,
-    executor: MsIaExecutor,
+    protocol: Box<dyn MultiStageProtocol>,
     bank: Arc<TransactionsBank>,
     overlap_threshold: f64,
     txn_counter: AtomicU64,
@@ -75,11 +81,26 @@ impl EdgeNode {
         overlap_threshold: f64,
         seed: u64,
     ) -> Self {
-        let store = Arc::new(KvStore::new());
-        let locks = Arc::new(LockManager::new(LockPolicy::Block));
+        let kind = ProtocolKind::MsIa;
+        let core = ExecutorCore::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(kind.default_lock_policy())),
+        );
+        Self::with_protocol(model, bank, overlap_threshold, seed, kind.build(core))
+    }
+
+    /// Create an edge node driving transactions through an arbitrary
+    /// multi-stage protocol.
+    pub fn with_protocol(
+        model: SimulatedModel,
+        bank: Arc<TransactionsBank>,
+        overlap_threshold: f64,
+        seed: u64,
+        protocol: Box<dyn MultiStageProtocol>,
+    ) -> Self {
         EdgeNode {
             model,
-            executor: MsIaExecutor::new(store, locks),
+            protocol,
             bank,
             overlap_threshold,
             txn_counter: AtomicU64::new(0),
@@ -90,12 +111,12 @@ impl EdgeNode {
 
     /// The edge datastore.
     pub fn store(&self) -> &Arc<KvStore> {
-        self.executor.store()
+        self.protocol.store()
     }
 
-    /// The MS-IA executor (stats, apologies).
-    pub fn executor(&self) -> &MsIaExecutor {
-        &self.executor
+    /// The transaction protocol (stats, apologies, history).
+    pub fn protocol(&self) -> &dyn MultiStageProtocol {
+        &*self.protocol
     }
 
     fn next_txn(&self) -> TxnId {
@@ -112,7 +133,10 @@ impl EdgeNode {
 
     /// Trigger and run the initial sections for the surviving labels of a
     /// frame. Transactions are ordered by the single-threaded sequencer so
-    /// conflicting initial sections never overlap (§5.2.4).
+    /// conflicting initial sections never overlap (§5.2.4). Under MS-SR a
+    /// conflicting transaction can still abort on the locks a *pending*
+    /// transaction holds across its cloud wait; it is then dropped, which
+    /// is the hot-spot behaviour of Fig. 6(b).
     pub fn run_initial_stage(&self, frame_index: u64, labels: &[Detection]) -> InitialStage {
         let started = Instant::now();
         // Instantiate all triggered transactions.
@@ -139,32 +163,59 @@ impl EdgeNode {
         Sequencer::run_batch::<TxnError>(&rwsets, |idx| {
             let (label, inst) = slots[idx].take().expect("each index runs once");
             let txn = self.next_txn();
-            let body = inst.initial;
-            match self.executor.run_initial(txn, &inst.initial_rw, body) {
-                Ok((out, pending)) => {
+            let handle = self
+                .protocol
+                .begin(txn, &[inst.initial_rw.clone(), inst.final_rw.clone()]);
+            let mut body = Some(inst.initial);
+            match self
+                .protocol
+                .run_stage(handle, &inst.initial_rw, &mut |ctx| {
+                    (body.take().expect("initial body runs once"))(ctx.section_mut())
+                }) {
+                Ok(StageOutcome::Committed { output, next }) => {
                     committed += 1;
-                    responses.push(out);
+                    responses.push(output);
                     pendings.push(PendingTxn {
-                        pending,
+                        handle: next,
                         final_rw: inst.final_rw,
                         final_body: inst.final_section,
                         edge_label: label,
                     });
                 }
+                Ok(StageOutcome::Complete { .. }) => {
+                    unreachable!("two stages were declared")
+                }
                 Err(_) => {
-                    // Sequenced execution cannot conflict; an abort here
-                    // would be an application error — drop the transaction.
+                    // Sequenced MS-IA execution cannot conflict; under
+                    // MS-SR a pending transaction's held locks can abort
+                    // this one — drop it (the protocol recorded the abort).
                 }
             }
             Ok(())
         })
         .expect("batch execution is infallible");
-        self.pending.lock().insert(frame_index, pendings);
+        // Merge rather than overwrite: dropping earlier pending handles
+        // would leak the locks MS-SR transactions hold across their wait.
+        self.pending
+            .lock()
+            .entry(frame_index)
+            .or_default()
+            .extend(pendings);
         InitialStage {
             committed,
             txn_latency: SimDuration::from_secs_f64(started.elapsed().as_secs_f64()),
             responses,
         }
+    }
+
+    /// Run one pending transaction's final stage with its matched input.
+    fn finalize_one(&self, ptxn: PendingTxn, input: &FinalInput) {
+        let mut body = Some(ptxn.final_body);
+        self.protocol
+            .run_stage(ptxn.handle, &ptxn.final_rw, &mut |ctx| {
+                (body.take().expect("final body runs once"))(ctx.section_mut(), input)
+            })
+            .expect("final sections cannot abort");
     }
 
     /// Deliver the cloud labels for a validated frame: match them against
@@ -183,10 +234,7 @@ impl EdgeNode {
 
         let mut committed = 0u64;
         for (ptxn, input) in pendings.into_iter().zip(frame_match.inputs) {
-            let body = ptxn.final_body;
-            self.executor
-                .run_final(ptxn.pending, &ptxn.final_rw, |ctx, _fctx| body(ctx, &input))
-                .expect("final sections cannot abort");
+            self.finalize_one(ptxn, &input);
             committed += 1;
         }
 
@@ -204,15 +252,26 @@ impl EdgeNode {
             };
             if let Some(inst) = inst {
                 let txn = self.next_txn();
-                if let Ok((_, pending)) =
-                    self.executor
-                        .run_initial(txn, &inst.initial_rw, inst.initial)
+                let handle = self
+                    .protocol
+                    .begin(txn, &[inst.initial_rw.clone(), inst.final_rw.clone()]);
+                let mut body = Some(inst.initial);
+                if let Ok(outcome) = self
+                    .protocol
+                    .run_stage(handle, &inst.initial_rw, &mut |ctx| {
+                        (body.take().expect("initial body runs once"))(ctx.section_mut())
+                    })
                 {
-                    let input = FinalInput::correct(label);
-                    let body = inst.final_section;
-                    self.executor
-                        .run_final(pending, &inst.final_rw, |ctx, _| body(ctx, &input))
-                        .expect("final sections cannot abort");
+                    let input = FinalInput::correct(label.clone());
+                    self.finalize_one(
+                        PendingTxn {
+                            handle: outcome.into_next().expect("two stages were declared"),
+                            final_rw: inst.final_rw,
+                            final_body: inst.final_section,
+                            edge_label: label,
+                        },
+                        &input,
+                    );
                     committed += 1;
                 }
             }
@@ -235,10 +294,7 @@ impl EdgeNode {
         let n = pendings.len() as u64;
         for ptxn in pendings {
             let input = FinalInput::assumed_correct(ptxn.edge_label.clone());
-            let body = ptxn.final_body;
-            self.executor
-                .run_final(ptxn.pending, &ptxn.final_rw, |ctx, _| body(ctx, &input))
-                .expect("final sections cannot abort");
+            self.finalize_one(ptxn, &input);
             committed += 1;
         }
         FinalStage {
@@ -262,18 +318,35 @@ mod tests {
     use croesus_detect::ModelProfile;
     use croesus_video::{BoundingBox, VideoPreset};
 
-    fn edge() -> EdgeNode {
-        let bank = TransactionsBank::new().with_rule(TriggerRule {
+    fn bank() -> Arc<TransactionsBank> {
+        Arc::new(TransactionsBank::new().with_rule(TriggerRule {
             class_group: "any".into(),
             classes: vec![],
             requires_aux: None,
             template: Arc::new(YcsbWorkload::new()),
-        });
+        }))
+    }
+
+    fn edge() -> EdgeNode {
         EdgeNode::new(
             SimulatedModel::new(ModelProfile::tiny_yolov3(), 7),
-            Arc::new(bank),
+            bank(),
             0.10,
             7,
+        )
+    }
+
+    fn edge_with(kind: ProtocolKind) -> EdgeNode {
+        let core = ExecutorCore::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(kind.default_lock_policy())),
+        );
+        EdgeNode::with_protocol(
+            SimulatedModel::new(ModelProfile::tiny_yolov3(), 7),
+            bank(),
+            0.10,
+            7,
+            kind.build(core),
         )
     }
 
@@ -351,7 +424,7 @@ mod tests {
         e.run_initial_stage(1, &[det("car", 0.8, 0.3)]);
         e.deliver_cloud_labels(0, &[det("car", 0.9, 0.1)]);
         e.finalize_local(1);
-        let snap = e.executor().stats().snapshot();
+        let snap = e.protocol().stats().snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 0);
     }
@@ -362,5 +435,32 @@ mod tests {
         let stage = e.deliver_cloud_labels(999, &[]);
         assert_eq!(stage.committed, 0);
         assert_eq!(stage.counts, (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn every_protocol_drives_the_same_frame_flow() {
+        // The tentpole claim: the edge node works unchanged under any
+        // protocol. YCSB keys are unique per transaction, so the
+        // conflict-free flow commits identically everywhere.
+        for kind in ProtocolKind::ALL {
+            let e = edge_with(kind);
+            let s0 = e.run_initial_stage(0, &[det("car", 0.8, 0.1)]);
+            assert_eq!(s0.committed, 1, "{kind}");
+            let fin = e.deliver_cloud_labels(0, &[det("car", 0.9, 0.1)]);
+            assert_eq!(fin.committed, 1, "{kind}");
+            let snap = e.protocol().stats().snapshot();
+            assert_eq!(snap.commits, 1, "{kind}");
+            assert_eq!(e.protocol().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn ms_sr_holds_locks_across_the_cloud_wait() {
+        let e = edge_with(ProtocolKind::MsSr);
+        e.run_initial_stage(0, &[det("car", 0.8, 0.1)]);
+        // The pending transaction's final items are locked right now.
+        assert!(e.protocol().core().locks().locked_keys() > 0);
+        e.finalize_local(0);
+        assert_eq!(e.protocol().core().locks().locked_keys(), 0);
     }
 }

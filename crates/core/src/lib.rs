@@ -4,14 +4,33 @@
 //! A frame arrives at the [`edge`] node, which runs the small model,
 //! filters detections through the [`threshold`] bands (discard / validate /
 //! keep), triggers the matching transactions from the [`bank`], and commits
-//! their initial sections immediately. Frames in the validate band travel
-//! to the [`cloud`] node; when the accurate labels return, [`matching`]
-//! pairs them with the edge labels and the final sections run — correcting,
-//! retracting and apologizing as needed. The [`optimizer`] picks the
-//! `(θL, θU)` thresholds that minimize bandwidth subject to an accuracy
-//! floor (the §3.4 formulation); [`pipeline`] orchestrates whole-video runs
-//! and [`baseline`] provides the edge-only / cloud-only / hybrid
-//! comparisons of §5.
+//! their initial sections immediately — through whichever
+//! [`MultiStageProtocol`](croesus_txn::MultiStageProtocol) the deployment
+//! selected. Frames in the validate band travel to the [`cloud`] node; when
+//! the accurate labels return, [`matching`] pairs them with the edge labels
+//! and the final sections run — correcting, retracting and apologizing as
+//! needed. The [`optimizer`] picks the `(θL, θU)` thresholds that minimize
+//! bandwidth subject to an accuracy floor (the §3.4 formulation).
+//!
+//! The entry point is the [`system`] module's builder:
+//!
+//! ```
+//! use croesus_core::{Croesus, DeploymentMode, ProtocolKind, ThresholdPair};
+//! use croesus_video::VideoPreset;
+//!
+//! let deployment = Croesus::builder()
+//!     .preset(VideoPreset::StreetTraffic)
+//!     .thresholds(ThresholdPair::new(0.4, 0.6))
+//!     .protocol(ProtocolKind::MsIa)   // or MsSr / Staged — same pipeline
+//!     .frames(40)
+//!     .build();
+//! let metrics = deployment.run();
+//! assert!(metrics.f_score > 0.0);
+//! ```
+//!
+//! [`DeploymentMode::EdgeOnly`] and [`DeploymentMode::CloudOnly`] give the
+//! §5 baselines from the same builder; the old `run_croesus` /
+//! `run_edge_only` / `run_cloud_only` free functions are deprecated shims.
 
 pub mod bank;
 pub mod baseline;
@@ -25,22 +44,29 @@ pub mod optimizer;
 pub mod pipeline;
 pub mod queueing;
 pub mod stages;
+pub mod system;
 pub mod threshold;
 pub mod workload;
 
 pub use bank::{TransactionsBank, TriggerRule, TxnInstance, TxnTemplate};
-pub use baseline::{run_cloud_only, run_edge_only, EDGE_BASELINE_CONFIDENCE};
+pub use baseline::EDGE_BASELINE_CONFIDENCE;
+#[allow(deprecated)]
+pub use baseline::{run_cloud_only, run_edge_only};
 pub use client::{AuxInput, Client, FrameResponses};
 pub use cloud::CloudNode;
 pub use config::{CroesusConfig, ValidationPolicy};
+pub use croesus_txn::ProtocolKind;
 pub use edge::{EdgeNode, FinalStage, InitialStage};
 pub use matching::{match_edge_to_cloud, FinalInput, FrameMatch, LabelVerdict};
 pub use metrics::{CorrectionCounts, LatencyBreakdown, MetricsCollector, RunMetrics};
 pub use optimizer::{OptimalThresholds, ThresholdEvaluator, ThresholdOutcome};
-pub use pipeline::{evaluation_bank, run_croesus};
+pub use pipeline::evaluation_bank;
+#[allow(deprecated)]
+pub use pipeline::run_croesus;
 pub use queueing::{run_queueing, QueueingConfig, QueueingMetrics};
 pub use stages::{
     edge_cloud_chain, edge_fog_cloud_chain, run_stage_chain, ChainMetrics, Stage, StageStats,
 };
+pub use system::{Croesus, CroesusBuilder, Deployment, DeploymentMode};
 pub use threshold::{BandDecision, FrameDecision, ThresholdPair};
 pub use workload::{HotspotWorkload, YcsbWorkload};

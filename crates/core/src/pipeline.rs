@@ -1,26 +1,18 @@
-//! Whole-video orchestration: the Croesus execution pattern of Figure 1.
+//! Whole-video orchestration — legacy entry point.
 //!
-//! For every frame: client→edge transfer, small-model detection,
-//! thresholding, initial transaction sections (initial commit → response),
-//! then — for validated frames — edge→cloud transfer, big-model detection,
-//! label matching and final sections (final commit); unvalidated frames
-//! finalize locally. Latency components come from the calibrated link and
-//! model distributions; transactions execute for real against the edge
-//! store under MS-IA.
+//! The execution pattern of Figure 1 now lives in
+//! [`Deployment`](crate::system::Deployment); build one with
+//! [`Croesus::builder`](crate::system::Croesus::builder) (protocol, mode
+//! and edge-fleet selection included). [`run_croesus`] remains as a
+//! deprecated shim for existing callers, and [`evaluation_bank`] still
+//! provides the evaluation workload's transactions bank.
 
 use std::sync::Arc;
 
-use croesus_detect::{score_against, ModelProfile};
-use croesus_detect::{Detection, SimulatedModel};
-use croesus_net::BandwidthMeter;
-use croesus_sim::DetRng;
-use croesus_video::LabelClass;
-
 use crate::bank::{TransactionsBank, TriggerRule};
-use crate::cloud::CloudNode;
-use crate::config::{CroesusConfig, ValidationPolicy};
-use crate::edge::EdgeNode;
-use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::config::CroesusConfig;
+use crate::metrics::RunMetrics;
+use crate::system::Croesus;
 use crate::workload::YcsbWorkload;
 
 /// The default transactions bank for the evaluation workload: every
@@ -36,182 +28,27 @@ pub fn evaluation_bank() -> Arc<TransactionsBank> {
 
 /// Run Croesus over one video per the configuration; returns the metrics
 /// the paper's figures are built from.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Croesus::multistage(config).run()` (or `Croesus::builder()`) instead"
+)]
 pub fn run_croesus(config: &CroesusConfig) -> RunMetrics {
-    let video = config.preset.generate(config.num_frames, config.seed);
-    let query: LabelClass = video.query_class().clone();
-
-    let edge_model = SimulatedModel::new(ModelProfile::tiny_yolov3(), config.seed ^ 0xE)
-        .with_hardware_factor(config.setup.edge.hardware_factor());
-    let cloud = CloudNode::new(config.cloud_model, config.seed ^ 0xC);
-    let edge = EdgeNode::new(
-        edge_model,
-        evaluation_bank(),
-        config.overlap_threshold,
-        config.seed,
-    );
-    let topology = config.setup.topology();
-    let mut link_rng = DetRng::new(config.seed).fork_named("links");
-
-    let mut meter = BandwidthMeter::new();
-    let mut collector = MetricsCollector::new();
-
-    for frame in video.frames() {
-        meter.record_processed();
-        let edge_link = topology
-            .client_edge
-            .transfer_latency(frame.bytes, &mut link_rng);
-        let (detections, edge_detect) = edge.detect(frame);
-
-        // Thresholding / validation decision.
-        let (send, surviving, kept_query): (bool, Vec<Detection>, Vec<Detection>) =
-            match config.validation {
-                ValidationPolicy::Thresholds(pair) => {
-                    let d = pair.decide_frame(&detections, &query);
-                    let kept_query = d
-                        .kept
-                        .iter()
-                        .filter(|l| l.is_class(&query))
-                        .cloned()
-                        .collect();
-                    (d.send, d.surviving(), kept_query)
-                }
-                ValidationPolicy::ForcedBu(bu) => {
-                    let surviving: Vec<Detection> = detections
-                        .iter()
-                        .filter(|d| d.confidence >= config.low_confidence_filter)
-                        .cloned()
-                        .collect();
-                    let kept_query = surviving
-                        .iter()
-                        .filter(|l| l.is_class(&query))
-                        .cloned()
-                        .collect();
-                    (
-                        ValidationPolicy::forced_send(bu, frame.index),
-                        surviving,
-                        kept_query,
-                    )
-                }
-            };
-
-        // Initial stage: trigger transactions, commit initial sections.
-        let initial = edge.run_initial_stage(frame.index, &surviving);
-        collector.record_transactions(initial.committed);
-
-        // The cloud reference is always computed for scoring; its latency
-        // and bandwidth are only charged when the frame is actually sent.
-        let (cloud_labels, cloud_detect) = cloud.process(frame);
-        let cloud_query: Vec<Detection> = cloud_labels
-            .iter()
-            .filter(|l| l.is_class(&query))
-            .cloned()
-            .collect();
-
-        // A validated frame's labels can be lost to a cloud outage; the
-        // frame then times out and finalizes locally.
-        let lost = send && link_rng.bernoulli(config.cloud_loss_rate);
-
-        let final_labels: Vec<Detection> = if send && !lost {
-            let is_reference = frame.index.is_multiple_of(30);
-            let encoded = config.codec.encode(frame.bytes, is_reference);
-            let up = topology
-                .edge_cloud
-                .transfer_latency(encoded.bytes, &mut link_rng)
-                + encoded.encode_latency;
-            // Labels travel back as a small payload (propagation-bound).
-            let down = topology.edge_cloud.transfer_latency(2_048, &mut link_rng);
-            let fin = edge.deliver_cloud_labels(frame.index, &cloud_labels);
-            meter.record_sent(
-                encoded.bytes,
-                topology.edge_cloud.transfer_cost(encoded.bytes),
-            );
-            collector.record_validated_frame(
-                edge_link,
-                edge_detect,
-                initial.txn_latency,
-                up + down,
-                cloud_detect,
-                fin.txn_latency,
-            );
-            let (correct, corrected, erroneous, missed) = fin.counts;
-            collector.record_corrections(correct, corrected, erroneous, missed);
-            cloud_query.clone()
-        } else if lost {
-            // The frame and its bytes were sent, but no labels came back:
-            // after the timeout the edge finalizes with its own labels.
-            // The multi-stage guarantee holds — every initially-committed
-            // transaction still finally commits, with the guess retained.
-            let is_reference = frame.index.is_multiple_of(30);
-            let encoded = config.codec.encode(frame.bytes, is_reference);
-            meter.record_sent(
-                encoded.bytes,
-                topology.edge_cloud.transfer_cost(encoded.bytes),
-            );
-            let fin = edge.finalize_local(frame.index);
-            collector.record_validated_frame(
-                edge_link,
-                edge_detect,
-                initial.txn_latency,
-                croesus_sim::SimDuration::from_millis_f64(config.cloud_timeout_ms),
-                croesus_sim::SimDuration::ZERO,
-                fin.txn_latency,
-            );
-            collector.record_cloud_timeout();
-            let (correct, corrected, erroneous, missed) = fin.counts;
-            collector.record_corrections(correct, corrected, erroneous, missed);
-            // The client keeps every surviving edge label (keep + validate
-            // bands): nothing was corrected.
-            surviving
-                .iter()
-                .filter(|l| l.is_class(&query))
-                .cloned()
-                .collect()
-        } else {
-            let fin = edge.finalize_local(frame.index);
-            collector.record_edge_frame(
-                edge_link,
-                edge_detect,
-                initial.txn_latency,
-                fin.txn_latency,
-            );
-            let (correct, corrected, erroneous, missed) = fin.counts;
-            collector.record_corrections(correct, corrected, erroneous, missed);
-            match config.validation {
-                ValidationPolicy::Thresholds(_) => kept_query,
-                ValidationPolicy::ForcedBu(_) => kept_query,
-            }
-        };
-
-        collector.record_accuracy(score_against(
-            &final_labels,
-            &cloud_query,
-            &query,
-            config.overlap_threshold,
-        ));
-    }
-
-    let label = match config.validation {
-        ValidationPolicy::Thresholds(pair) => format!(
-            "croesus {} ({:.1},{:.1})",
-            config.preset.paper_id(),
-            pair.lower,
-            pair.upper
-        ),
-        ValidationPolicy::ForcedBu(bu) => {
-            format!("croesus {} bu={:.0}%", config.preset.paper_id(), bu * 100.0)
-        }
-    };
-    collector.finish(label, &meter)
+    Croesus::multistage(config).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ValidationPolicy;
     use crate::threshold::ThresholdPair;
     use croesus_video::VideoPreset;
 
+    fn run(cfg: &CroesusConfig) -> RunMetrics {
+        Croesus::multistage(cfg).run()
+    }
+
     fn quick(preset: VideoPreset, pair: ThresholdPair) -> RunMetrics {
-        run_croesus(&CroesusConfig::new(preset, pair).with_frames(80))
+        run(&CroesusConfig::new(preset, pair).with_frames(80))
     }
 
     #[test]
@@ -254,16 +91,14 @@ mod tests {
 
     #[test]
     fn forced_bu_sweep_is_monotone_in_latency() {
-        let lo = run_croesus(
-            &CroesusConfig::new(VideoPreset::ParkDog, ThresholdPair::new(0.4, 0.6))
-                .with_frames(60)
-                .with_validation(crate::config::ValidationPolicy::ForcedBu(0.25)),
-        );
-        let hi = run_croesus(
-            &CroesusConfig::new(VideoPreset::ParkDog, ThresholdPair::new(0.4, 0.6))
-                .with_frames(60)
-                .with_validation(crate::config::ValidationPolicy::ForcedBu(1.0)),
-        );
+        let base =
+            CroesusConfig::new(VideoPreset::ParkDog, ThresholdPair::new(0.4, 0.6)).with_frames(60);
+        let lo = run(&base
+            .clone()
+            .with_validation(ValidationPolicy::ForcedBu(0.25)));
+        let hi = run(&base
+            .clone()
+            .with_validation(ValidationPolicy::ForcedBu(1.0)));
         assert!((lo.bandwidth_utilization - 0.25).abs() < 0.05);
         assert!(hi.bandwidth_utilization > 0.95);
         assert!(hi.final_commit_ms > lo.final_commit_ms);
@@ -284,8 +119,8 @@ mod tests {
     fn no_pending_frames_leak() {
         let cfg = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.3, 0.7))
             .with_frames(40);
-        // run_croesus drains every frame (validated or local).
-        let m = run_croesus(&cfg);
+        // The deployment drains every frame (validated or local).
+        let m = run(&cfg);
         assert!(m.transactions_committed > 0);
     }
 
@@ -293,8 +128,8 @@ mod tests {
     fn cloud_loss_degrades_accuracy_but_never_blocks_commits() {
         let base = CroesusConfig::new(VideoPreset::MallSurveillance, ThresholdPair::new(0.2, 0.8))
             .with_frames(80);
-        let healthy = run_croesus(&base.clone());
-        let lossy = run_croesus(&base.clone().with_cloud_loss(1.0));
+        let healthy = run(&base.clone());
+        let lossy = run(&base.clone().with_cloud_loss(1.0));
         assert_eq!(healthy.cloud_timeouts, 0);
         assert!(lossy.cloud_timeouts > 0);
         // With total loss, no frame ever gets corrected.
@@ -309,9 +144,9 @@ mod tests {
     fn partial_cloud_loss_sits_between_extremes() {
         let base = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.3, 0.7))
             .with_frames(80);
-        let none = run_croesus(&base.clone());
-        let half = run_croesus(&base.clone().with_cloud_loss(0.5));
-        let all = run_croesus(&base.clone().with_cloud_loss(1.0));
+        let none = run(&base.clone());
+        let half = run(&base.clone().with_cloud_loss(0.5));
+        let all = run(&base.clone().with_cloud_loss(1.0));
         assert!(half.cloud_timeouts > 0 && half.cloud_timeouts < all.cloud_timeouts);
         assert!(half.f_score <= none.f_score + 1e-9);
         assert!(half.f_score >= all.f_score - 1e-9);

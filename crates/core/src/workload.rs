@@ -183,19 +183,33 @@ impl HotspotWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bank::TxnInstance;
+    use crate::matching::FinalInput;
     use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
-    use croesus_txn::MsIaExecutor;
+    use croesus_txn::{ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind};
     use croesus_video::BoundingBox;
 
     fn det(class: &str) -> Detection {
         Detection::new(class.into(), 0.9, BoundingBox::new(0.4, 0.4, 0.2, 0.2))
     }
 
-    fn executor() -> MsIaExecutor {
-        MsIaExecutor::new(
+    fn executor() -> Box<dyn MultiStageProtocol> {
+        ProtocolKind::MsIa.build(ExecutorCore::new(
             Arc::new(KvStore::new()),
             Arc::new(LockManager::new(LockPolicy::Block)),
-        )
+        ))
+    }
+
+    /// Run a bank instance's two sections through the protocol API.
+    fn run_instance(ex: &dyn MultiStageProtocol, inst: TxnInstance, input: &FinalInput) {
+        let h = ex.begin(TxnId(1), &[inst.initial_rw.clone(), inst.final_rw.clone()]);
+        let (_, h) = ex
+            .stage(h, &inst.initial_rw, |ctx| (inst.initial)(ctx.section_mut()))
+            .unwrap();
+        ex.stage(h.unwrap(), &inst.final_rw, |ctx| {
+            (inst.final_section)(ctx.section_mut(), input)
+        })
+        .unwrap();
     }
 
     #[test]
@@ -230,16 +244,18 @@ mod tests {
         let inst = w.instantiate(&det("car"), &mut rng);
         let ex = executor();
         let keys = inst.initial_rw.writes.clone();
-        let (out, pending) = ex
-            .run_initial(TxnId(1), &inst.initial_rw, |ctx| (inst.initial)(ctx))
+        let final_rw = inst.final_rw.clone();
+        let final_section = inst.final_section;
+        let h = ex.begin(TxnId(1), &[inst.initial_rw.clone(), final_rw.clone()]);
+        let (_, pending) = ex
+            .stage(h, &inst.initial_rw, |ctx| (inst.initial)(ctx.section_mut()))
             .unwrap();
-        let _ = out;
         for k in &keys {
             assert!(ex.store().contains(k));
         }
-        let input = crate::matching::FinalInput::correct(det("car"));
-        ex.run_final(pending, &inst.final_rw, |ctx, _| {
-            (inst.final_section)(ctx, &input)
+        let input = FinalInput::correct(det("car"));
+        ex.stage(pending.unwrap(), &final_rw, |ctx| {
+            (final_section)(ctx.section_mut(), &input)
         })
         .unwrap();
         for k in &keys {
@@ -258,17 +274,11 @@ mod tests {
         let inst = w.instantiate(&det("bus"), &mut rng);
         let ex = executor();
         let keys = inst.initial_rw.writes.clone();
-        let (_, pending) = ex
-            .run_initial(TxnId(1), &inst.initial_rw, |ctx| (inst.initial)(ctx))
-            .unwrap();
-        let input = crate::matching::FinalInput {
+        let input = FinalInput {
             edge_label: Some(det("bus")),
             verdict: LabelVerdict::Corrected(det("car")),
         };
-        ex.run_final(pending, &inst.final_rw, |ctx, _| {
-            (inst.final_section)(ctx, &input)
-        })
-        .unwrap();
+        run_instance(&*ex, inst, &input);
         for k in &keys {
             assert_eq!(ex.store().get(k).unwrap().as_str().unwrap(), "seen:car");
         }
@@ -281,17 +291,11 @@ mod tests {
         let inst = w.instantiate(&det("car"), &mut rng);
         let ex = executor();
         let keys = inst.initial_rw.writes.clone();
-        let (_, pending) = ex
-            .run_initial(TxnId(1), &inst.initial_rw, |ctx| (inst.initial)(ctx))
-            .unwrap();
-        let input = crate::matching::FinalInput {
+        let input = FinalInput {
             edge_label: Some(det("car")),
             verdict: LabelVerdict::Erroneous,
         };
-        ex.run_final(pending, &inst.final_rw, |ctx, _| {
-            (inst.final_section)(ctx, &input)
-        })
-        .unwrap();
+        run_instance(&*ex, inst, &input);
         for k in &keys {
             assert!(!ex.store().contains(k), "erroneous inserts removed");
         }

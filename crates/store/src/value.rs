@@ -159,7 +159,7 @@ impl fmt::Display for Key {
 }
 
 /// Pass-through [`Hasher`] for [`Key`]-keyed maps: consumes the single
-/// `write_u64` of the cached key hash and finalizes with [`mix64`], so a
+/// `write_u64` of the cached key hash and finalizes with a splitmix64 mix, so a
 /// map operation performs zero bytes of real hashing.
 #[derive(Clone, Copy, Default)]
 pub struct KeyHasher(u64);

@@ -117,18 +117,25 @@ impl ApologyManager {
     pub fn retract(&self, txn: TxnId, store: &KvStore, reason: &str) -> RetractionReport {
         let mut inner = self.inner.lock();
 
-        let Some(root_idx) = inner
+        // Every live entry of `txn` is a root: the staged discipline (and
+        // m-stage MS-IA) registers one entry per stage, and stages with
+        // disjoint footprints would otherwise survive their own
+        // transaction's retraction.
+        let roots: Vec<usize> = inner
             .entries
             .iter()
-            .position(|e| e.txn == txn && !e.retracted)
-        else {
+            .enumerate()
+            .filter(|(_, e)| e.txn == txn && !e.retracted)
+            .map(|(i, _)| i)
+            .collect();
+        if roots.is_empty() {
             return RetractionReport::default();
-        };
+        }
 
         // Transitive dependents: entry B depends on entry A (A.seq < B.seq)
         // when B read or wrote a key A wrote.
         let mut affected: HashSet<usize> = HashSet::new();
-        affected.insert(root_idx);
+        affected.extend(roots);
         loop {
             let mut grew = false;
             for i in 0..inner.entries.len() {

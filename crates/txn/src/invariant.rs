@@ -1,6 +1,6 @@
 //! Application invariants and merge outcomes for MS-IA.
 //!
-//! §4.4: "the final section [acts] as the merge function that attempts to
+//! §4.4: "the final section \[acts\] as the merge function that attempts to
 //! reconcile application-level invariants instead of all potential
 //! inconsistencies ... (1) retract the minimum amount of erroneous actions
 //! and their effects using apologies, and (2) retain as much state as

@@ -1,22 +1,48 @@
 //! Multi-stage transactions (§4 of the Croesus paper).
 //!
-//! A multi-stage transaction has two sections: an **initial** section,
+//! A multi-stage transaction has m ≥ 2 sections: an **initial** section,
 //! triggered by the fast edge model's labels, and a **final** section,
-//! triggered when the accurate cloud model's labels arrive. If the initial
-//! section commits, the final section *must* commit — that guarantee is the
-//! crux of the model, and the two safety levels differ in how they pay for
-//! it:
+//! triggered when the accurate cloud model's labels arrive (plus optional
+//! intermediate stages, §3.5). If the initial section commits, the final
+//! section *must* commit — that guarantee is the crux of the model, and the
+//! consistency protocols differ in how they pay for it.
 //!
-//! * **MS-SR** ([`ms_sr`]) mimics serializability: a transaction's two
-//!   sections appear back-to-back in the serial order. The Two-Stage 2PL
-//!   protocol (Algorithm 1) achieves this by acquiring the *final* section's
-//!   locks before initial commit and holding everything until final commit —
-//!   which means locks are held across the edge→cloud round trip.
-//! * **MS-IA** ([`ms_ia`]) adapts invariant confluence and apologies:
-//!   initial sections commit and release their locks immediately
-//!   (apply-then-check); the final section later reconciles errors, issuing
-//!   [`apology`] retractions — cascading if needed — while invariants
-//!   ([`invariant`]) bound what must be undone.
+//! All protocols implement one trait, [`MultiStageProtocol`], over shared
+//! [`ExecutorCore`] state, so any driver can run any protocol through
+//! `&dyn MultiStageProtocol`:
+//!
+//! * **MS-SR** ([`ms_sr`], [`ProtocolKind::MsSr`]) mimics serializability:
+//!   a transaction's sections appear back-to-back in the serial order. The
+//!   Two-Stage 2PL protocol (Algorithm 1) achieves this by acquiring the
+//!   *later* stages' locks before initial commit and holding everything
+//!   until final commit — which means locks are held across the edge→cloud
+//!   round trip.
+//! * **MS-IA** ([`ms_ia`], [`ProtocolKind::MsIa`]) adapts invariant
+//!   confluence and apologies: every stage commits and releases its locks
+//!   immediately (apply-then-check); the final section later reconciles
+//!   errors, issuing [`apology`] retractions — cascading if needed — while
+//!   invariants ([`invariant`]) bound what must be undone.
+//! * **Staged** ([`staged`], [`ProtocolKind::Staged`]) generalizes the
+//!   MS-IA discipline to m stages, keeping every stage's footprint
+//!   retractable.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
+//! use croesus_txn::{ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet};
+//!
+//! for kind in ProtocolKind::ALL {
+//!     let protocol = kind.build(ExecutorCore::new(
+//!         Arc::new(KvStore::new()),
+//!         Arc::new(LockManager::new(kind.default_lock_policy())),
+//!     ));
+//!     let rw = RwSet::new().write("x");
+//!     let handle = protocol.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+//!     let (_, next) = protocol.stage(handle, &rw, |ctx| ctx.write("x", 1)).unwrap();
+//!     protocol.stage(next.unwrap(), &rw, |ctx| ctx.write("x", 2)).unwrap();
+//!     assert_eq!(protocol.stats().snapshot().commits, 1);
+//! }
+//! ```
 //!
 //! Supporting machinery: a [`model`] for sections/read-write sets, a
 //! [`history`] recorder with checkers for the MS-SR/MS-IA ordering
@@ -31,6 +57,7 @@ pub mod invariant;
 pub mod model;
 pub mod ms_ia;
 pub mod ms_sr;
+pub mod protocol;
 pub mod sequencer;
 pub mod staged;
 pub mod stats;
@@ -42,9 +69,13 @@ pub use invariant::{
     merge_decision, FnInvariant, Invariant, InvariantViolation, MergeOutcome, NonNegativeInvariant,
 };
 pub use model::{RwSet, SectionCtx, SectionOutput, TxnError};
-pub use ms_ia::{FinalCtx, MsIaExecutor, PendingFinal};
+pub use ms_ia::MsIaExecutor;
 pub use ms_sr::TsplExecutor;
+pub use protocol::{
+    ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, StageBody, StageCtx,
+    StageOutcome, TxnHandle,
+};
 pub use sequencer::Sequencer;
-pub use staged::{StageToken, StagedExecutor};
+pub use staged::StagedExecutor;
 pub use stats::{ProtocolStats, StatsSnapshot};
 pub use tpc::{Coordinator, Participant, PartitionParticipant, TpcOutcome, Vote};

@@ -29,17 +29,20 @@ pub struct RwSet {
 
 impl RwSet {
     /// An empty set.
+    #[must_use]
     pub fn new() -> Self {
         RwSet::default()
     }
 
     /// Builder: add a read key.
+    #[must_use]
     pub fn read(mut self, key: impl Into<Key>) -> Self {
         self.reads.push(key.into());
         self
     }
 
     /// Builder: add a write key.
+    #[must_use]
     pub fn write(mut self, key: impl Into<Key>) -> Self {
         self.writes.push(key.into());
         self
@@ -90,6 +93,7 @@ impl RwSet {
     }
 
     /// Union of two sets.
+    #[must_use]
     pub fn union(&self, other: &RwSet) -> RwSet {
         let mut out = self.clone();
         out.reads.extend(other.reads.iter().cloned());
@@ -133,11 +137,13 @@ pub struct SectionOutput {
 
 impl SectionOutput {
     /// An empty output.
+    #[must_use]
     pub fn new() -> Self {
         SectionOutput::default()
     }
 
     /// Output with a single response value.
+    #[must_use]
     pub fn respond(value: impl Into<Value>) -> Self {
         SectionOutput {
             response: vec![value.into()],

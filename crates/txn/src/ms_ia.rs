@@ -16,287 +16,109 @@
 //! immediately after processing the initial section" (§4.4). The price is
 //! that the final section must reconcile errors itself — it runs as a guess
 //! → apology pair, with [`crate::apology::ApologyManager`] providing
-//! retraction when the guess cannot be merged.
+//! retraction (via [`crate::StageCtx::retract_self`]) when the guess cannot
+//! be merged.
+//!
+//! The executor is one implementation of
+//! [`MultiStageProtocol`]; all the lock / undo /
+//! history / stats plumbing lives in the shared
+//! [`ExecutorCore`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use croesus_store::{KvStore, LockManager, LockPolicy, TxnId, Value};
+//! use croesus_txn::{
+//!     ExecutorCore, MsIaExecutor, MultiStageProtocol, MultiStageProtocolExt, RwSet,
+//! };
+//!
+//! let ex = MsIaExecutor::from_core(ExecutorCore::new(
+//!     Arc::new(KvStore::new()),
+//!     Arc::new(LockManager::new(LockPolicy::Block)),
+//! ));
+//! let rw = RwSet::new().write("x");
+//! // The guess: commits and releases its locks immediately.
+//! let h = ex.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+//! let (_, h) = ex.stage(h, &rw, |ctx| ctx.write("x", 1)).unwrap();
+//! // Later, when the cloud labels arrive, the final section reconciles.
+//! ex.stage(h.unwrap(), &rw, |ctx| ctx.write("x", 2)).unwrap();
+//! assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
+//! ```
 
-use std::sync::Arc;
-use std::time::Instant;
+use croesus_store::TxnId;
 
-use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
-
-use crate::apology::{ApologyManager, RetractionReport};
-use crate::history::{HistoryRecorder, SectionKind};
-use crate::model::{RwSet, SectionCtx, TxnError};
-use crate::stats::ProtocolStats;
-
-/// Token proving a transaction's initial section committed; required to run
-/// its final section. (The type system enforces "the final section of a
-/// transaction cannot begin before the initial section", §4.1.)
-#[derive(Debug)]
-pub struct PendingFinal {
-    txn: TxnId,
-}
-
-impl PendingFinal {
-    /// The transaction this token belongs to.
-    pub fn txn(&self) -> TxnId {
-        self.txn
-    }
-}
-
-/// Capabilities available to a final section on top of plain reads/writes:
-/// retraction (with cascade) and apology bookkeeping.
-pub struct FinalCtx<'a> {
-    txn: TxnId,
-    store: &'a KvStore,
-    apologies: &'a ApologyManager,
-    reports: Vec<RetractionReport>,
-}
-
-impl FinalCtx<'_> {
-    /// This transaction's id.
-    pub fn txn(&self) -> TxnId {
-        self.txn
-    }
-
-    /// Retract a transaction's initial-section effects (cascading to
-    /// dependents), usually this transaction's own guess:
-    /// `ctx.retract_self("detected the wrong building")`.
-    pub fn retract(&mut self, txn: TxnId, reason: &str) -> RetractionReport {
-        let report = self.apologies.retract(txn, self.store, reason);
-        self.reports.push(report.clone());
-        report
-    }
-
-    /// Retract this transaction's own initial section.
-    pub fn retract_self(&mut self, reason: &str) -> RetractionReport {
-        self.retract(self.txn, reason)
-    }
-
-    /// Reports accumulated by this final section.
-    pub fn reports(&self) -> &[RetractionReport] {
-        &self.reports
-    }
-}
+use crate::model::{RwSet, TxnError};
+use crate::protocol::{
+    ExecutorCore, MultiStageProtocol, ProtocolKind, StageBody, StageOutcome, TxnHandle,
+};
 
 /// The MS-IA executor.
-///
-/// ```
-/// use std::sync::Arc;
-/// use croesus_store::{KvStore, LockManager, LockPolicy, TxnId, Value};
-/// use croesus_txn::{MsIaExecutor, RwSet};
-///
-/// let ex = MsIaExecutor::new(
-///     Arc::new(KvStore::new()),
-///     Arc::new(LockManager::new(LockPolicy::Block)),
-/// );
-/// let rw = RwSet::new().write("x");
-/// // The guess: commits and releases its locks immediately.
-/// let (_, pending) = ex.run_initial(TxnId(1), &rw, |ctx| {
-///     ctx.write("x", 1)?;
-///     Ok(())
-/// }).unwrap();
-/// // Later, when the cloud labels arrive, the final section reconciles.
-/// ex.run_final(pending, &rw, |ctx, _apologies| {
-///     ctx.write("x", 2)?;
-///     Ok(())
-/// }).unwrap();
-/// assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
-/// ```
 pub struct MsIaExecutor {
-    store: Arc<KvStore>,
-    locks: Arc<LockManager>,
-    history: Option<HistoryRecorder>,
-    stats: Arc<ProtocolStats>,
-    apologies: Arc<ApologyManager>,
+    core: ExecutorCore,
 }
 
 impl MsIaExecutor {
-    /// Create an executor over a store and lock manager.
-    pub fn new(store: Arc<KvStore>, locks: Arc<LockManager>) -> Self {
-        MsIaExecutor {
-            store,
-            locks,
-            history: None,
-            stats: Arc::new(ProtocolStats::new()),
-            apologies: Arc::new(ApologyManager::new()),
-        }
+    /// An MS-IA executor over shared core state.
+    #[must_use]
+    pub fn from_core(core: ExecutorCore) -> Self {
+        MsIaExecutor { core }
+    }
+}
+
+impl MultiStageProtocol for MsIaExecutor {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::MsIa
     }
 
-    /// Attach a history recorder.
-    pub fn with_history(mut self, history: HistoryRecorder) -> Self {
-        self.history = Some(history);
-        self
+    fn core(&self) -> &ExecutorCore {
+        &self.core
     }
 
-    /// The statistics collector.
-    pub fn stats(&self) -> &Arc<ProtocolStats> {
-        &self.stats
+    fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle {
+        TxnHandle::first(txn, stages.len())
     }
 
-    /// The apology manager (for inspecting issued apologies).
-    pub fn apologies(&self) -> &Arc<ApologyManager> {
-        &self.apologies
-    }
-
-    /// The underlying store.
-    pub fn store(&self) -> &Arc<KvStore> {
-        &self.store
-    }
-
-    /// Run the initial section: lock its read/write set, execute, commit,
-    /// release. On success the effects are visible to everyone and a
-    /// [`PendingFinal`] token is returned for the final section.
-    pub fn run_initial<T>(
+    /// Every stage acquires, executes, commits and releases immediately;
+    /// non-final stages register their footprint as a retractable guess.
+    /// Only stage 0 may abort — later stages retry lock acquisition until
+    /// granted, because the initial commit promised a final commit.
+    fn run_stage(
         &self,
-        txn: TxnId,
+        handle: TxnHandle,
         rw: &RwSet,
-        body: impl FnOnce(&mut SectionCtx) -> Result<T, TxnError>,
-    ) -> Result<(T, PendingFinal), TxnError> {
-        let started = Instant::now();
-        let pairs = rw.lock_pairs();
-        if let Err(e) = self.locks.acquire_all(txn, &pairs, None) {
-            if let Some(h) = &self.history {
-                h.record_abort(txn);
-            }
-            self.stats.record_abort();
-            return Err(TxnError::Aborted(e));
-        }
-        let lock_epoch = Instant::now();
-
-        if let Some(h) = &self.history {
-            h.record_begin(txn, SectionKind::Initial);
-        }
-        let mut undo = UndoLog::new();
-        let out = {
-            let mut ctx = SectionCtx::new(
-                txn,
-                SectionKind::Initial,
-                &self.store,
-                rw,
-                &mut undo,
-                self.history.as_ref(),
-            );
-            body(&mut ctx)
-        };
-        let out = match out {
-            Ok(v) => v,
-            Err(e) => {
-                undo.rollback(&self.store);
-                self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
-                if let Some(h) = &self.history {
-                    h.record_abort(txn);
-                }
-                self.stats.record_abort();
-                return Err(e);
-            }
-        };
-
-        // Initial commit, then release immediately — the MS-IA difference.
-        if let Some(h) = &self.history {
-            h.record_commit(txn, SectionKind::Initial);
-        }
-        self.stats.record_initial_latency(started.elapsed());
-        self.apologies
-            .register(txn, rw.reads.clone(), rw.writes.clone(), undo);
-        self.stats.record_lock_hold(lock_epoch.elapsed());
-        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
-
-        Ok((out, PendingFinal { txn }))
+        body: StageBody<'_>,
+    ) -> Result<StageOutcome, TxnError> {
+        self.core.run_released_stage(handle, rw, body, false)
     }
 
-    /// Run the final section once its input (the cloud labels) is ready.
-    ///
-    /// The multi-stage guarantee says an initially-committed transaction
-    /// must finally commit, so lock acquisition here *retries* on wait-die
-    /// kills rather than aborting the transaction. The section body gets a
-    /// [`FinalCtx`] for retraction and apologies alongside the normal
-    /// read/write context.
-    pub fn run_final<T>(
-        &self,
-        pending: PendingFinal,
-        rw: &RwSet,
-        body: impl FnOnce(&mut SectionCtx, &mut FinalCtx) -> Result<T, TxnError>,
-    ) -> Result<T, TxnError> {
-        let txn = pending.txn;
-        let pairs = rw.lock_pairs();
-        // Retry until granted: final sections cannot abort.
-        let mut backoff = 0u32;
-        while let Err(_e) = self.locks.acquire_all(txn, &pairs, None) {
-            backoff = (backoff + 1).min(6);
-            std::thread::yield_now();
-            if backoff > 2 {
-                std::thread::sleep(std::time::Duration::from_micros(1 << backoff));
-            }
-        }
-        let lock_epoch = Instant::now();
-
-        if let Some(h) = &self.history {
-            h.record_begin(txn, SectionKind::Final);
-        }
-        let mut undo = UndoLog::new();
-        let mut final_ctx = FinalCtx {
-            txn,
-            store: &self.store,
-            apologies: &self.apologies,
-            reports: Vec::new(),
-        };
-        let out = {
-            let mut ctx = SectionCtx::new(
-                txn,
-                SectionKind::Final,
-                &self.store,
-                rw,
-                &mut undo,
-                self.history.as_ref(),
-            );
-            body(&mut ctx, &mut final_ctx)
-        };
-        let out = match out {
-            Ok(v) => v,
-            Err(e) => panic!(
-                "final section of {txn} failed after initial commit — \
-                 the multi-stage guarantee forbids this: {e}"
-            ),
-        };
-
-        if let Some(h) = &self.history {
-            h.record_commit(txn, SectionKind::Final);
-        }
-        self.stats.record_commit();
-        self.stats.record_lock_hold(lock_epoch.elapsed());
-        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
-        Ok(out)
+    fn abort(&self, handle: TxnHandle) {
+        self.core.abort_handle(&handle);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use croesus_store::{LockPolicy, Value};
+    use crate::history::HistoryRecorder;
+    use crate::protocol::MultiStageProtocolExt;
+    use croesus_store::{KvStore, LockManager, LockPolicy, Value};
+    use std::sync::Arc;
     use std::thread;
 
     fn executor(policy: LockPolicy) -> MsIaExecutor {
-        MsIaExecutor::new(Arc::new(KvStore::new()), Arc::new(LockManager::new(policy)))
-            .with_history(HistoryRecorder::new())
+        MsIaExecutor::from_core(
+            ExecutorCore::new(Arc::new(KvStore::new()), Arc::new(LockManager::new(policy)))
+                .with_history(HistoryRecorder::new()),
+        )
     }
 
     #[test]
     fn initial_then_final_commits() {
         let ex = executor(LockPolicy::Block);
-        let rw_i = RwSet::new().write("x");
-        let rw_f = RwSet::new().write("x");
-        let (_, pending) = ex
-            .run_initial(TxnId(1), &rw_i, |ctx| {
-                ctx.write("x", 1)?;
-                Ok(())
-            })
-            .unwrap();
+        let rw = RwSet::new().write("x");
+        let h = ex.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+        let (_, h) = ex.stage(h, &rw, |ctx| ctx.write("x", 1)).unwrap();
         assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(1)));
-        ex.run_final(pending, &rw_f, |ctx, _| {
-            ctx.write("x", 2)?;
-            Ok(())
-        })
-        .unwrap();
+        ex.stage(h.unwrap(), &rw, |ctx| ctx.write("x", 2)).unwrap();
         assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
         assert_eq!(ex.stats().snapshot().commits, 1);
     }
@@ -306,35 +128,29 @@ mod tests {
         // The key MS-IA behaviour: another transaction can read t1's
         // initial write before t1's final section runs.
         let ex = executor(LockPolicy::Block);
-        let (_, pending1) = ex
-            .run_initial(TxnId(1), &RwSet::new().write("shared"), |ctx| {
-                ctx.write("shared", 10)?;
-                Ok(())
-            })
-            .unwrap();
-        let (seen, pending2) = ex
-            .run_initial(TxnId(2), &RwSet::new().read("shared"), |ctx| {
+        let w = RwSet::new().write("shared");
+        let r = RwSet::new().read("shared");
+        let h1 = ex.begin(TxnId(1), &[w.clone(), RwSet::new()]);
+        let (_, p1) = ex.stage(h1, &w, |ctx| ctx.write("shared", 10)).unwrap();
+        let h2 = ex.begin(TxnId(2), &[r.clone(), RwSet::new()]);
+        let (seen, p2) = ex
+            .stage(h2, &r, |ctx| {
                 Ok(ctx.read("shared")?.and_then(|v| v.as_int()))
             })
             .unwrap();
         assert_eq!(seen, Some(10), "t2 observed t1's initial effects");
-        ex.run_final(pending1, &RwSet::new(), |_, _| Ok(()))
-            .unwrap();
-        ex.run_final(pending2, &RwSet::new(), |_, _| Ok(()))
-            .unwrap();
+        ex.stage(p1.unwrap(), &RwSet::new(), |_| Ok(())).unwrap();
+        ex.stage(p2.unwrap(), &RwSet::new(), |_| Ok(())).unwrap();
     }
 
     #[test]
     fn locks_released_after_initial() {
         let store = Arc::new(KvStore::new());
         let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
-        let ex = MsIaExecutor::new(Arc::clone(&store), Arc::clone(&locks));
-        let (_, _pending) = ex
-            .run_initial(TxnId(1), &RwSet::new().write("x"), |ctx| {
-                ctx.write("x", 1)?;
-                Ok(())
-            })
-            .unwrap();
+        let ex = MsIaExecutor::from_core(ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks)));
+        let rw = RwSet::new().write("x");
+        let h = ex.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+        let (_, _pending) = ex.stage(h, &rw, |ctx| ctx.write("x", 1)).unwrap();
         // Immediately lockable by someone else — unlike TSPL.
         assert!(locks
             .lock(TxnId(2), &"x".into(), croesus_store::LockMode::Exclusive)
@@ -344,7 +160,9 @@ mod tests {
     #[test]
     fn aborted_initial_rolls_back() {
         let ex = executor(LockPolicy::Block);
-        let r = ex.run_initial(TxnId(1), &RwSet::new().write("x"), |ctx| {
+        let rw = RwSet::new().write("x");
+        let h = ex.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+        let r = ex.stage(h, &rw, |ctx| {
             ctx.write("x", 1)?;
             Err::<(), _>(TxnError::Invariant("bad trigger".into()))
         });
@@ -358,15 +176,14 @@ mod tests {
         let ex = executor(LockPolicy::Block);
         let store = Arc::clone(ex.store());
         store.put("room".into(), Value::Str("free".into()));
-        let (_, pending) = ex
-            .run_initial(TxnId(1), &RwSet::new().write("room"), |ctx| {
-                ctx.write("room", "reserved-by-1")?;
-                Ok(())
-            })
+        let rw = RwSet::new().write("room");
+        let h = ex.begin(TxnId(1), &[rw.clone(), RwSet::new()]);
+        let (_, h) = ex
+            .stage(h, &rw, |ctx| ctx.write("room", "reserved-by-1"))
             .unwrap();
-        let report = ex
-            .run_final(pending, &RwSet::new(), |_, fctx| {
-                Ok(fctx.retract_self("wrong building detected"))
+        let (report, _) = ex
+            .stage(h.unwrap(), &RwSet::new(), |ctx| {
+                Ok(ctx.retract_self("wrong building detected"))
             })
             .unwrap();
         assert_eq!(report.retracted, vec![TxnId(1)]);
@@ -381,25 +198,23 @@ mod tests {
     fn retraction_cascades_across_transactions() {
         let ex = executor(LockPolicy::Block);
         // t1 guesses; t2 reads t1's output in its initial section.
-        let (_, p1) = ex
-            .run_initial(TxnId(1), &RwSet::new().write("b"), |ctx| {
-                ctx.write("b", 50)?;
-                Ok(())
-            })
-            .unwrap();
+        let rw1 = RwSet::new().write("b");
+        let h1 = ex.begin(TxnId(1), &[rw1.clone(), RwSet::new()]);
+        let (_, p1) = ex.stage(h1, &rw1, |ctx| ctx.write("b", 50)).unwrap();
+        let rw2 = RwSet::new().read("b").write("c");
+        let h2 = ex.begin(TxnId(2), &[rw2.clone(), RwSet::new()]);
         let (_, p2) = ex
-            .run_initial(TxnId(2), &RwSet::new().read("b").write("c"), |ctx| {
+            .stage(h2, &rw2, |ctx| {
                 let b = ctx.read("b")?.and_then(|v| v.as_int()).unwrap_or(0);
-                ctx.write("c", b)?;
-                Ok(())
+                ctx.write("c", b)
             })
             .unwrap();
         // t2 finalizes cleanly first (its input was correct).
-        ex.run_final(p2, &RwSet::new(), |_, _| Ok(())).unwrap();
+        ex.stage(p2.unwrap(), &RwSet::new(), |_| Ok(())).unwrap();
         // t1's final discovers the error and retracts: cascade takes t2.
-        let report = ex
-            .run_final(p1, &RwSet::new(), |_, fctx| {
-                Ok(fctx.retract_self("wrong player"))
+        let (report, _) = ex
+            .stage(p1.unwrap(), &RwSet::new(), |ctx| {
+                Ok(ctx.retract_self("wrong player"))
             })
             .unwrap();
         assert_eq!(report.retracted, vec![TxnId(2), TxnId(1)]);
@@ -410,35 +225,33 @@ mod tests {
     #[test]
     fn history_satisfies_ms_ia_but_interleaving_breaks_ms_sr() {
         let history = HistoryRecorder::new();
-        let ex = MsIaExecutor::new(
-            Arc::new(KvStore::new()),
-            Arc::new(LockManager::new(LockPolicy::Block)),
-        )
-        .with_history(history.clone());
+        let ex = MsIaExecutor::from_core(
+            ExecutorCore::new(
+                Arc::new(KvStore::new()),
+                Arc::new(LockManager::new(LockPolicy::Block)),
+            )
+            .with_history(history.clone()),
+        );
         ex.store().put("x".into(), Value::Int(0));
         // The §4.2 anomaly under MS-IA: i1 i2 f1 f2 on the same key.
         let rw = RwSet::new().read("x").write("x");
-        let (v1, p1) = ex
-            .run_initial(TxnId(1), &rw, |ctx| {
-                Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0))
-            })
-            .unwrap();
-        let (v2, p2) = ex
-            .run_initial(TxnId(2), &rw, |ctx| {
-                Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0))
-            })
-            .unwrap();
         let rwf = RwSet::new().write("x");
-        ex.run_final(p1, &rwf, move |ctx, _| {
-            ctx.write("x", v1 + 1)?;
-            Ok(())
-        })
-        .unwrap();
-        ex.run_final(p2, &rwf, move |ctx, _| {
-            ctx.write("x", v2 + 1)?;
-            Ok(())
-        })
-        .unwrap();
+        let h1 = ex.begin(TxnId(1), &[rw.clone(), rwf.clone()]);
+        let (v1, p1) = ex
+            .stage(h1, &rw, |ctx| {
+                Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0))
+            })
+            .unwrap();
+        let h2 = ex.begin(TxnId(2), &[rw.clone(), rwf.clone()]);
+        let (v2, p2) = ex
+            .stage(h2, &rw, |ctx| {
+                Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0))
+            })
+            .unwrap();
+        ex.stage(p1.unwrap(), &rwf, |ctx| ctx.write("x", v1 + 1))
+            .unwrap();
+        ex.stage(p2.unwrap(), &rwf, |ctx| ctx.write("x", v2 + 1))
+            .unwrap();
         // Lost update happened (both read 0): that is exactly the anomaly
         // MS-IA permits and MS-SR forbids.
         assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(1)));
@@ -457,19 +270,14 @@ mod tests {
                     let rw = RwSet::new().write("hot");
                     // Retry initial on wait-die kills with the same id.
                     let pending = loop {
-                        match ex.run_initial(TxnId(i), &rw, |ctx| {
-                            ctx.write("hot", i as i64)?;
-                            Ok(())
-                        }) {
-                            Ok((_, p)) => break p,
+                        let h = ex.begin(TxnId(i), &[rw.clone(), rw.clone()]);
+                        match ex.stage(h, &rw, |ctx| ctx.write("hot", i as i64)) {
+                            Ok((_, p)) => break p.unwrap(),
                             Err(_) => thread::yield_now(),
                         }
                     };
-                    ex.run_final(pending, &rw, |ctx, _| {
-                        ctx.write("hot", 100 + i as i64)?;
-                        Ok(())
-                    })
-                    .unwrap();
+                    ex.stage(pending, &rw, |ctx| ctx.write("hot", 100 + i as i64))
+                        .unwrap();
                 })
             })
             .collect();
@@ -477,28 +285,21 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(ex.stats().snapshot().commits, 8);
-        let checker = ex.history.as_ref().unwrap().checker();
+        let checker = ex.history().unwrap().checker();
         checker.check_ms_ia(&[]).unwrap();
     }
 
     #[test]
     fn ms_ia_lock_hold_is_short_even_with_slow_cloud() {
-        // The Fig 6a contrast: the "cloud wait" happens *between* sections,
+        // The Fig 6a contrast: the "cloud wait" happens *between* stages,
         // while no locks are held.
         let ex = executor(LockPolicy::Block);
         let rw = RwSet::new().write("x");
-        let (_, pending) = ex
-            .run_initial(TxnId(1), &rw, |ctx| {
-                ctx.write("x", 1)?;
-                Ok(())
-            })
-            .unwrap();
+        let h = ex.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+        let (_, pending) = ex.stage(h, &rw, |ctx| ctx.write("x", 1)).unwrap();
         thread::sleep(std::time::Duration::from_millis(30)); // cloud round trip
-        ex.run_final(pending, &rw, |ctx, _| {
-            ctx.write("x", 2)?;
-            Ok(())
-        })
-        .unwrap();
+        ex.stage(pending.unwrap(), &rw, |ctx| ctx.write("x", 2))
+            .unwrap();
         let snap = ex.stats().snapshot();
         assert!(
             snap.avg_lock_hold_ms < 10.0,

@@ -14,198 +14,301 @@
 //! releaselocks(...)
 //! ```
 //!
-//! The protocol's defining property: locks for the *final* section are
-//! acquired before initial commit, so an initially-committed transaction can
-//! never abort — but every lock is held across the edge→cloud round trip,
-//! which is where MS-SR's contention (Fig 6a) and aborts under hot spots
+//! The protocol's defining property: locks for *later* stages are acquired
+//! before initial commit, so an initially-committed transaction can never
+//! abort — but every lock is held across the edge→cloud round trip, which
+//! is where MS-SR's contention (Fig 6a) and aborts under hot spots
 //! (Fig 6b) come from.
+//!
+//! Under the unified [`MultiStageProtocol`] API the caller waits for the
+//! final input *between* `run_stage` calls; TSPL simply keeps all locks
+//! held across that gap (that is the point). Because later stages must not
+//! acquire anything new after initial commit, every stage's read/write set
+//! must be covered by the sets declared at [`begin`](TsplExecutor::begin).
 
-use std::sync::Arc;
+use std::collections::HashMap;
 use std::time::Instant;
 
-use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
+use parking_lot::Mutex;
 
-use crate::history::{HistoryRecorder, SectionKind};
+use croesus_store::{Key, LockMode, TxnId, UndoLog};
+
 use crate::model::{RwSet, SectionCtx, TxnError};
-use crate::stats::ProtocolStats;
+use crate::protocol::{
+    ExecutorCore, MultiStageProtocol, ProtocolKind, StageBody, StageCtx, StageOutcome, TxnHandle,
+};
 
-/// The Two-Stage 2PL executor.
+/// Per-transaction in-flight state: the declared later-stage lock pairs
+/// (acquired at initial commit) and, once stage 0 ran, everything held.
+struct TsplInFlight {
+    /// Union of the lock pairs declared for stages `1..`.
+    later_pairs: Vec<(Key, LockMode)>,
+    /// Deduplicated keys currently held (empty before stage 0 commits).
+    held: Vec<Key>,
+    /// When the first lock was granted (for Fig-6a lock-hold times).
+    lock_epoch: Instant,
+}
+
+/// The Two-Stage 2PL executor (generalized to m stages: all locks are
+/// acquired by the end of stage 0 and held until the final stage commits).
 pub struct TsplExecutor {
-    store: Arc<KvStore>,
-    locks: Arc<LockManager>,
-    history: Option<HistoryRecorder>,
-    stats: Arc<ProtocolStats>,
+    core: ExecutorCore,
+    inflight: Mutex<HashMap<TxnId, TsplInFlight>>,
 }
 
 impl TsplExecutor {
-    /// Create an executor over a store and lock manager.
-    pub fn new(store: Arc<KvStore>, locks: Arc<LockManager>) -> Self {
+    /// A TSPL executor over shared core state.
+    #[must_use]
+    pub fn from_core(core: ExecutorCore) -> Self {
         TsplExecutor {
-            store,
-            locks,
-            history: None,
-            stats: Arc::new(ProtocolStats::new()),
+            core,
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Attach a history recorder (for the safety checkers).
-    pub fn with_history(mut self, history: HistoryRecorder) -> Self {
-        self.history = Some(history);
-        self
+    fn remove_inflight(&self, txn: TxnId) -> Option<TsplInFlight> {
+        self.inflight.lock().remove(&txn)
     }
 
-    /// The statistics collector.
-    pub fn stats(&self) -> &Arc<ProtocolStats> {
-        &self.stats
-    }
-
-    /// The underlying store.
-    pub fn store(&self) -> &Arc<KvStore> {
-        &self.store
-    }
-
-    /// Execute one multi-stage transaction under TSPL.
-    ///
-    /// * `initial` runs once the initial read/write set is locked.
-    /// * `await_final_input` models the wait for the cloud labels; TSPL
-    ///   holds **all** locks across it (that is the point).
-    /// * `final_section` runs with both sets locked, then everything is
-    ///   released.
-    ///
-    /// Aborts (lock failures per the manager's policy) can only happen
-    /// before initial commit; the caller should retry with the *same*
-    /// [`TxnId`] to preserve wait-die priority.
-    pub fn execute<TI, TF>(
+    /// Stage 0: lock the initial items, execute, then lock every later
+    /// stage's declared items *before* initial commit — the acquisition
+    /// order that guarantees later stages cannot abort.
+    fn run_initial(
         &self,
-        txn: TxnId,
-        initial_rw: &RwSet,
-        final_rw: &RwSet,
-        initial: impl FnOnce(&mut SectionCtx) -> Result<TI, TxnError>,
-        await_final_input: impl FnOnce(),
-        final_section: impl FnOnce(&mut SectionCtx) -> Result<TF, TxnError>,
-    ) -> Result<(TI, TF), TxnError> {
+        handle: TxnHandle,
+        rw: &RwSet,
+        body: StageBody<'_>,
+    ) -> Result<StageOutcome, TxnError> {
+        let txn = handle.txn();
+        let core = &self.core;
         let started = Instant::now();
-        let initial_pairs = initial_rw.lock_pairs();
-        let final_pairs = final_rw.lock_pairs();
-
-        // Lock the initial section's items.
-        if let Err(e) = self.locks.acquire_all(txn, &initial_pairs, None) {
-            self.abort(txn, started, None);
+        let initial_pairs = rw.lock_pairs();
+        if let Err(e) = core.locks().acquire_all(txn, &initial_pairs, None) {
+            self.remove_inflight(txn);
+            core.record_abort(txn);
             return Err(TxnError::Aborted(e));
         }
         let lock_epoch = Instant::now();
 
-        // Execute the initial section (not yet committed).
-        if let Some(h) = &self.history {
-            h.record_begin(txn, SectionKind::Initial);
+        if let Some(h) = core.history() {
+            h.record_begin(txn, handle.section_kind());
         }
-        let mut undo_initial = UndoLog::new();
-        let initial_out = {
-            let mut ctx = SectionCtx::new(
+        let mut undo = UndoLog::new();
+        let out = {
+            let section = SectionCtx::new(
                 txn,
-                SectionKind::Initial,
-                &self.store,
-                initial_rw,
-                &mut undo_initial,
-                self.history.as_ref(),
+                handle.section_kind(),
+                core.store(),
+                rw,
+                &mut undo,
+                core.history(),
             );
-            initial(&mut ctx)
+            let mut ctx = StageCtx::new(section, core.store(), core.apologies());
+            body(&mut ctx)
         };
-        let initial_out = match initial_out {
+        let output = match out {
             Ok(v) => v,
             Err(e) => {
-                undo_initial.rollback(&self.store);
-                self.release(txn, &initial_pairs, lock_epoch);
-                self.abort(txn, started, None);
+                undo.rollback(core.store());
+                core.locks()
+                    .release_all(txn, initial_pairs.iter().map(|(k, _)| k));
+                self.remove_inflight(txn);
+                core.record_abort(txn);
                 return Err(e);
             }
         };
 
-        // Lock the final section's items *before* initial commit: this is
-        // what guarantees the final section cannot abort later.
-        if let Err(e) = self.locks.acquire_all(txn, &final_pairs, None) {
-            undo_initial.rollback(&self.store);
-            self.release(txn, &initial_pairs, lock_epoch);
-            self.abort(txn, started, None);
+        // Lock the later stages' items *before* initial commit: this is
+        // what guarantees the remaining stages cannot abort.
+        let later_pairs = {
+            let map = self.inflight.lock();
+            let state = map
+                .get(&txn)
+                .expect("run_stage without begin — declare the stages first");
+            state.later_pairs.clone()
+        };
+        if let Err(e) = core.locks().acquire_all(txn, &later_pairs, None) {
+            undo.rollback(core.store());
+            core.locks()
+                .release_all(txn, initial_pairs.iter().map(|(k, _)| k));
+            self.remove_inflight(txn);
+            core.record_abort(txn);
             return Err(TxnError::Aborted(e));
         }
 
         // Initial commit: the response may now be exposed to the client.
-        if let Some(h) = &self.history {
-            h.record_commit(txn, SectionKind::Initial);
+        if let Some(h) = core.history() {
+            h.record_commit(txn, handle.section_kind());
         }
-        self.stats.record_initial_latency(started.elapsed());
+        core.stats().record_initial_latency(started.elapsed());
 
-        // Wait for the cloud labels — with every lock held.
-        await_final_input();
-
-        // Execute the final section. Errors here are application bugs:
-        // the protocol guarantees commit, so the section must not fail.
-        if let Some(h) = &self.history {
-            h.record_begin(txn, SectionKind::Final);
+        // Remember everything held, deduplicated, for the final release.
+        let mut held: Vec<Key> = initial_pairs
+            .into_iter()
+            .chain(later_pairs)
+            .map(|(k, _)| k)
+            .collect();
+        held.sort();
+        held.dedup();
+        if let Some(state) = self.inflight.lock().get_mut(&txn) {
+            state.held = held;
+            state.lock_epoch = lock_epoch;
         }
-        let mut undo_final = UndoLog::new();
-        let final_out = {
-            let mut ctx = SectionCtx::new(
+
+        Ok(StageOutcome::Committed {
+            output,
+            next: handle.advance(),
+        })
+    }
+
+    /// Stages `1..`: every lock is already held; execute under them and
+    /// release everything at final commit. Errors here are application
+    /// bugs — the protocol guarantees commit, so the body must not fail.
+    fn run_held(
+        &self,
+        handle: TxnHandle,
+        rw: &RwSet,
+        body: StageBody<'_>,
+    ) -> Result<StageOutcome, TxnError> {
+        let txn = handle.txn();
+        let core = &self.core;
+        // The declared sets at begin() are binding under MS-SR: acquiring
+        // anything new after initial commit could abort or block, which
+        // the guarantee forbids.
+        for (key, mode) in rw.lock_pairs() {
+            match core.locks().held_mode(txn, &key) {
+                Some(LockMode::Exclusive) => {}
+                Some(LockMode::Shared) if mode == LockMode::Shared => {}
+                held => panic!(
+                    "stage {} of {txn} accesses {key} ({mode:?}) but holds {held:?} — \
+                     MS-SR requires every stage's items to be declared at begin()",
+                    handle.stage()
+                ),
+            }
+        }
+
+        if let Some(h) = core.history() {
+            h.record_begin(txn, handle.section_kind());
+        }
+        let mut undo = UndoLog::new();
+        let out = {
+            let section = SectionCtx::new(
                 txn,
-                SectionKind::Final,
-                &self.store,
-                final_rw,
-                &mut undo_final,
-                self.history.as_ref(),
+                handle.section_kind(),
+                core.store(),
+                rw,
+                &mut undo,
+                core.history(),
             );
-            final_section(&mut ctx)
+            let mut ctx = StageCtx::new(section, core.store(), core.apologies());
+            body(&mut ctx)
         };
-        let final_out = match final_out {
+        let output = match out {
             Ok(v) => v,
             Err(e) => panic!(
-                "final section of {txn} failed after initial commit — \
-                 the multi-stage guarantee forbids this: {e}"
+                "stage {} of {txn} failed after initial commit — \
+                 the multi-stage guarantee forbids this: {e}",
+                handle.stage()
             ),
         };
 
-        // Final commit; release everything.
-        if let Some(h) = &self.history {
-            h.record_commit(txn, SectionKind::Final);
+        if let Some(h) = core.history() {
+            h.record_commit(txn, handle.section_kind());
         }
-        self.stats.record_commit();
-        self.release(txn, &initial_pairs, lock_epoch);
-        self.release_quiet(txn, &final_pairs);
-        Ok((initial_out, final_out))
+        if handle.is_final() {
+            core.stats().record_commit();
+            if let Some(state) = self.remove_inflight(txn) {
+                core.stats().record_lock_hold(state.lock_epoch.elapsed());
+                core.locks().release_all(txn, state.held.iter());
+            }
+            Ok(StageOutcome::Complete { output })
+        } else {
+            Ok(StageOutcome::Committed {
+                output,
+                next: handle.advance(),
+            })
+        }
+    }
+}
+
+impl MultiStageProtocol for TsplExecutor {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::MsSr
     }
 
-    fn release(
+    fn core(&self) -> &ExecutorCore {
+        &self.core
+    }
+
+    fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle {
+        let handle = TxnHandle::first(txn, stages.len());
+        let later = stages[1..]
+            .iter()
+            .fold(RwSet::new(), |acc, rw| acc.union(rw));
+        self.inflight.lock().insert(
+            txn,
+            TsplInFlight {
+                later_pairs: later.lock_pairs(),
+                held: Vec::new(),
+                lock_epoch: Instant::now(),
+            },
+        );
+        handle
+    }
+
+    fn run_stage(
         &self,
-        txn: TxnId,
-        pairs: &[(croesus_store::Key, croesus_store::LockMode)],
-        lock_epoch: Instant,
-    ) {
-        self.stats.record_lock_hold(lock_epoch.elapsed());
-        self.release_quiet(txn, pairs);
-    }
-
-    fn release_quiet(&self, txn: TxnId, pairs: &[(croesus_store::Key, croesus_store::LockMode)]) {
-        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
-    }
-
-    fn abort(&self, txn: TxnId, _started: Instant, _epoch: Option<Instant>) {
-        if let Some(h) = &self.history {
-            h.record_abort(txn);
+        handle: TxnHandle,
+        rw: &RwSet,
+        body: StageBody<'_>,
+    ) -> Result<StageOutcome, TxnError> {
+        if handle.stage() == 0 {
+            self.run_initial(handle, rw, body)
+        } else {
+            self.run_held(handle, rw, body)
         }
-        self.stats.record_abort();
+    }
+
+    fn abort(&self, handle: TxnHandle) {
+        self.core.abort_handle(&handle);
+        self.remove_inflight(handle.txn());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use croesus_store::{LockPolicy, Value};
+    use crate::history::HistoryRecorder;
+    use crate::protocol::MultiStageProtocolExt;
+    use croesus_store::{KvStore, LockManager, LockPolicy, Value};
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
     use std::thread;
 
     fn executor(policy: LockPolicy) -> TsplExecutor {
-        TsplExecutor::new(Arc::new(KvStore::new()), Arc::new(LockManager::new(policy)))
-            .with_history(HistoryRecorder::new())
+        TsplExecutor::from_core(
+            ExecutorCore::new(Arc::new(KvStore::new()), Arc::new(LockManager::new(policy)))
+                .with_history(HistoryRecorder::new()),
+        )
+    }
+
+    /// The old `execute` shape, rebuilt on the unified API: both stages
+    /// back-to-back with a wait in between.
+    fn execute<TI, TF>(
+        ex: &TsplExecutor,
+        txn: TxnId,
+        initial_rw: &RwSet,
+        final_rw: &RwSet,
+        initial: impl FnOnce(&mut StageCtx) -> Result<TI, TxnError>,
+        await_final_input: impl FnOnce(),
+        final_section: impl FnOnce(&mut StageCtx) -> Result<TF, TxnError>,
+    ) -> Result<(TI, TF), TxnError> {
+        let h = ex.begin(txn, &[initial_rw.clone(), final_rw.clone()]);
+        let (ti, h) = ex.stage(h, initial_rw, initial)?;
+        await_final_input();
+        let (tf, done) = ex.stage(h.expect("two stages"), final_rw, final_section)?;
+        assert!(done.is_none());
+        Ok((ti, tf))
     }
 
     #[test]
@@ -213,19 +316,19 @@ mod tests {
         let ex = executor(LockPolicy::Block);
         let initial_rw = RwSet::new().read("x");
         let final_rw = RwSet::new().write("x");
-        let (i, f) = ex
-            .execute(
-                TxnId(1),
-                &initial_rw,
-                &final_rw,
-                |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
-                || {},
-                |ctx| {
-                    ctx.write("x", 42)?;
-                    Ok("done")
-                },
-            )
-            .unwrap();
+        let (i, f) = execute(
+            &ex,
+            TxnId(1),
+            &initial_rw,
+            &final_rw,
+            |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
+            || {},
+            |ctx| {
+                ctx.write("x", 42)?;
+                Ok("done")
+            },
+        )
+        .unwrap();
         assert_eq!(i, 0);
         assert_eq!(f, "done");
         assert_eq!(
@@ -239,18 +342,17 @@ mod tests {
     fn all_locks_released_after_commit() {
         let ex = executor(LockPolicy::NoWait);
         let rw = RwSet::new().write("a").write("b");
-        ex.execute(TxnId(1), &rw, &rw, |_| Ok(()), || {}, |_| Ok(()))
-            .unwrap();
+        execute(&ex, TxnId(1), &rw, &rw, |_| Ok(()), || {}, |_| Ok(())).unwrap();
         // A second transaction can take everything immediately.
-        ex.execute(TxnId(2), &rw, &rw, |_| Ok(()), || {}, |_| Ok(()))
-            .unwrap();
+        execute(&ex, TxnId(2), &rw, &rw, |_| Ok(()), || {}, |_| Ok(())).unwrap();
     }
 
     #[test]
     fn initial_section_error_rolls_back_and_aborts() {
         let ex = executor(LockPolicy::Block);
         let rw = RwSet::new().write("x");
-        let r: Result<((), ()), TxnError> = ex.execute(
+        let r: Result<((), ()), TxnError> = execute(
+            &ex,
             TxnId(1),
             &rw,
             &RwSet::new(),
@@ -265,21 +367,30 @@ mod tests {
         assert_eq!(ex.store().get(&"x".into()), None, "write rolled back");
         assert_eq!(ex.stats().snapshot().aborts, 1);
         // Locks are free again.
-        ex.execute(TxnId(2), &rw, &RwSet::new(), |_| Ok(()), || {}, |_| Ok(()))
-            .unwrap();
+        execute(
+            &ex,
+            TxnId(2),
+            &rw,
+            &RwSet::new(),
+            |_| Ok(()),
+            || {},
+            |_| Ok(()),
+        )
+        .unwrap();
     }
 
     #[test]
     fn lock_conflict_aborts_under_nowait() {
         let store = Arc::new(KvStore::new());
         let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
-        let ex = Arc::new(TsplExecutor::new(Arc::clone(&store), Arc::clone(&locks)));
+        let ex = TsplExecutor::from_core(ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks)));
         // Hold "x" from outside.
         locks
             .lock(TxnId(99), &"x".into(), croesus_store::LockMode::Exclusive)
             .unwrap();
         let rw = RwSet::new().write("x");
-        let r: Result<((), ()), _> = ex.execute(
+        let r: Result<((), ()), _> = execute(
+            &ex,
             TxnId(100),
             &rw,
             &RwSet::new(),
@@ -295,12 +406,13 @@ mod tests {
         let store = Arc::new(KvStore::new());
         store.put("y".into(), Value::Int(0));
         let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
-        let ex = TsplExecutor::new(Arc::clone(&store), Arc::clone(&locks));
+        let ex = TsplExecutor::from_core(ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks)));
         // Another holder blocks the *final* set only.
         locks
             .lock(TxnId(1), &"z".into(), croesus_store::LockMode::Exclusive)
             .unwrap();
-        let r: Result<((), ()), _> = ex.execute(
+        let r: Result<((), ()), _> = execute(
+            &ex,
             TxnId(2),
             &RwSet::new().write("y"),
             &RwSet::new().write("z"),
@@ -320,13 +432,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "declared at begin")]
+    fn undeclared_final_access_panics() {
+        let ex = executor(LockPolicy::Block);
+        let h = ex.begin(TxnId(1), &[RwSet::new(), RwSet::new().write("a")]);
+        let (_, h) = ex.stage(h, &RwSet::new(), |_| Ok(())).unwrap();
+        // "b" was never declared: acquiring it now could block or abort
+        // after initial commit, so TSPL refuses.
+        let _ = ex.stage(h.unwrap(), &RwSet::new().write("b"), |_| Ok(()));
+    }
+
+    #[test]
     fn conflicting_transactions_serialize_and_satisfy_ms_sr() {
         let history = HistoryRecorder::new();
         let store = Arc::new(KvStore::new());
         store.put("x".into(), Value::Int(0));
         let locks = Arc::new(LockManager::new(LockPolicy::Block));
-        let ex =
-            Arc::new(TsplExecutor::new(Arc::clone(&store), locks).with_history(history.clone()));
+        let ex = Arc::new(TsplExecutor::from_core(
+            ExecutorCore::new(Arc::clone(&store), locks).with_history(history.clone()),
+        ));
         // The §4.2 increment anomaly: read x in initial, write x+1 in final.
         let threads: Vec<_> = (0..4)
             .map(|i| {
@@ -334,20 +458,18 @@ mod tests {
                 thread::spawn(move || {
                     let initial_rw = RwSet::new().read("x").write("x");
                     let final_rw = RwSet::new().write("x");
-                    let ex2 = Arc::clone(&ex);
-                    ex.execute(
+                    execute(
+                        &ex,
                         TxnId(i),
                         &initial_rw,
                         &final_rw,
-                        move |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
+                        |ctx| Ok(ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0)),
                         || thread::sleep(std::time::Duration::from_millis(5)),
-                        move |ctx| {
+                        |ctx| {
                             // Re-read inside the final section: locks are
                             // still held so this is the same value.
                             let v = ctx.read("x")?.and_then(|v| v.as_int()).unwrap_or(0);
-                            ctx.write("x", v + 1)?;
-                            let _ = &ex2;
-                            Ok(())
+                            ctx.write("x", v + 1)
                         },
                     )
                     .unwrap();
@@ -369,7 +491,8 @@ mod tests {
     fn lock_hold_time_covers_the_final_wait() {
         let ex = executor(LockPolicy::Block);
         let rw = RwSet::new().write("x");
-        ex.execute(
+        execute(
+            &ex,
             TxnId(1),
             &rw,
             &rw,
@@ -390,7 +513,10 @@ mod tests {
     fn wait_die_aborts_on_hot_spot_and_retry_succeeds() {
         let store = Arc::new(KvStore::new());
         let locks = Arc::new(LockManager::new(LockPolicy::WaitDie));
-        let ex = Arc::new(TsplExecutor::new(store, Arc::clone(&locks)));
+        let ex = Arc::new(TsplExecutor::from_core(ExecutorCore::new(
+            store,
+            Arc::clone(&locks),
+        )));
         let committed = Arc::new(AtomicU64::new(0));
         let rw = RwSet::new().write("hot");
         let threads: Vec<_> = (0..6)
@@ -399,7 +525,8 @@ mod tests {
                 let committed = Arc::clone(&committed);
                 let rw = rw.clone();
                 thread::spawn(move || loop {
-                    let r: Result<((), ()), _> = ex.execute(
+                    let r: Result<((), ()), _> = execute(
+                        &ex,
                         TxnId(i),
                         &rw,
                         &RwSet::new(),
@@ -419,5 +546,29 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(committed.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn three_stage_tspl_holds_everything_to_the_end() {
+        let store = Arc::new(KvStore::new());
+        let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
+        let ex = TsplExecutor::from_core(ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks)));
+        let a = RwSet::new().write("a");
+        let b = RwSet::new().write("b");
+        let c = RwSet::new().write("c");
+        let h = ex.begin(TxnId(1), &[a.clone(), b.clone(), c.clone()]);
+        let (_, h) = ex.stage(h, &a, |ctx| ctx.write("a", 1)).unwrap();
+        // All three keys are locked already — even "c", two stages ahead.
+        assert!(locks
+            .lock(TxnId(2), &"c".into(), croesus_store::LockMode::Exclusive)
+            .is_err());
+        let (_, h) = ex.stage(h.unwrap(), &b, |ctx| ctx.write("b", 2)).unwrap();
+        let (_, done) = ex.stage(h.unwrap(), &c, |ctx| ctx.write("c", 3)).unwrap();
+        assert!(done.is_none());
+        // Released only now.
+        assert!(locks
+            .lock(TxnId(2), &"c".into(), croesus_store::LockMode::Exclusive)
+            .is_ok());
+        assert_eq!(ex.stats().snapshot().commits, 1);
     }
 }

@@ -1,0 +1,649 @@
+//! The unified multi-stage protocol API.
+//!
+//! The paper's central claim is that multi-stage transactions are *one*
+//! model with interchangeable consistency protocols: "we propose two
+//! variants of safety guarantees — multi-stage serializability (MS-SR) and
+//! multi-stage invariant confluence (MS-IA)" (§4). MS-SR and MS-IA (and the
+//! generalized m-stage discipline of §3.5) differ only in *when* locks are
+//! released and *how* later stages are ordered and repaired; everything
+//! else — the store, the lock manager, undo logging, statistics, history
+//! recording, apologies — is shared.
+//!
+//! This module makes that claim executable:
+//!
+//! * [`ExecutorCore`] owns the shared state every protocol needs.
+//! * [`MultiStageProtocol`] is the object-safe trait all protocol
+//!   executors implement: [`begin`](MultiStageProtocol::begin) declares a
+//!   transaction and its per-stage read/write sets,
+//!   [`run_stage`](MultiStageProtocol::run_stage) executes one section and
+//!   returns a typed [`StageOutcome`], [`abort`](MultiStageProtocol::abort)
+//!   gives up before initial commit.
+//! * [`ProtocolKind`] names the three implementations and builds any of
+//!   them from a core, so pipelines, benches and tests can be parameterized
+//!   by protocol.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use croesus_store::{KvStore, LockManager, LockPolicy, TxnId, Value};
+//! use croesus_txn::{ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet};
+//!
+//! let core = ExecutorCore::new(
+//!     Arc::new(KvStore::new()),
+//!     Arc::new(LockManager::new(LockPolicy::Block)),
+//! );
+//! // Any protocol, same driver code:
+//! let protocol = ProtocolKind::MsIa.build(core);
+//! let rw = RwSet::new().write("x");
+//! let handle = protocol.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+//! let (_, next) = protocol
+//!     .stage(handle, &rw, |ctx| ctx.write("x", 1))
+//!     .unwrap();
+//! protocol
+//!     .stage(next.unwrap(), &rw, |ctx| ctx.write("x", 2))
+//!     .unwrap();
+//! assert_eq!(protocol.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
+//! ```
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Instant;
+
+use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
+
+use crate::apology::{ApologyManager, RetractionReport};
+use crate::history::{HistoryRecorder, SectionKind};
+use crate::model::{RwSet, SectionCtx, SectionOutput, TxnError};
+use crate::stats::ProtocolStats;
+
+/// The three multi-stage consistency protocols of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Multi-stage serializability via Two-Stage 2PL (Algorithm 1): later
+    /// stages' locks are acquired before initial commit and held to the
+    /// end, so sections of a transaction appear back-to-back in the serial
+    /// order.
+    MsSr,
+    /// Multi-stage invariant confluence with apologies (Algorithm 2):
+    /// every stage commits and releases its locks immediately; later
+    /// stages reconcile errors with retractions and apologies.
+    MsIa,
+    /// The generalized m-stage discipline of §3.5: the MS-IA release
+    /// schedule, with every stage's footprint registered as a retractable
+    /// guess until the transaction's last stage confirms it.
+    Staged,
+}
+
+impl ProtocolKind {
+    /// All protocols, for matrices and conformance sweeps.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::MsSr, ProtocolKind::MsIa, ProtocolKind::Staged];
+
+    /// The paper's name for the protocol.
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ProtocolKind::MsSr => "MS-SR",
+            ProtocolKind::MsIa => "MS-IA",
+            ProtocolKind::Staged => "staged",
+        }
+    }
+
+    /// The lock policy a single-pipeline deployment should pair with this
+    /// protocol. MS-SR holds locks across the edge→cloud round trip, so a
+    /// blocking policy could stall a sequenced pipeline on a conflict;
+    /// wait-die turns that into the abort-and-drop behaviour the paper
+    /// reports (Fig. 6b). MS-IA and the staged discipline release between
+    /// stages and are safe to block under the sequencer.
+    #[must_use]
+    pub fn default_lock_policy(self) -> croesus_store::LockPolicy {
+        match self {
+            ProtocolKind::MsSr => croesus_store::LockPolicy::WaitDie,
+            ProtocolKind::MsIa | ProtocolKind::Staged => croesus_store::LockPolicy::Block,
+        }
+    }
+
+    /// Build the executor implementing this protocol over `core`.
+    #[must_use]
+    pub fn build(self, core: ExecutorCore) -> Box<dyn MultiStageProtocol> {
+        match self {
+            ProtocolKind::MsSr => Box::new(crate::ms_sr::TsplExecutor::from_core(core)),
+            ProtocolKind::MsIa => Box::new(crate::ms_ia::MsIaExecutor::from_core(core)),
+            ProtocolKind::Staged => Box::new(crate::staged::StagedExecutor::from_core(core)),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The state shared by every protocol executor: the store, the lock
+/// manager, statistics, the (optional) history recorder, and the apology
+/// manager. Protocols differ in *when* they use these, never in *what*
+/// they hold.
+pub struct ExecutorCore {
+    store: Arc<KvStore>,
+    locks: Arc<LockManager>,
+    stats: Arc<ProtocolStats>,
+    history: Option<HistoryRecorder>,
+    apologies: Arc<ApologyManager>,
+}
+
+impl ExecutorCore {
+    /// A core over a store and lock manager.
+    #[must_use]
+    pub fn new(store: Arc<KvStore>, locks: Arc<LockManager>) -> Self {
+        ExecutorCore {
+            store,
+            locks,
+            stats: Arc::new(ProtocolStats::new()),
+            history: None,
+            apologies: Arc::new(ApologyManager::new()),
+        }
+    }
+
+    /// Attach a history recorder (for the §4 safety checkers).
+    #[must_use]
+    pub fn with_history(mut self, history: HistoryRecorder) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The statistics collector.
+    pub fn stats(&self) -> &Arc<ProtocolStats> {
+        &self.stats
+    }
+
+    /// The history recorder, if attached.
+    pub fn history(&self) -> Option<&HistoryRecorder> {
+        self.history.as_ref()
+    }
+
+    /// The apology manager.
+    pub fn apologies(&self) -> &Arc<ApologyManager> {
+        &self.apologies
+    }
+
+    /// Record an abort in the history and statistics.
+    pub(crate) fn record_abort(&self, txn: TxnId) {
+        if let Some(h) = &self.history {
+            h.record_abort(txn);
+        }
+        self.stats.record_abort();
+    }
+
+    /// Shared abort path for handles: only a transaction whose first stage
+    /// has not committed may abort — afterwards the multi-stage guarantee
+    /// forbids it.
+    pub(crate) fn abort_handle(&self, handle: &TxnHandle) {
+        assert_eq!(
+            handle.stage(),
+            0,
+            "{} cannot abort at stage {}: initially-committed transactions \
+             must finally commit (§4.1)",
+            handle.txn(),
+            handle.stage()
+        );
+        self.record_abort(handle.txn());
+    }
+
+    /// The lock-release stage discipline shared by MS-IA and the staged
+    /// executor: acquire the stage's locks (stage 0 may abort; later
+    /// stages retry until granted, because committed earlier stages oblige
+    /// the transaction to finish), execute, commit, register the footprint
+    /// with the apology manager, release.
+    ///
+    /// `register_final_guess` controls whether the *final* stage's
+    /// footprint is registered too (the staged discipline treats every
+    /// stage as a retractable guess; MS-IA's final section is the
+    /// reconciliation itself and is never retracted).
+    pub(crate) fn run_released_stage(
+        &self,
+        handle: TxnHandle,
+        rw: &RwSet,
+        body: StageBody<'_>,
+        register_final_guess: bool,
+    ) -> Result<StageOutcome, TxnError> {
+        let txn = handle.txn();
+        let kind = handle.section_kind();
+        let started = Instant::now();
+        let pairs = rw.lock_pairs();
+        if handle.stage() == 0 {
+            if let Err(e) = self.locks.acquire_all(txn, &pairs, None) {
+                self.record_abort(txn);
+                return Err(TxnError::Aborted(e));
+            }
+        } else {
+            // Committed earlier stages oblige us to finish: retry, with a
+            // small backoff to let wait-die conflicts drain.
+            let mut backoff = 0u32;
+            while self.locks.acquire_all(txn, &pairs, None).is_err() {
+                backoff = (backoff + 1).min(6);
+                std::thread::yield_now();
+                if backoff > 2 {
+                    std::thread::sleep(std::time::Duration::from_micros(1 << backoff));
+                }
+            }
+        }
+        let lock_epoch = Instant::now();
+
+        if let Some(h) = &self.history {
+            h.record_begin(txn, kind);
+        }
+        let mut undo = UndoLog::new();
+        let out = {
+            let section = SectionCtx::new(txn, kind, &self.store, rw, &mut undo, self.history());
+            let mut ctx = StageCtx::new(section, &self.store, &self.apologies);
+            body(&mut ctx)
+        };
+        let output = match out {
+            Ok(v) => v,
+            Err(e) if handle.stage() == 0 => {
+                undo.rollback(&self.store);
+                self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
+                self.record_abort(txn);
+                return Err(e);
+            }
+            Err(e) => panic!(
+                "stage {} of {txn} failed after earlier stages committed — \
+                 the multi-stage guarantee forbids this: {e}",
+                handle.stage()
+            ),
+        };
+
+        if let Some(h) = &self.history {
+            h.record_commit(txn, kind);
+        }
+        if handle.stage() == 0 {
+            self.stats.record_initial_latency(started.elapsed());
+        }
+        if !handle.is_final() || register_final_guess {
+            self.apologies
+                .register(txn, rw.reads.clone(), rw.writes.clone(), undo);
+        }
+        self.stats.record_lock_hold(lock_epoch.elapsed());
+        self.locks.release_all(txn, pairs.iter().map(|(k, _)| k));
+
+        Ok(if handle.is_final() {
+            self.stats.record_commit();
+            StageOutcome::Complete { output }
+        } else {
+            StageOutcome::Committed {
+                output,
+                next: handle.advance(),
+            }
+        })
+    }
+}
+
+/// Permission to run the next stage of an in-flight transaction.
+///
+/// Handles are not clonable and each [`MultiStageProtocol::run_stage`]
+/// call consumes one, so the type system enforces stage order: "the final
+/// section of a transaction cannot begin before the initial section"
+/// (§4.1), generalized to m stages.
+#[derive(Debug)]
+pub struct TxnHandle {
+    txn: TxnId,
+    stage: usize,
+    total: usize,
+}
+
+impl TxnHandle {
+    /// A handle for stage 0 of a `total`-stage transaction. Panics unless
+    /// `total >= 2` — one stage is a plain transaction, and the paper's
+    /// model starts at two.
+    pub(crate) fn first(txn: TxnId, total: usize) -> Self {
+        assert!(
+            total >= 2,
+            "a multi-stage transaction needs at least 2 stages"
+        );
+        TxnHandle {
+            txn,
+            stage: 0,
+            total,
+        }
+    }
+
+    /// The handle for the next stage.
+    pub(crate) fn advance(self) -> Self {
+        TxnHandle {
+            txn: self.txn,
+            stage: self.stage + 1,
+            total: self.total,
+        }
+    }
+
+    /// The transaction this handle belongs to.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The stage this handle authorizes (0-based).
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Total stages in the transaction.
+    pub fn total_stages(&self) -> usize {
+        self.total
+    }
+
+    /// Whether this handle authorizes the final stage.
+    #[must_use]
+    pub fn is_final(&self) -> bool {
+        self.stage + 1 == self.total
+    }
+
+    /// The history section kind this stage maps to.
+    #[must_use]
+    pub fn section_kind(&self) -> SectionKind {
+        if self.stage == 0 {
+            SectionKind::Initial
+        } else if self.is_final() {
+            SectionKind::Final
+        } else {
+            SectionKind::Intermediate(
+                u16::try_from(self.stage - 1).expect("more than 65k stages is absurd"),
+            )
+        }
+    }
+}
+
+/// The typed result of running one stage — the only result surface the
+/// protocols expose.
+#[derive(Debug)]
+pub enum StageOutcome {
+    /// The stage committed and the transaction continues: run the next
+    /// stage with `next` once its input is available.
+    Committed {
+        /// The response produced for the client.
+        output: SectionOutput,
+        /// Permission for the next stage.
+        next: TxnHandle,
+    },
+    /// The final stage committed; the transaction is complete.
+    Complete {
+        /// The response produced for the client.
+        output: SectionOutput,
+    },
+}
+
+impl StageOutcome {
+    /// The stage's client response.
+    pub fn output(&self) -> &SectionOutput {
+        match self {
+            StageOutcome::Committed { output, .. } | StageOutcome::Complete { output } => output,
+        }
+    }
+
+    /// The handle for the next stage, if the transaction is not complete.
+    #[must_use]
+    pub fn into_next(self) -> Option<TxnHandle> {
+        match self {
+            StageOutcome::Committed { next, .. } => Some(next),
+            StageOutcome::Complete { .. } => None,
+        }
+    }
+
+    /// Whether the transaction finally committed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, StageOutcome::Complete { .. })
+    }
+}
+
+/// The execution context handed to stage bodies: the plain read/write
+/// [`SectionCtx`] (via `Deref`), plus the reconciliation capabilities a
+/// later stage needs — retraction with cascade, and apology bookkeeping
+/// (§4.4).
+pub struct StageCtx<'a> {
+    section: SectionCtx<'a>,
+    store: &'a KvStore,
+    apologies: &'a ApologyManager,
+    reports: Vec<RetractionReport>,
+}
+
+impl<'a> StageCtx<'a> {
+    pub(crate) fn new(
+        section: SectionCtx<'a>,
+        store: &'a KvStore,
+        apologies: &'a ApologyManager,
+    ) -> Self {
+        StageCtx {
+            section,
+            store,
+            apologies,
+            reports: Vec::new(),
+        }
+    }
+
+    /// The plain section context (for code written against [`SectionCtx`]).
+    pub fn section_mut(&mut self) -> &mut SectionCtx<'a> {
+        &mut self.section
+    }
+
+    /// Retract a transaction's committed stage effects (cascading to
+    /// dependents), usually this transaction's own earlier guess.
+    pub fn retract(&mut self, txn: TxnId, reason: &str) -> RetractionReport {
+        let report = self.apologies.retract(txn, self.store, reason);
+        self.reports.push(report.clone());
+        report
+    }
+
+    /// Retract this transaction's own earlier stages:
+    /// `ctx.retract_self("detected the wrong building")`.
+    pub fn retract_self(&mut self, reason: &str) -> RetractionReport {
+        let txn = self.section.txn();
+        self.retract(txn, reason)
+    }
+
+    /// Retraction reports accumulated by this stage.
+    pub fn reports(&self) -> &[RetractionReport] {
+        &self.reports
+    }
+}
+
+impl<'a> Deref for StageCtx<'a> {
+    type Target = SectionCtx<'a>;
+    fn deref(&self) -> &Self::Target {
+        &self.section
+    }
+}
+
+impl DerefMut for StageCtx<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.section
+    }
+}
+
+/// A stage body as the object-safe trait sees it. Use
+/// [`MultiStageProtocolExt::stage`] for a typed-closure convenience.
+pub type StageBody<'b> = &'b mut dyn FnMut(&mut StageCtx<'_>) -> Result<SectionOutput, TxnError>;
+
+/// One multi-stage consistency protocol: MS-SR, MS-IA, or the generalized
+/// staged discipline. Object-safe, so pipelines hold `&dyn
+/// MultiStageProtocol` (or a `Box`) and swap protocols freely.
+///
+/// The lifecycle: [`begin`](Self::begin) declares the transaction and its
+/// per-stage read/write sets, then each [`run_stage`](Self::run_stage)
+/// consumes the current [`TxnHandle`] and yields a [`StageOutcome`]
+/// carrying the next one. Only stage 0 may fail with
+/// [`TxnError::Aborted`]; once it commits, the protocol guarantees every
+/// later stage commits too (the crux of the model, §4.1).
+pub trait MultiStageProtocol: Send + Sync {
+    /// Which protocol this executor implements.
+    fn kind(&self) -> ProtocolKind;
+
+    /// The shared executor state.
+    fn core(&self) -> &ExecutorCore;
+
+    /// Declare a transaction with one read/write set per stage
+    /// (`stages.len()` is the stage count; panics unless ≥ 2).
+    ///
+    /// MS-SR is the reason the sets are declared up front: it must lock
+    /// *later* stages' items before initial commit — "the system can infer
+    /// what data will be accessed (or potentially accessed) in the final
+    /// section" (§4.3). The lock-releasing protocols treat the declared
+    /// sets as advisory and lock whatever each `run_stage` call passes.
+    fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle;
+
+    /// Run one stage: lock `rw` per the protocol's discipline, execute
+    /// `body`, commit, and release per the discipline. `rw` must be
+    /// covered by the set declared at [`begin`](Self::begin) under MS-SR.
+    fn run_stage(
+        &self,
+        handle: TxnHandle,
+        rw: &RwSet,
+        body: StageBody<'_>,
+    ) -> Result<StageOutcome, TxnError>;
+
+    /// Abort a transaction that has not yet committed its first stage.
+    /// Panics if any stage already committed — initially-committed
+    /// transactions must finally commit.
+    fn abort(&self, handle: TxnHandle);
+
+    /// The underlying store.
+    fn store(&self) -> &Arc<KvStore> {
+        self.core().store()
+    }
+
+    /// The statistics collector.
+    fn stats(&self) -> &Arc<ProtocolStats> {
+        self.core().stats()
+    }
+
+    /// The apology manager (issued apologies, manual retraction).
+    fn apologies(&self) -> &Arc<ApologyManager> {
+        self.core().apologies()
+    }
+
+    /// The history recorder, if attached.
+    fn history(&self) -> Option<&HistoryRecorder> {
+        self.core().history()
+    }
+}
+
+/// Typed-closure convenience over the object-safe surface: the body
+/// returns any `T` and the stage result arrives as `(T, Option<TxnHandle>)`.
+/// Implemented for every protocol, including `dyn MultiStageProtocol`.
+pub trait MultiStageProtocolExt: MultiStageProtocol {
+    /// Run one stage with a typed body. See
+    /// [`MultiStageProtocol::run_stage`] for the protocol semantics.
+    fn stage<T>(
+        &self,
+        handle: TxnHandle,
+        rw: &RwSet,
+        body: impl FnOnce(&mut StageCtx<'_>) -> Result<T, TxnError>,
+    ) -> Result<(T, Option<TxnHandle>), TxnError> {
+        let mut body = Some(body);
+        let mut slot = None;
+        let outcome = self.run_stage(handle, rw, &mut |ctx| {
+            let f = body.take().expect("a stage body runs exactly once");
+            slot = Some(f(ctx)?);
+            Ok(SectionOutput::new())
+        })?;
+        Ok((slot.expect("the stage body ran"), outcome.into_next()))
+    }
+}
+
+impl<P: MultiStageProtocol + ?Sized> MultiStageProtocolExt for P {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croesus_store::{LockPolicy, Value};
+
+    fn protocol(kind: ProtocolKind) -> Box<dyn MultiStageProtocol> {
+        let core = ExecutorCore::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(LockPolicy::Block)),
+        )
+        .with_history(HistoryRecorder::new());
+        kind.build(core)
+    }
+
+    #[test]
+    fn every_protocol_commits_a_two_stage_txn() {
+        for kind in ProtocolKind::ALL {
+            let p = protocol(kind);
+            let rw = RwSet::new().write("x");
+            let h = p.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+            let (_, h) = p.stage(h, &rw, |ctx| ctx.write("x", 1)).unwrap();
+            let (_, done) = p.stage(h.unwrap(), &rw, |ctx| ctx.write("x", 2)).unwrap();
+            assert!(done.is_none(), "{kind}: two stages complete the txn");
+            assert_eq!(
+                p.store().get(&"x".into()).as_deref(),
+                Some(&Value::Int(2)),
+                "{kind}"
+            );
+            assert_eq!(p.stats().snapshot().commits, 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn handle_kinds_map_to_sections() {
+        let h = TxnHandle::first(TxnId(1), 4);
+        assert_eq!(h.section_kind(), SectionKind::Initial);
+        assert!(!h.is_final());
+        let h = h.advance();
+        assert_eq!(h.section_kind(), SectionKind::Intermediate(0));
+        let h = h.advance();
+        assert_eq!(h.section_kind(), SectionKind::Intermediate(1));
+        let h = h.advance();
+        assert_eq!(h.section_kind(), SectionKind::Final);
+        assert!(h.is_final());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_stage_panics() {
+        protocol(ProtocolKind::MsIa).begin(TxnId(1), &[RwSet::new()]);
+    }
+
+    #[test]
+    fn abort_before_first_commit_is_clean() {
+        for kind in ProtocolKind::ALL {
+            let p = protocol(kind);
+            let h = p.begin(TxnId(3), &[RwSet::new(), RwSet::new()]);
+            p.abort(h);
+            assert_eq!(p.stats().snapshot().aborts, 1, "{kind}");
+            assert_eq!(p.store().len(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let p = protocol(ProtocolKind::MsIa);
+        let h = p.begin(TxnId(9), &[RwSet::new(), RwSet::new()]);
+        let out = p.run_stage(h, &RwSet::new(), &mut |_| Ok(SectionOutput::respond(5)));
+        let out = out.unwrap();
+        assert!(!out.is_complete());
+        assert_eq!(out.output().response, vec![Value::Int(5)]);
+        let h = out.into_next().unwrap();
+        let out = p.run_stage(h, &RwSet::new(), &mut |_| Ok(SectionOutput::new()));
+        assert!(out.unwrap().is_complete());
+    }
+
+    #[test]
+    fn display_and_policy() {
+        assert_eq!(ProtocolKind::MsSr.to_string(), "MS-SR");
+        assert_eq!(
+            ProtocolKind::MsSr.default_lock_policy(),
+            LockPolicy::WaitDie
+        );
+        assert_eq!(ProtocolKind::MsIa.default_lock_policy(), LockPolicy::Block);
+    }
+}

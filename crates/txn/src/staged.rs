@@ -6,289 +6,138 @@
 //! locks, executes, commits, and releases — the MS-IA discipline extended
 //! to m sections. If thresholding stops the frame at stage i, "the sequence
 //! stops and the remaining transaction sections are performed" — the caller
-//! simply runs the remaining sections back-to-back.
+//! simply runs the remaining stages back-to-back.
 //!
 //! Stage progression is enforced by the type system: each committed stage
-//! returns a [`StageToken`] for the next one, and tokens are not clonable.
+//! returns a [`TxnHandle`] for the next one inside its
+//! [`StageOutcome`], and handles are not clonable.
+//!
+//! The difference from [`MsIaExecutor`](crate::MsIaExecutor): *every*
+//! stage — including the last — registers its footprint with the apology
+//! manager, so any stage of a committed transaction remains a retractable
+//! guess until the application confirms it.
 
-use std::sync::Arc;
+use croesus_store::TxnId;
 
-use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
-
-use crate::apology::ApologyManager;
-use crate::history::{HistoryRecorder, SectionKind};
-use crate::model::{RwSet, SectionCtx, TxnError};
-use crate::stats::ProtocolStats;
-
-/// Permission to run stage `index` of transaction `txn`.
-#[derive(Debug)]
-pub struct StageToken {
-    txn: TxnId,
-    index: usize,
-    total: usize,
-}
-
-impl StageToken {
-    /// The transaction this token belongs to.
-    pub fn txn(&self) -> TxnId {
-        self.txn
-    }
-
-    /// The stage this token authorizes (0-based).
-    pub fn stage(&self) -> usize {
-        self.index
-    }
-
-    /// Total stages in the transaction.
-    pub fn total_stages(&self) -> usize {
-        self.total
-    }
-
-    /// Whether this token authorizes the final stage.
-    pub fn is_final(&self) -> bool {
-        self.index + 1 == self.total
-    }
-
-    fn kind(&self) -> SectionKind {
-        if self.index == 0 {
-            SectionKind::Initial
-        } else if self.is_final() {
-            SectionKind::Final
-        } else {
-            SectionKind::Intermediate(
-                u16::try_from(self.index - 1).expect("more than 65k stages is absurd"),
-            )
-        }
-    }
-}
+use crate::model::{RwSet, TxnError};
+use crate::protocol::{
+    ExecutorCore, MultiStageProtocol, ProtocolKind, StageBody, StageOutcome, TxnHandle,
+};
 
 /// Executor for m-stage transactions.
 pub struct StagedExecutor {
-    store: Arc<KvStore>,
-    locks: Arc<LockManager>,
-    history: Option<HistoryRecorder>,
-    stats: Arc<ProtocolStats>,
-    apologies: Arc<ApologyManager>,
+    core: ExecutorCore,
 }
 
 impl StagedExecutor {
-    /// Create an executor over a store and lock manager.
-    pub fn new(store: Arc<KvStore>, locks: Arc<LockManager>) -> Self {
-        StagedExecutor {
-            store,
-            locks,
-            history: None,
-            stats: Arc::new(ProtocolStats::new()),
-            apologies: Arc::new(ApologyManager::new()),
-        }
+    /// A staged executor over shared core state.
+    #[must_use]
+    pub fn from_core(core: ExecutorCore) -> Self {
+        StagedExecutor { core }
+    }
+}
+
+impl MultiStageProtocol for StagedExecutor {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Staged
     }
 
-    /// Attach a history recorder.
-    pub fn with_history(mut self, history: HistoryRecorder) -> Self {
-        self.history = Some(history);
-        self
+    fn core(&self) -> &ExecutorCore {
+        &self.core
     }
 
-    /// The statistics collector.
-    pub fn stats(&self) -> &Arc<ProtocolStats> {
-        &self.stats
-    }
-
-    /// The apology manager.
-    pub fn apologies(&self) -> &Arc<ApologyManager> {
-        &self.apologies
-    }
-
-    /// The underlying store.
-    pub fn store(&self) -> &Arc<KvStore> {
-        &self.store
-    }
-
-    /// Begin an m-stage transaction. Panics unless `stages >= 2` — one
-    /// stage is a plain transaction, and the paper's model starts at two.
-    pub fn begin(&self, txn: TxnId, stages: usize) -> StageToken {
-        assert!(
-            stages >= 2,
-            "a multi-stage transaction needs at least 2 stages"
-        );
-        StageToken {
-            txn,
-            index: 0,
-            total: stages,
-        }
+    fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle {
+        TxnHandle::first(txn, stages.len())
     }
 
     /// Run one stage: lock its read/write set, execute, commit, release.
-    ///
-    /// Returns the stage result plus the token for the next stage (`None`
-    /// after the final stage). Like MS-IA, only the *first* stage may
-    /// abort; later stages retry lock acquisition until granted — once the
-    /// initial stage commits, every later stage must too.
-    pub fn run_stage<T>(
+    /// Like MS-IA, only the *first* stage may abort; later stages retry
+    /// lock acquisition until granted — once the initial stage commits,
+    /// every later stage must too.
+    fn run_stage(
         &self,
-        token: StageToken,
+        handle: TxnHandle,
         rw: &RwSet,
-        body: impl FnOnce(&mut SectionCtx) -> Result<T, TxnError>,
-    ) -> Result<(T, Option<StageToken>), TxnError> {
-        let kind = token.kind();
-        let pairs = rw.lock_pairs();
-        if token.index == 0 {
-            if let Err(e) = self.locks.acquire_all(token.txn, &pairs, None) {
-                if let Some(h) = &self.history {
-                    h.record_abort(token.txn);
-                }
-                self.stats.record_abort();
-                return Err(TxnError::Aborted(e));
-            }
-        } else {
-            // Committed earlier stages oblige us to finish: retry.
-            while self.locks.acquire_all(token.txn, &pairs, None).is_err() {
-                std::thread::yield_now();
-            }
-        }
+        body: StageBody<'_>,
+    ) -> Result<StageOutcome, TxnError> {
+        self.core.run_released_stage(handle, rw, body, true)
+    }
 
-        if let Some(h) = &self.history {
-            h.record_begin(token.txn, kind);
-        }
-        let mut undo = UndoLog::new();
-        let out = {
-            let mut ctx = SectionCtx::new(
-                token.txn,
-                kind,
-                &self.store,
-                rw,
-                &mut undo,
-                self.history.as_ref(),
-            );
-            body(&mut ctx)
-        };
-        let out = match out {
-            Ok(v) => v,
-            Err(e) if token.index == 0 => {
-                undo.rollback(&self.store);
-                self.locks
-                    .release_all(token.txn, pairs.iter().map(|(k, _)| k));
-                if let Some(h) = &self.history {
-                    h.record_abort(token.txn);
-                }
-                self.stats.record_abort();
-                return Err(e);
-            }
-            Err(e) => panic!(
-                "stage {} of {} failed after earlier stages committed — \
-                 the multi-stage guarantee forbids this: {e}",
-                token.index, token.txn
-            ),
-        };
-
-        if let Some(h) = &self.history {
-            h.record_commit(token.txn, kind);
-        }
-        // Every stage is a retractable guess until the transaction's last
-        // stage confirms it; register the footprint like MS-IA does.
-        self.apologies
-            .register(token.txn, rw.reads.clone(), rw.writes.clone(), undo);
-        self.locks
-            .release_all(token.txn, pairs.iter().map(|(k, _)| k));
-
-        let next = if token.is_final() {
-            self.stats.record_commit();
-            None
-        } else {
-            Some(StageToken {
-                txn: token.txn,
-                index: token.index + 1,
-                total: token.total,
-            })
-        };
-        Ok((out, next))
+    fn abort(&self, handle: TxnHandle) {
+        self.core.abort_handle(&handle);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use croesus_store::{LockPolicy, Value};
+    use crate::history::{HistoryRecorder, SectionKind};
+    use crate::protocol::MultiStageProtocolExt;
+    use croesus_store::{KvStore, LockManager, LockPolicy, Value};
+    use std::sync::Arc;
 
     fn executor() -> StagedExecutor {
-        StagedExecutor::new(
-            Arc::new(KvStore::new()),
-            Arc::new(LockManager::new(LockPolicy::Block)),
+        StagedExecutor::from_core(
+            ExecutorCore::new(
+                Arc::new(KvStore::new()),
+                Arc::new(LockManager::new(LockPolicy::Block)),
+            )
+            .with_history(HistoryRecorder::new()),
         )
-        .with_history(HistoryRecorder::new())
     }
 
     #[test]
     fn three_stage_transaction_commits_in_order() {
         let ex = executor();
-        let t = ex.begin(TxnId(1), 3);
         let rw = RwSet::new().write("x");
-        let (_, t) = ex
-            .run_stage(t, &rw, |ctx| {
-                ctx.write("x", 0)?;
-                Ok(())
-            })
-            .unwrap();
-        let (_, t) = ex
-            .run_stage(t.unwrap(), &rw, |ctx| {
-                ctx.write("x", 1)?;
-                Ok(())
-            })
-            .unwrap();
-        let (_, done) = ex
-            .run_stage(t.unwrap(), &rw, |ctx| {
-                ctx.write("x", 2)?;
-                Ok(())
-            })
-            .unwrap();
+        let t = ex.begin(TxnId(1), &[rw.clone(), rw.clone(), rw.clone()]);
+        let (_, t) = ex.stage(t, &rw, |ctx| ctx.write("x", 0)).unwrap();
+        let (_, t) = ex.stage(t.unwrap(), &rw, |ctx| ctx.write("x", 1)).unwrap();
+        let (_, done) = ex.stage(t.unwrap(), &rw, |ctx| ctx.write("x", 2)).unwrap();
         assert!(done.is_none());
         assert_eq!(ex.store().get(&"x".into()).as_deref(), Some(&Value::Int(2)));
-        let checker = ex.history.as_ref().unwrap().checker();
+        let checker = ex.history().unwrap().checker();
         checker.check_stage_order().unwrap();
         checker.check_ms_ia(&[]).unwrap();
         assert_eq!(ex.stats().snapshot().commits, 1);
     }
 
     #[test]
-    fn token_kinds_map_to_sections() {
+    fn handle_kinds_map_to_sections() {
         let ex = executor();
-        let t = ex.begin(TxnId(1), 4);
-        assert_eq!(t.kind(), SectionKind::Initial);
+        let empty = [RwSet::new(), RwSet::new(), RwSet::new(), RwSet::new()];
+        let t = ex.begin(TxnId(1), &empty);
+        assert_eq!(t.section_kind(), SectionKind::Initial);
         assert_eq!(t.stage(), 0);
         assert!(!t.is_final());
-        let (_, t) = ex.run_stage(t, &RwSet::new(), |_| Ok(())).unwrap();
+        let (_, t) = ex.stage(t, &RwSet::new(), |_| Ok(())).unwrap();
         let t = t.unwrap();
-        assert_eq!(t.kind(), SectionKind::Intermediate(0));
-        let (_, t) = ex.run_stage(t, &RwSet::new(), |_| Ok(())).unwrap();
+        assert_eq!(t.section_kind(), SectionKind::Intermediate(0));
+        let (_, t) = ex.stage(t, &RwSet::new(), |_| Ok(())).unwrap();
         let t = t.unwrap();
-        assert_eq!(t.kind(), SectionKind::Intermediate(1));
-        let (_, t) = ex.run_stage(t, &RwSet::new(), |_| Ok(())).unwrap();
+        assert_eq!(t.section_kind(), SectionKind::Intermediate(1));
+        let (_, t) = ex.stage(t, &RwSet::new(), |_| Ok(())).unwrap();
         let t = t.unwrap();
-        assert_eq!(t.kind(), SectionKind::Final);
+        assert_eq!(t.section_kind(), SectionKind::Final);
         assert!(t.is_final());
     }
 
     #[test]
     fn two_stages_behave_like_initial_final() {
         let ex = executor();
-        let t = ex.begin(TxnId(9), 2);
-        let (_, t) = ex.run_stage(t, &RwSet::new(), |_| Ok(())).unwrap();
-        let (_, done) = ex.run_stage(t.unwrap(), &RwSet::new(), |_| Ok(())).unwrap();
+        let t = ex.begin(TxnId(9), &[RwSet::new(), RwSet::new()]);
+        let (_, t) = ex.stage(t, &RwSet::new(), |_| Ok(())).unwrap();
+        let (_, done) = ex.stage(t.unwrap(), &RwSet::new(), |_| Ok(())).unwrap();
         assert!(done.is_none());
-        ex.history
-            .as_ref()
-            .unwrap()
-            .checker()
-            .check_ms_ia(&[])
-            .unwrap();
+        ex.history().unwrap().checker().check_ms_ia(&[]).unwrap();
     }
 
     #[test]
     fn first_stage_failure_aborts_cleanly() {
         let ex = executor();
-        let t = ex.begin(TxnId(1), 3);
         let rw = RwSet::new().write("x");
-        let r = ex.run_stage(t, &rw, |ctx| {
+        let t = ex.begin(TxnId(1), &[rw.clone(), rw.clone(), rw.clone()]);
+        let r = ex.stage(t, &rw, |ctx| {
             ctx.write("x", 1)?;
             Err::<(), _>(TxnError::Invariant("bad trigger".into()))
         });
@@ -301,15 +150,11 @@ mod tests {
     fn locks_released_between_stages() {
         let store = Arc::new(KvStore::new());
         let locks = Arc::new(LockManager::new(LockPolicy::NoWait));
-        let ex = StagedExecutor::new(Arc::clone(&store), Arc::clone(&locks));
+        let ex =
+            StagedExecutor::from_core(ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks)));
         let rw = RwSet::new().write("x");
-        let t = ex.begin(TxnId(1), 3);
-        let (_, _t) = ex
-            .run_stage(t, &rw, |ctx| {
-                ctx.write("x", 1)?;
-                Ok(())
-            })
-            .unwrap();
+        let t = ex.begin(TxnId(1), &[rw.clone(), rw.clone(), rw.clone()]);
+        let (_, _t) = ex.stage(t, &rw, |ctx| ctx.write("x", 1)).unwrap();
         // Another transaction can lock x between stages.
         assert!(locks
             .lock(TxnId(2), &"x".into(), croesus_store::LockMode::Exclusive)
@@ -319,14 +164,9 @@ mod tests {
     #[test]
     fn intermediate_guesses_are_retractable() {
         let ex = executor();
-        let t = ex.begin(TxnId(1), 3);
         let rw = RwSet::new().write("guess");
-        let (_, t) = ex
-            .run_stage(t, &rw, |ctx| {
-                ctx.write("guess", 1)?;
-                Ok(())
-            })
-            .unwrap();
+        let t = ex.begin(TxnId(1), &[rw.clone(), rw.clone(), rw.clone()]);
+        let (_, t) = ex.stage(t, &rw, |ctx| ctx.write("guess", 1)).unwrap();
         let _ = t;
         let report = ex
             .apologies()
@@ -336,8 +176,41 @@ mod tests {
     }
 
     #[test]
+    fn final_stage_footprint_stays_retractable() {
+        // The staged discipline registers *every* stage — unlike MS-IA,
+        // whose final section is the reconciliation itself.
+        let ex = executor();
+        let rw = RwSet::new().write("g");
+        let t = ex.begin(TxnId(1), &[rw.clone(), rw.clone()]);
+        let (_, t) = ex.stage(t, &rw, |ctx| ctx.write("g", 1)).unwrap();
+        ex.stage(t.unwrap(), &rw, |ctx| ctx.write("g", 2)).unwrap();
+        let report = ex.apologies().retract(TxnId(1), ex.store(), "all wrong");
+        // Both stages' entries roll back, in reverse commit order.
+        assert!(!report.retracted.is_empty());
+        assert!(report.retracted.iter().all(|t| *t == TxnId(1)));
+        assert!(!ex.store().contains(&"g".into()));
+    }
+
+    #[test]
+    fn retraction_covers_disjoint_stage_footprints() {
+        // Each stage registers its own entry; retracting the transaction
+        // must roll back *all* of them even when the footprints share no
+        // keys (no cascade path between the entries).
+        let ex = executor();
+        let s0 = RwSet::new().write("a");
+        let s1 = RwSet::new().write("b");
+        let t = ex.begin(TxnId(1), &[s0.clone(), s1.clone()]);
+        let (_, t) = ex.stage(t, &s0, |ctx| ctx.write("a", 1)).unwrap();
+        ex.stage(t.unwrap(), &s1, |ctx| ctx.write("b", 2)).unwrap();
+        let report = ex.apologies().retract(TxnId(1), ex.store(), "all wrong");
+        assert_eq!(report.retracted.len(), 2, "both stage entries retract");
+        assert!(!ex.store().contains(&"a".into()));
+        assert!(!ex.store().contains(&"b".into()));
+    }
+
+    #[test]
     #[should_panic(expected = "at least 2")]
     fn single_stage_panics() {
-        executor().begin(TxnId(1), 1);
+        executor().begin(TxnId(1), &[RwSet::new()]);
     }
 }

@@ -5,12 +5,12 @@
 //! ```
 //!
 //! This walks the whole public API surface once: generate a video, tune the
-//! bandwidth thresholds for an accuracy floor, run the multi-stage pipeline,
-//! and compare against the edge-only and cloud-only baselines.
+//! bandwidth thresholds for an accuracy floor, build a deployment with the
+//! `Croesus` builder, run the multi-stage pipeline under two consistency
+//! protocols, and compare against the edge-only and cloud-only baselines —
+//! all through the same builder.
 
-use croesus::core::{
-    run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdEvaluator,
-};
+use croesus::core::{Croesus, CroesusConfig, ProtocolKind, ThresholdEvaluator};
 use croesus::detect::{ModelProfile, SimulatedModel};
 use croesus::video::VideoPreset;
 
@@ -44,13 +44,14 @@ fn main() {
         optimal.evaluations
     );
 
-    // 3. Run the multi-stage pipeline at the tuned thresholds.
+    // 3. Build deployments from one builder: the multi-stage pipeline
+    //    (MS-IA, the paper's default) and both baselines.
     let config = CroesusConfig::new(preset, optimal.pair)
         .with_frames(frames)
         .with_seed(seed);
-    let croesus = run_croesus(&config);
-    let edge = run_edge_only(&config);
-    let cloud = run_cloud_only(&config);
+    let croesus = Croesus::multistage(&config).run();
+    let edge = Croesus::edge_only(&config).run();
+    let cloud = Croesus::cloud_only(&config).run();
 
     println!(
         "\n{:<12} {:>12} {:>12} {:>8} {:>7}",
@@ -66,6 +67,18 @@ fn main() {
             m.bandwidth_utilization * 100.0
         );
     }
+
+    // 4. The consistency protocol is a builder axis, not a rewrite: the
+    //    same pipeline under MS-SR (locks held across the cloud wait).
+    let ms_sr = Croesus::builder()
+        .config(config.clone())
+        .protocol(ProtocolKind::MsSr)
+        .build()
+        .run();
+    println!(
+        "\nsame pipeline under MS-SR → F {:.2}, {} transactions ('{}')",
+        ms_sr.f_score, ms_sr.transactions_committed, ms_sr.label
+    );
 
     println!(
         "\ncorrections: {} confirmed, {} renamed, {} retracted, {} recovered from misses; \

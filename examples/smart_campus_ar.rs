@@ -20,7 +20,9 @@ use croesus::core::{
 use croesus::detect::Detection;
 use croesus::sim::DetRng;
 use croesus::store::{KvStore, LockManager, LockPolicy, TxnId, Value};
-use croesus::txn::{MsIaExecutor, RwSet, SectionOutput};
+use croesus::txn::{
+    ExecutorCore, MsIaExecutor, MultiStageProtocol, MultiStageProtocolExt, RwSet, SectionOutput,
+};
 use croesus::video::BoundingBox;
 
 /// Task 1: display information about a detected building.
@@ -173,7 +175,10 @@ fn main() {
     store.put("rooms/engineering".into(), Value::Int(1));
     store.put("rooms/library".into(), Value::Int(5));
 
-    let executor = MsIaExecutor::new(store, Arc::new(LockManager::new(LockPolicy::Block)));
+    let executor = MsIaExecutor::from_core(ExecutorCore::new(
+        store,
+        Arc::new(LockManager::new(LockPolicy::Block)),
+    ));
     let bank = TransactionsBank::new()
         .with_rule(TriggerRule {
             class_group: "Buildings".into(),
@@ -198,23 +203,31 @@ fn main() {
     );
 
     let mut pendings = Vec::new();
-    for rule in bank.triggered_by_label(&edge_label) {
-        let inst = rule.template.instantiate(&edge_label, &mut rng);
+    let run_initial = |inst: croesus::core::TxnInstance, pendings: &mut Vec<_>| {
+        let handle = executor.begin(
+            TxnId(pendings.len() as u64),
+            &[inst.initial_rw.clone(), inst.final_rw.clone()],
+        );
+        let initial = inst.initial;
         let (out, pending) = executor
-            .run_initial(TxnId(pendings.len() as u64), &inst.initial_rw, inst.initial)
+            .stage(handle, &inst.initial_rw, |ctx| initial(ctx.section_mut()))
             .expect("initial section commits");
         println!("  [initial commit] {} → {:?}", inst.name, out.response);
-        pendings.push((pending, inst.final_rw, inst.final_section));
+        pendings.push((
+            pending.expect("two stages declared"),
+            inst.final_rw,
+            inst.final_section,
+        ));
+    };
+    for rule in bank.triggered_by_label(&edge_label) {
+        let inst = rule.template.instantiate(&edge_label, &mut rng);
+        run_initial(inst, &mut pendings);
     }
     let recent = [edge_label.clone()];
     for (rule, label) in bank.triggered_by_aux("click", &recent) {
         let label = label.expect("reservation needs a building label");
         let inst = rule.template.instantiate(label, &mut rng);
-        let (out, pending) = executor
-            .run_initial(TxnId(pendings.len() as u64), &inst.initial_rw, inst.initial)
-            .expect("initial section commits");
-        println!("  [initial commit] {} → {:?}", inst.name, out.response);
-        pendings.push((pending, inst.final_rw, inst.final_section));
+        run_initial(inst, &mut pendings);
     }
 
     // The cloud's verdict arrives ~1.2 s later: it was the library. The
@@ -228,7 +241,9 @@ fn main() {
     for (pending, final_rw, body) in pendings {
         let input = verdict.clone();
         executor
-            .run_final(pending, &final_rw, move |ctx, _| body(ctx, &input))
+            .stage(pending, &final_rw, move |ctx| {
+                body(ctx.section_mut(), &input)
+            })
             .expect("final sections cannot abort");
     }
 

@@ -15,7 +15,10 @@
 use std::sync::Arc;
 
 use croesus::store::{Key, KvStore, LockManager, LockPolicy, TxnId, Value};
-use croesus::txn::{Invariant, MsIaExecutor, NonNegativeInvariant, RwSet};
+use croesus::txn::{
+    ExecutorCore, Invariant, MsIaExecutor, MultiStageProtocol, MultiStageProtocolExt,
+    NonNegativeInvariant, RwSet,
+};
 
 fn balance(store: &KvStore, player: &str) -> i64 {
     store
@@ -39,38 +42,38 @@ fn main() {
     for (p, v) in [("A", 50i64), ("B", 10), ("C", 0), ("D", 0)] {
         store.put(p.into(), Value::Int(v));
     }
-    let executor = MsIaExecutor::new(
+    let executor = MsIaExecutor::from_core(ExecutorCore::new(
         Arc::clone(&store),
         Arc::new(LockManager::new(LockPolicy::Block)),
-    );
+    ));
     print_balances(&store, "start");
 
-    // transfer(from, to, amount): the initial section is the guess.
+    // transfer(from, to, amount): the initial section is the guess. Under
+    // MS-IA the declared final rw-set is advisory — the final stage locks
+    // whatever it actually needs when the cloud verdict arrives.
     let transfer = |id: u64, from: &'static str, to: &'static str, amount: i64| {
         let rw = RwSet::new().read(from).write(from).read(to).write(to);
-        executor
-            .run_initial(TxnId(id), &rw, move |ctx| {
+        let handle = executor.begin(TxnId(id), &[rw.clone(), RwSet::new()]);
+        let (_, next) = executor
+            .stage(handle, &rw, move |ctx| {
                 let f = ctx.read(from)?.and_then(|v| v.as_int()).unwrap_or(0);
                 let t = ctx.read(to)?.and_then(|v| v.as_int()).unwrap_or(0);
                 ctx.write(from, f - amount)?;
                 ctx.write(to, t + amount)?;
                 Ok(())
             })
-            .expect("initial commits")
+            .expect("initial commits");
+        next.expect("two stages declared")
     };
 
-    let (_, p1) = transfer(1, "A", "B", 50);
-    let (_, p2) = transfer(2, "B", "C", 10);
-    let (_, p3) = transfer(3, "B", "C", 50);
+    let p1 = transfer(1, "A", "B", 50);
+    let p2 = transfer(2, "B", "C", 10);
+    let p3 = transfer(3, "B", "C", 50);
     print_balances(&store, "after guesses (t1: A→B 50, t2: B→C 10, t3: B→C 50)");
 
     // t2 and t3's cloud inputs were correct: their final sections terminate.
-    executor
-        .run_final(p2, &RwSet::new(), |_, _| Ok(()))
-        .unwrap();
-    executor
-        .run_final(p3, &RwSet::new(), |_, _| Ok(()))
-        .unwrap();
+    executor.stage(p2, &RwSet::new(), |_| Ok(())).unwrap();
+    executor.stage(p3, &RwSet::new(), |_| Ok(())).unwrap();
 
     // t1's final section learns the recipient was D, not B. A full cascade
     // would drag t2 and t3 down with it; the invariant-confluent merge
@@ -88,7 +91,7 @@ fn main() {
         .write("D");
     let store_for_check = Arc::clone(&store);
     executor
-        .run_final(p1, &rw, move |ctx, _fctx| {
+        .stage(p1, &rw, move |ctx| {
             // 1. Redirect the transfer: B's windfall goes to D instead.
             let b = ctx.read("B")?.and_then(|v| v.as_int()).unwrap_or(0);
             let d = ctx.read("D")?.and_then(|v| v.as_int()).unwrap_or(0);

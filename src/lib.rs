@@ -10,14 +10,18 @@
 //! * [`detect`] — simulated CNN detectors (Tiny-YOLOv3 / YOLOv3 profiles)
 //!   and accuracy evaluation.
 //! * [`store`] — key-value store, lock manager, undo log, partitions.
-//! * [`txn`] — the multi-stage transaction model, MS-SR and MS-IA protocols,
-//!   apologies, sequencer, two-phase commit, and history checkers.
+//! * [`txn`] — the multi-stage transaction model behind one
+//!   `MultiStageProtocol` trait: MS-SR (TSPL), MS-IA and the generalized
+//!   staged discipline over a shared `ExecutorCore`, plus apologies,
+//!   sequencer, two-phase commit, and history checkers.
 //! * [`net`] — edge-cloud network links, payload/compression models, cost.
-//! * [`core`] — the Croesus system: edge/cloud nodes, transactions bank,
-//!   bandwidth thresholding, the threshold optimizer, pipeline and baselines.
+//! * [`core`] — the Croesus system: the `Croesus` deployment builder
+//!   (pipeline + baselines, any protocol, any edge-fleet size), edge/cloud
+//!   nodes, transactions bank, bandwidth thresholding, and the threshold
+//!   optimizer.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
-//! the paper-to-module map.
+//! the paper-to-module map and the protocol/builder API surface.
 
 pub use croesus_core as core;
 pub use croesus_detect as detect;

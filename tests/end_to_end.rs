@@ -2,7 +2,7 @@
 //! baselines, across the paper's video presets.
 
 use croesus::core::{
-    run_cloud_only, run_croesus, run_edge_only, CroesusConfig, ThresholdEvaluator, ThresholdPair,
+    Croesus, CroesusConfig, ProtocolKind, RunMetrics, ThresholdEvaluator, ThresholdPair,
     ValidationPolicy,
 };
 use croesus::detect::{ModelProfile, SimulatedModel};
@@ -13,6 +13,36 @@ const FRAMES: u64 = 120;
 
 fn cfg(preset: VideoPreset, pair: ThresholdPair) -> CroesusConfig {
     CroesusConfig::new(preset, pair).with_frames(FRAMES)
+}
+
+fn run_croesus(config: &CroesusConfig) -> RunMetrics {
+    Croesus::multistage(config).run()
+}
+
+fn run_edge_only(config: &CroesusConfig) -> RunMetrics {
+    Croesus::edge_only(config).run()
+}
+
+fn run_cloud_only(config: &CroesusConfig) -> RunMetrics {
+    Croesus::cloud_only(config).run()
+}
+
+#[test]
+fn protocol_matrix_agrees_on_accuracy_and_bandwidth() {
+    // The unified API's promise: the consistency protocol changes *how*
+    // transactions commit, not what the client sees of the video pipeline.
+    let base = cfg(VideoPreset::StreetTraffic, ThresholdPair::new(0.3, 0.7));
+    let reference = run_croesus(&base);
+    for kind in [ProtocolKind::MsSr, ProtocolKind::Staged] {
+        let m = Croesus::builder()
+            .config(base.clone())
+            .protocol(kind)
+            .build()
+            .run();
+        assert_eq!(m.f_score, reference.f_score, "{kind}");
+        assert_eq!(m.bytes_sent, reference.bytes_sent, "{kind}");
+        assert!(m.transactions_committed > 0, "{kind}");
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Minimal API-compatible stand-in for the `proptest` crate.
 //!
 //! Supports the subset the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`, range/tuple/`Just` strategies,
+//! `Strategy` trait with `prop_map`, range/tuple/`Just` strategies,
 //! `prop::collection::vec`, `prop::bool::ANY`, `any::<T>()`, the
 //! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` and
 //! `prop_assume!` macros. Cases are generated from a deterministic

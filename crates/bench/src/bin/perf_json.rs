@@ -1,9 +1,11 @@
 //! Machine-readable perf snapshot: measures the storage/locking hot path,
-//! the Fig-6 contention harness, and — since PR 2 — the throughput of each
-//! multi-stage protocol through the unified `dyn MultiStageProtocol` API,
-//! then writes `BENCH_PR2.json` so the perf trajectory is tracked PR over
-//! PR (future PRs emit `BENCH_PR<n>.json` next to it; never overwrite an
-//! earlier PR's file).
+//! the Fig-6 contention harness, the throughput of each multi-stage
+//! protocol through the unified `dyn MultiStageProtocol` API (PR 2), and —
+//! since PR 3 — the WAL: record append throughput, durable commit
+//! throughput per group-commit size (the fsync amortization curve), and
+//! recovery replay speed. Writes `BENCH_PR3.json` so the perf trajectory
+//! is tracked PR over PR (future PRs emit `BENCH_PR<n>.json` next to it;
+//! never overwrite an earlier PR's file).
 //!
 //! Usage:
 //!
@@ -17,6 +19,7 @@ use std::time::{Duration, Instant};
 use croesus_bench::contention::{run_ms_ia, run_ms_sr, ContentionConfig};
 use croesus_store::{Key, KvStore, LockManager, LockMode, LockPolicy, TxnId, Value};
 use croesus_txn::{ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet};
+use croesus_wal::{StageFlags, StageRecord, Wal, WalConfig, WriteImage};
 
 /// Criterion `ns/iter` numbers recorded during PR 1 (median of 3
 /// interleaved `CRITERION_QUICK=1` runs): seed code vs. the PR-1 hot-path
@@ -110,6 +113,49 @@ fn protocol_txn_per_sec(kind: ProtocolKind, budget: Duration) -> f64 {
     })
 }
 
+/// One WAL stage record shaped like the pipeline's YCSB transactions.
+fn wal_stage(txn: u64) -> StageRecord {
+    StageRecord {
+        txn: TxnId(txn),
+        stage: 0,
+        total: 2,
+        flags: StageFlags(StageFlags::COMMIT_POINT | StageFlags::REGISTER),
+        reads: vec![Key::indexed("r", txn % 64)],
+        writes: vec![Key::indexed("w", txn % 64)],
+        images: vec![
+            WriteImage {
+                key: Key::indexed("w", txn % 64),
+                pre: Some(Arc::new(Value::Int(txn as i64))),
+                post: Some(Arc::new(Value::Int(txn as i64 + 1))),
+            },
+            WriteImage {
+                key: Key::indexed("w2", txn % 64),
+                pre: None,
+                post: Some(Arc::new(Value::Str("payload-string".into()))),
+            },
+        ],
+    }
+}
+
+/// Durable commit points per second at a given group-commit size, against
+/// a real file (fsync-bound for small groups — the amortization curve is
+/// the point of group commit).
+fn wal_file_commits_per_sec(dir: &std::path::Path, group: usize, budget: Duration) -> f64 {
+    let wal = Wal::create(
+        dir.join(format!("perf-group-{group}.wal")),
+        WalConfig {
+            group_commit: group,
+            checkpoint_every: 0,
+        },
+    )
+    .expect("temp dir is writable");
+    let mut txn = 0u64;
+    ops_per_sec(budget, || {
+        txn += 1;
+        wal.append_stage(wal_stage(txn)).unwrap();
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -117,7 +163,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let budget = if quick {
         Duration::from_millis(120)
     } else {
@@ -162,6 +208,33 @@ fn main() {
     let ms_ia_tps = protocol_txn_per_sec(ProtocolKind::MsIa, budget);
     let staged_tps = protocol_txn_per_sec(ProtocolKind::Staged, budget);
 
+    eprintln!("measuring WAL append / group commit / recovery...");
+    let (mem_wal, mem_probe) = Wal::in_memory(WalConfig {
+        group_commit: usize::MAX,
+        checkpoint_every: 0,
+    });
+    let mut wtxn = 0u64;
+    let wal_append = ops_per_sec(budget, || {
+        wtxn += 1;
+        mem_wal.append_stage(wal_stage(wtxn)).unwrap();
+    });
+    let wal_dir = croesus_wal::scratch_dir("perf-json");
+    // fsync-bound measurements get a shorter budget; the curve matters,
+    // not the absolute precision.
+    let sync_budget = budget / 2;
+    let wal_file_strict = wal_file_commits_per_sec(&wal_dir, 1, sync_budget);
+    let wal_file_group8 = wal_file_commits_per_sec(&wal_dir, 8, sync_budget);
+    let wal_file_group64 = wal_file_commits_per_sec(&wal_dir, 64, sync_budget);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    // Recovery replay: records per second over the log built above.
+    mem_wal.flush().unwrap();
+    let replay_bytes = mem_probe.durable();
+    let replay_frames = croesus_wal::recover(&replay_bytes).frames as f64;
+    let replay_runs = ops_per_sec(budget, || {
+        std::hint::black_box(croesus_wal::recover(&replay_bytes).frames);
+    });
+    let wal_replay_records = replay_runs * replay_frames;
+
     eprintln!("running Fig-6 contention harness...");
     let mut cfg = ContentionConfig::paper(100);
     if quick {
@@ -182,7 +255,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 2,
+  "pr": 3,
   "generated_by": "cargo run -p croesus-bench --release --bin perf_json",
   "quick": {quick},
   "store": {{
@@ -199,6 +272,14 @@ fn main() {
     "ms_sr_txn_per_sec": {ms_sr_tps:.0},
     "ms_ia_txn_per_sec": {ms_ia_tps:.0},
     "staged_txn_per_sec": {staged_tps:.0}
+  }},
+  "wal": {{
+    "note": "PR 3 durability subsystem: append = encode+CRC+shadow-state per stage record (2 write images) into a memory device, never synced; commit_file_groupN = durable commit points/sec against a real file syncing every N commit points (the group-commit amortization curve); replay = recovery records/sec over a 1-commit-point-per-record log",
+    "append_stage_ops_per_sec": {wal_append:.0},
+    "commit_file_group1_per_sec": {wal_file_strict:.0},
+    "commit_file_group8_per_sec": {wal_file_group8:.0},
+    "commit_file_group64_per_sec": {wal_file_group64:.0},
+    "replay_records_per_sec": {wal_replay_records:.0}
   }},
   "fig6_contention": {{
     "config": {{"txns": {txns}, "threads": {threads}, "key_range": {key_range}, "updates": {updates}}},

@@ -1,4 +1,4 @@
-//! The state-of-the-art baselines of §5 — legacy entry points.
+//! The state-of-the-art baselines of §5.
 //!
 //! * **Edge baseline** — "a performance-centric video analytics application
 //!   where a compact model (Tiny YOLOv3) is deployed on the edge machine
@@ -10,42 +10,23 @@
 //!   and waits for the big model; by the paper's ground-truth convention
 //!   its accuracy is 1.0.
 //!
-//! Both are now [`DeploymentMode`](crate::system::DeploymentMode)s of the
-//! unified [`Croesus`] builder (so they run under any protocol and any
-//! edge-fleet size, and accept a [`croesus_net::PayloadCodec`] for Figure
-//! 6(c)'s hybrid variants). The free functions remain as deprecated shims.
-
-use crate::config::CroesusConfig;
-use crate::metrics::RunMetrics;
-use crate::system::Croesus;
+//! Both are [`DeploymentMode`](crate::system::DeploymentMode)s of the
+//! unified [`Croesus`](crate::system::Croesus) builder (so they run under
+//! any protocol and any edge-fleet size, and accept a
+//! [`croesus_net::PayloadCodec`] for Figure 6(c)'s hybrid variants):
+//! `Croesus::edge_only(config).run()` / `Croesus::cloud_only(config).run()`.
+//! The deprecated free-function shims are gone.
 
 /// Default edge-baseline confidence filter: detections below this are
 /// dropped (the conventional 0.5 deployment threshold; Figure 3 shows the
 /// (0.5, 0.5) Croesus pair matching this baseline's accuracy).
 pub const EDGE_BASELINE_CONFIDENCE: f64 = 0.5;
 
-/// Run the edge-only baseline over the configured video.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Croesus::edge_only(config).run()` (or `Croesus::builder()`) instead"
-)]
-pub fn run_edge_only(config: &CroesusConfig) -> RunMetrics {
-    Croesus::edge_only(config).run()
-}
-
-/// Run the cloud-only baseline (optionally with compression/difference
-/// pre-processing at the edge) over the configured video.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Croesus::cloud_only(config).run()` (or `Croesus::builder()`) instead"
-)]
-pub fn run_cloud_only(config: &CroesusConfig) -> RunMetrics {
-    Croesus::cloud_only(config).run()
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::config::CroesusConfig;
+    use crate::metrics::RunMetrics;
+    use crate::system::Croesus;
     use crate::threshold::ThresholdPair;
     use croesus_net::PayloadCodec;
     use croesus_video::VideoPreset;
@@ -118,14 +99,5 @@ mod tests {
         let a = edge_only(&cfg(VideoPreset::StreetTraffic));
         let b = edge_only(&cfg(VideoPreset::StreetTraffic));
         assert_eq!(a.f_score, b.f_score);
-    }
-
-    #[test]
-    fn deprecated_shims_still_work() {
-        #[allow(deprecated)]
-        let m = run_edge_only(&cfg(VideoPreset::StreetTraffic));
-        let n = edge_only(&cfg(VideoPreset::StreetTraffic));
-        assert_eq!(m.f_score, n.f_score);
-        assert_eq!(m.label, n.label);
     }
 }

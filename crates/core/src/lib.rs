@@ -29,8 +29,9 @@
 //! ```
 //!
 //! [`DeploymentMode::EdgeOnly`] and [`DeploymentMode::CloudOnly`] give the
-//! §5 baselines from the same builder; the old `run_croesus` /
-//! `run_edge_only` / `run_cloud_only` free functions are deprecated shims.
+//! §5 baselines from the same builder, and
+//! [`CroesusBuilder::durability`] switches on per-edge write-ahead
+//! logging with apology-aware crash recovery (`croesus_txn::recovery`).
 
 pub mod bank;
 pub mod baseline;
@@ -50,19 +51,16 @@ pub mod workload;
 
 pub use bank::{TransactionsBank, TriggerRule, TxnInstance, TxnTemplate};
 pub use baseline::EDGE_BASELINE_CONFIDENCE;
-#[allow(deprecated)]
-pub use baseline::{run_cloud_only, run_edge_only};
 pub use client::{AuxInput, Client, FrameResponses};
 pub use cloud::CloudNode;
 pub use config::{CroesusConfig, ValidationPolicy};
 pub use croesus_txn::ProtocolKind;
+pub use croesus_wal::DurabilityMode;
 pub use edge::{EdgeNode, FinalStage, InitialStage};
 pub use matching::{match_edge_to_cloud, FinalInput, FrameMatch, LabelVerdict};
 pub use metrics::{CorrectionCounts, LatencyBreakdown, MetricsCollector, RunMetrics};
 pub use optimizer::{OptimalThresholds, ThresholdEvaluator, ThresholdOutcome};
 pub use pipeline::evaluation_bank;
-#[allow(deprecated)]
-pub use pipeline::run_croesus;
 pub use queueing::{run_queueing, QueueingConfig, QueueingMetrics};
 pub use stages::{
     edge_cloud_chain, edge_fog_cloud_chain, run_stage_chain, ChainMetrics, Stage, StageStats,

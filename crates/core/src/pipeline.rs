@@ -1,18 +1,15 @@
-//! Whole-video orchestration — legacy entry point.
+//! The evaluation workload's transactions bank, plus whole-pipeline tests.
 //!
-//! The execution pattern of Figure 1 now lives in
+//! The execution pattern of Figure 1 lives in
 //! [`Deployment`](crate::system::Deployment); build one with
-//! [`Croesus::builder`](crate::system::Croesus::builder) (protocol, mode
-//! and edge-fleet selection included). [`run_croesus`] remains as a
-//! deprecated shim for existing callers, and [`evaluation_bank`] still
-//! provides the evaluation workload's transactions bank.
+//! [`Croesus::builder`](crate::system::Croesus::builder) (protocol, mode,
+//! durability and edge-fleet selection included). The deprecated
+//! `run_croesus` shim that used to live here is gone — call
+//! `Croesus::multistage(config).run()` instead.
 
 use std::sync::Arc;
 
 use crate::bank::{TransactionsBank, TriggerRule};
-use crate::config::CroesusConfig;
-use crate::metrics::RunMetrics;
-use crate::system::Croesus;
 use crate::workload::YcsbWorkload;
 
 /// The default transactions bank for the evaluation workload: every
@@ -26,20 +23,11 @@ pub fn evaluation_bank() -> Arc<TransactionsBank> {
     }))
 }
 
-/// Run Croesus over one video per the configuration; returns the metrics
-/// the paper's figures are built from.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Croesus::multistage(config).run()` (or `Croesus::builder()`) instead"
-)]
-pub fn run_croesus(config: &CroesusConfig) -> RunMetrics {
-    Croesus::multistage(config).run()
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::config::ValidationPolicy;
+    use crate::config::{CroesusConfig, ValidationPolicy};
+    use crate::metrics::RunMetrics;
+    use crate::system::Croesus;
     use crate::threshold::ThresholdPair;
     use croesus_video::VideoPreset;
 

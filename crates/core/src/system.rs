@@ -24,8 +24,13 @@
 //! assert!(metrics.transactions_committed > 0);
 //! ```
 //!
-//! The legacy free functions (`run_croesus`, `run_edge_only`,
-//! `run_cloud_only`) are deprecated shims over this builder.
+//! Durability is a builder switch too:
+//! [`durability`](CroesusBuilder::durability) gives every edge node its
+//! own write-ahead log (`edge-<i>.wal` under the chosen directory), so a
+//! crashed edge can rebuild its partition and retract-with-apologies the
+//! transactions whose final sections died with it (see
+//! `croesus_txn::recovery`). Off by default — a durability-off run is
+//! byte-identical with the pre-WAL system.
 
 use std::sync::Arc;
 
@@ -35,6 +40,7 @@ use croesus_sim::DetRng;
 use croesus_store::{KvStore, LockManager};
 use croesus_txn::{ExecutorCore, ProtocolKind};
 use croesus_video::{LabelClass, VideoPreset};
+use croesus_wal::DurabilityMode;
 
 use crate::bank::TransactionsBank;
 use crate::baseline::EDGE_BASELINE_CONFIDENCE;
@@ -105,6 +111,7 @@ pub struct CroesusBuilder {
     protocol: ProtocolKind,
     mode: DeploymentMode,
     edges: usize,
+    durability: DurabilityMode,
 }
 
 impl Default for CroesusBuilder {
@@ -114,6 +121,7 @@ impl Default for CroesusBuilder {
             protocol: ProtocolKind::MsIa,
             mode: DeploymentMode::MultiStage,
             edges: 1,
+            durability: DurabilityMode::Disabled,
         }
     }
 }
@@ -207,6 +215,18 @@ impl CroesusBuilder {
         self
     }
 
+    /// Durability for the edge datastores: every edge logs its stages to
+    /// its own write-ahead log (`edge-<i>.wal` under the mode's
+    /// directory) through the shared `ExecutorCore` hook, whatever the
+    /// protocol. Off by default. Each `run()` opens *fresh* logs — to
+    /// recover a previous run's logs, replay them first with
+    /// `croesus_txn::recovery::recover_edge_file`.
+    #[must_use]
+    pub fn durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        self
+    }
+
     /// Replace the whole run configuration (protocol/mode/edges are kept).
     #[must_use]
     pub fn config(mut self, config: CroesusConfig) -> Self {
@@ -222,6 +242,7 @@ impl CroesusBuilder {
             protocol: self.protocol,
             mode: self.mode,
             edges: self.edges,
+            durability: self.durability,
         }
     }
 }
@@ -233,6 +254,7 @@ pub struct Deployment {
     protocol: ProtocolKind,
     mode: DeploymentMode,
     edges: usize,
+    durability: DurabilityMode,
 }
 
 impl Deployment {
@@ -256,6 +278,11 @@ impl Deployment {
         self.edges
     }
 
+    /// The durability mode.
+    pub fn durability(&self) -> &DurabilityMode {
+        &self.durability
+    }
+
     /// Build the edge fleet: each edge owns its own store, lock manager
     /// and protocol executor (its partition of the data, §4.5).
     /// `edge_hardware` applies the setup's edge machine class to inference
@@ -275,10 +302,17 @@ impl Deployment {
                 if edge_hardware {
                     model = model.with_hardware_factor(cfg.setup.edge.hardware_factor());
                 }
-                let core = ExecutorCore::new(
+                let mut core = ExecutorCore::new(
                     Arc::new(KvStore::new()),
                     Arc::new(LockManager::new(self.protocol.default_lock_policy())),
                 );
+                if let Some(wal) = self
+                    .durability
+                    .open_edge_wal(i)
+                    .expect("durability directory must be creatable and writable")
+                {
+                    core = core.with_wal(Arc::new(wal));
+                }
                 EdgeNode::with_protocol(
                     model,
                     Arc::clone(bank),
@@ -288,6 +322,17 @@ impl Deployment {
                 )
             })
             .collect()
+    }
+
+    /// Clean shutdown: push every edge's WAL durability boundary over the
+    /// group-commit tail. (A *crash* is exactly the absence of this call —
+    /// the unsynced tail is the loss window group commit trades away.)
+    fn flush_wals(edges: &[EdgeNode]) {
+        for edge in edges {
+            if let Some(wal) = edge.protocol().core().wal() {
+                wal.flush().expect("WAL flush at shutdown failed");
+            }
+        }
     }
 
     fn label(&self, base: String) -> String {
@@ -477,6 +522,7 @@ impl Deployment {
                 format!("croesus {} bu={:.0}%", config.preset.paper_id(), bu * 100.0)
             }
         };
+        Self::flush_wals(&edges);
         collector.finish(self.label(base), &meter)
     }
 
@@ -534,6 +580,7 @@ impl Deployment {
                 config.overlap_threshold,
             ));
         }
+        Self::flush_wals(&edges);
         collector.finish(
             self.label(format!("edge-only {}", config.preset.paper_id())),
             &meter,
@@ -605,6 +652,7 @@ impl Deployment {
                 config.overlap_threshold,
             ));
         }
+        Self::flush_wals(&edges);
         collector.finish(
             self.label(format!(
                 "cloud-only{} {}",
@@ -635,17 +683,91 @@ mod tests {
 
     #[test]
     fn builder_matches_legacy_pipeline_exactly() {
-        // The shim contract: a default builder run must be byte-identical
-        // with the historical `run_croesus` output.
+        // The durability-off contract: a single-edge MS-IA builder run is
+        // byte-identical with the historical `run_croesus` pipeline. The
+        // legacy shim is gone, so the pin is its captured output for this
+        // exact configuration (any drift here is a behaviour change).
         let cfg = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.3, 0.7))
             .with_frames(60);
         let a = Croesus::multistage(&cfg).run();
-        #[allow(deprecated)]
-        let b = crate::pipeline::run_croesus(&cfg);
+        assert_eq!(a.f_score, 0.922_779_922_779_922_8);
+        assert_eq!(a.bytes_sent, 7_500_000);
+        assert_eq!(a.transactions_committed, 284);
+        assert_eq!(a.bandwidth_utilization, 0.833_333_333_333_333_4);
+        assert_eq!(a.label, "croesus v2 (0.3,0.7)");
+        // Explicitly disabled durability is the very same code path.
+        let b = Croesus::builder()
+            .config(cfg)
+            .durability(DurabilityMode::Disabled)
+            .build()
+            .run();
         assert_eq!(a.f_score, b.f_score);
         assert_eq!(a.bytes_sent, b.bytes_sent);
         assert_eq!(a.transactions_committed, b.transactions_committed);
         assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn durability_does_not_perturb_the_pipeline() {
+        let dir = croesus_wal::scratch_dir("system-durability");
+        let off = quick().build().run();
+        let on = quick()
+            .durability(DurabilityMode::group_commit(&dir))
+            .build()
+            .run();
+        assert_eq!(off.f_score, on.f_score);
+        assert_eq!(off.bytes_sent, on.bytes_sent);
+        assert_eq!(off.transactions_committed, on.transactions_committed);
+        assert_eq!(off.corrections, on.corrections);
+        // The log replays to a fully-finalized edge: every initially
+        // committed transaction finally committed, so recovery owes no
+        // apologies after a clean run.
+        let rec = croesus_txn::recovery::recover_edge_file(dir.join("edge-0.wal")).unwrap();
+        assert!(rec.frames > 0, "the WAL saw the run");
+        assert!(rec.unfinalized.is_empty());
+        assert!(rec.apologies_owed().is_empty());
+        assert!(!rec.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_protocol_logs_through_the_same_hook() {
+        for kind in ProtocolKind::ALL {
+            let dir = croesus_wal::scratch_dir("system-durability-proto");
+            let m = quick()
+                .protocol(kind)
+                .durability(DurabilityMode::Strict { dir: dir.clone() })
+                .build()
+                .run();
+            assert!(m.transactions_committed > 0, "{kind}");
+            let rec = croesus_txn::recovery::recover_edge_file(dir.join("edge-0.wal")).unwrap();
+            assert!(rec.frames > 0, "{kind}: stages were logged");
+            assert!(rec.unfinalized.is_empty(), "{kind}: clean run");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_edge_deployment_logs_one_wal_per_edge() {
+        let dir = croesus_wal::scratch_dir("system-durability-edges");
+        let mode = DurabilityMode::group_commit(&dir);
+        let m = quick().edges(3).durability(mode.clone()).build().run();
+        assert!(m.transactions_committed > 0);
+        let mut edges_with_frames = 0;
+        for i in 0..3 {
+            let path = mode.edge_log_path(i).unwrap();
+            assert!(path.exists(), "edge {i} has its own log");
+            let rec = croesus_txn::recovery::recover_edge_file(&path).unwrap();
+            assert!(rec.unfinalized.is_empty(), "edge {i}");
+            if rec.frames > 0 {
+                edges_with_frames += 1;
+            }
+        }
+        assert!(
+            edges_with_frames >= 2,
+            "round-robin routing reaches multiple edges"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -69,5 +69,5 @@ pub mod value;
 pub use kv::{KvStore, Versioned};
 pub use lock::{LockError, LockManager, LockMode, LockPolicy, TxnId};
 pub use partition::{Partition, PartitionId, PartitionMap};
-pub use undo::UndoLog;
+pub use undo::{UndoLog, UndoRecord};
 pub use value::{Key, Value};

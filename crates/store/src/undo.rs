@@ -6,10 +6,11 @@
 //! [`UndoLog`] records, per write, the state a key had before the
 //! transaction touched it, so the apology machinery can restore it.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::kv::KvStore;
-use crate::value::{Key, Value};
+use crate::value::{Key, KeyHashBuilder, Value};
 
 /// One undo record: the key and its pre-image (None = key did not exist).
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +26,10 @@ pub struct UndoRecord {
 #[derive(Clone, Debug, Default)]
 pub struct UndoLog {
     records: Vec<UndoRecord>,
+    /// Keys already recorded — membership reuses the hash cached inside
+    /// [`Key`], so duplicate detection stays O(1) per write instead of a
+    /// linear rescan (O(n²) across a large write set).
+    seen: HashSet<Key, KeyHashBuilder>,
 }
 
 impl UndoLog {
@@ -37,7 +42,7 @@ impl UndoLog {
     /// this log keeps its pre-image — later writes by the same transaction
     /// would otherwise undo to an intermediate state.
     pub fn record(&mut self, key: Key, previous: Option<Arc<Value>>) {
-        if !self.records.iter().any(|r| r.key == key) {
+        if self.seen.insert(key.clone()) {
             self.records.push(UndoRecord { key, previous });
         }
     }
@@ -66,6 +71,12 @@ impl UndoLog {
     /// Keys this log would restore.
     pub fn keys(&self) -> impl Iterator<Item = &Key> {
         self.records.iter().map(|r| &r.key)
+    }
+
+    /// The recorded `(key, pre-image)` pairs in record order — what a
+    /// write-ahead log serializes alongside the post-images.
+    pub fn records(&self) -> &[UndoRecord] {
+        &self.records
     }
 
     /// The recorded pre-image for `key`, if this log touched it.
@@ -170,6 +181,37 @@ mod tests {
         UndoLog::new().rollback(&s);
         assert_eq!(s.get(&"k".into()).as_deref(), Some(&Value::Int(1)));
         assert!(UndoLog::new().is_empty());
+    }
+
+    #[test]
+    fn large_write_sets_dedupe_without_rescans() {
+        // 20k writes over 2k distinct keys: would be ~20M key comparisons
+        // with the old linear scan; the hash set keeps it linear.
+        let s = KvStore::new();
+        let mut log = UndoLog::new();
+        for i in 0..20_000u64 {
+            log.put(&s, Key::indexed("k", i % 2_000), Value::Int(i as i64));
+        }
+        assert_eq!(log.len(), 2_000);
+        // First pre-image won for every key.
+        assert_eq!(log.pre_image(&Key::indexed("k", 0)), Some(&None));
+        log.rollback(&s);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn records_expose_key_and_pre_image_in_order() {
+        let s = KvStore::new();
+        s.put("a".into(), Value::Int(1));
+        let mut log = UndoLog::new();
+        log.put(&s, "a".into(), Value::Int(2));
+        log.put(&s, "b".into(), Value::Int(3));
+        let recs = log.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].key.as_str(), "a");
+        assert_eq!(recs[0].previous.as_deref(), Some(&Value::Int(1)));
+        assert_eq!(recs[1].key.as_str(), "b");
+        assert_eq!(recs[1].previous, None);
     }
 
     #[test]

@@ -16,10 +16,11 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use croesus_store::{Key, KvStore, TxnId, UndoLog};
+use croesus_store::{Key, KvStore, TxnId, UndoLog, Value};
 
 /// An apology owed to users affected by a retraction.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,6 +37,10 @@ impl fmt::Display for Apology {
     }
 }
 
+/// The `(key, restored value)` pairs one entry's rollback applied, in
+/// rollback order; `None` deletes the key.
+pub type EntryRestores = Vec<(Key, Option<Arc<Value>>)>;
+
 /// The result of one retraction request.
 #[derive(Clone, Debug, Default)]
 pub struct RetractionReport {
@@ -44,6 +49,11 @@ pub struct RetractionReport {
     pub retracted: Vec<TxnId>,
     /// Apologies generated, one per retracted transaction.
     pub apologies: Vec<Apology>,
+    /// The store restores performed, one element per rolled-back entry in
+    /// rollback order, tagged with the owning transaction. The write-ahead
+    /// log serializes these so replay repeats the exact mutations instead
+    /// of re-deriving the cascade.
+    pub restores: Vec<(TxnId, EntryRestores)>,
 }
 
 impl RetractionReport {
@@ -170,6 +180,15 @@ impl ApologyManager {
             let entry = &mut inner.entries[i];
             entry.retracted = true;
             let undo = std::mem::take(&mut entry.undo);
+            // Rollback restores pre-images in reverse record order.
+            report.restores.push((
+                entry.txn,
+                undo.records()
+                    .iter()
+                    .rev()
+                    .map(|r| (r.key.clone(), r.previous.clone()))
+                    .collect(),
+            ));
             undo.rollback(store);
             let why = if entry.txn == txn {
                 reason.to_string()

@@ -50,6 +50,13 @@
 //! orders conflicting transactions into non-overlapping waves (the paper's
 //! 0%-abort MS-IA configuration), and [`tpc`] two-phase commit for
 //! multi-partition transactions (§4.5).
+//!
+//! Durability: attach a `croesus_wal::Wal` via [`ExecutorCore::with_wal`]
+//! and every protocol logs its stages through the same hook — commit
+//! points at every stage for the releasing protocols, at final commit
+//! only for MS-SR. After a crash, [`recovery`] replays the log and feeds
+//! initially-committed-but-unfinalized transactions through
+//! [`ApologyManager::retract`], so restarts keep the §4.4 contract.
 
 pub mod apology;
 pub mod history;
@@ -58,6 +65,7 @@ pub mod model;
 pub mod ms_ia;
 pub mod ms_sr;
 pub mod protocol;
+pub mod recovery;
 pub mod sequencer;
 pub mod staged;
 pub mod stats;
@@ -75,6 +83,7 @@ pub use protocol::{
     ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, StageBody, StageCtx,
     StageOutcome, TxnHandle,
 };
+pub use recovery::{recover_edge, recover_edge_file, RecoveredEdge};
 pub use sequencer::Sequencer;
 pub use staged::StagedExecutor;
 pub use stats::{ProtocolStats, StatsSnapshot};

@@ -103,7 +103,12 @@ impl TsplExecutor {
                 &mut undo,
                 core.history(),
             );
-            let mut ctx = StageCtx::new(section, core.store(), core.apologies());
+            let mut ctx = StageCtx::new(
+                section,
+                core.store(),
+                core.apologies(),
+                core.wal().map(|w| &**w),
+            );
             body(&mut ctx)
         };
         let output = match out {
@@ -135,6 +140,12 @@ impl TsplExecutor {
             core.record_abort(txn);
             return Err(TxnError::Aborted(e));
         }
+
+        // MS-SR's durable commit point is *final* commit: log this stage's
+        // writes without the commit-point flag, so replay buffers them —
+        // the held locks guarantee no other transaction saw them, and a
+        // crash before final commit legitimately un-happens the whole txn.
+        core.log_stage(&handle, rw, &undo, false, false);
 
         // Initial commit: the response may now be exposed to the client.
         if let Some(h) = core.history() {
@@ -200,7 +211,12 @@ impl TsplExecutor {
                 &mut undo,
                 core.history(),
             );
-            let mut ctx = StageCtx::new(section, core.store(), core.apologies());
+            let mut ctx = StageCtx::new(
+                section,
+                core.store(),
+                core.apologies(),
+                core.wal().map(|w| &**w),
+            );
             body(&mut ctx)
         };
         let output = match out {
@@ -211,6 +227,11 @@ impl TsplExecutor {
                 handle.stage()
             ),
         };
+
+        // Final commit is MS-SR's one durable commit point; intermediate
+        // stages keep buffering (replay applies everything at the final
+        // record).
+        core.log_stage(&handle, rw, &undo, handle.is_final(), false);
 
         if let Some(h) = core.history() {
             h.record_commit(txn, handle.section_kind());

@@ -49,6 +49,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
+use croesus_wal::{RetractRecord, StageFlags, StageRecord, Wal, WriteImage};
 
 use crate::apology::{ApologyManager, RetractionReport};
 use crate::history::{HistoryRecorder, SectionKind};
@@ -129,6 +130,7 @@ pub struct ExecutorCore {
     stats: Arc<ProtocolStats>,
     history: Option<HistoryRecorder>,
     apologies: Arc<ApologyManager>,
+    wal: Option<Arc<Wal>>,
 }
 
 impl ExecutorCore {
@@ -141,6 +143,7 @@ impl ExecutorCore {
             stats: Arc::new(ProtocolStats::new()),
             history: None,
             apologies: Arc::new(ApologyManager::new()),
+            wal: None,
         }
     }
 
@@ -148,6 +151,26 @@ impl ExecutorCore {
     #[must_use]
     pub fn with_history(mut self, history: HistoryRecorder) -> Self {
         self.history = Some(history);
+        self
+    }
+
+    /// Attach a write-ahead log: every protocol logs its stages through
+    /// the same hook (the crate-internal `log_stage`), differing only in
+    /// which stage carries the durable commit point — every stage under
+    /// the lock-releasing protocols, final commit only under MS-SR.
+    /// Without a WAL attached, execution is byte-identical with the
+    /// pre-durability system.
+    #[must_use]
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Start from an already-populated apology manager (the crash-recovery
+    /// path re-registers the entries rebuilt from the log).
+    #[must_use]
+    pub fn with_apologies(mut self, apologies: Arc<ApologyManager>) -> Self {
+        self.apologies = apologies;
         self
     }
 
@@ -174,6 +197,62 @@ impl ExecutorCore {
     /// The apology manager.
     pub fn apologies(&self) -> &Arc<ApologyManager> {
         &self.apologies
+    }
+
+    /// The write-ahead log, if durability is enabled.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// The shared durability hook: serialize one executed stage — its
+    /// write images (pre + post) and commit metadata — into the WAL. Runs
+    /// while the stage's locks are still held, so the log order equals the
+    /// commit order. At a commit point the group-commit policy decides
+    /// whether this call pays the sync, and the checkpoint schedule may
+    /// fold the log down to a snapshot (the commit path is the documented
+    /// quiescent point for checkpoints).
+    pub(crate) fn log_stage(
+        &self,
+        handle: &TxnHandle,
+        rw: &RwSet,
+        undo: &UndoLog,
+        commit_point: bool,
+        register: bool,
+    ) {
+        let Some(wal) = &self.wal else { return };
+        let images: Vec<WriteImage> = undo
+            .records()
+            .iter()
+            .map(|r| WriteImage {
+                key: r.key.clone(),
+                pre: r.previous.clone(),
+                post: self.store.get(&r.key),
+            })
+            .collect();
+        let mut flags = 0u8;
+        if commit_point {
+            flags |= StageFlags::COMMIT_POINT;
+        }
+        if handle.is_final() {
+            flags |= StageFlags::FINAL;
+        }
+        if register {
+            flags |= StageFlags::REGISTER;
+        }
+        wal.append_stage(StageRecord {
+            txn: handle.txn(),
+            stage: handle.stage() as u32,
+            total: handle.total_stages() as u32,
+            flags: StageFlags(flags),
+            reads: rw.reads.clone(),
+            writes: rw.writes.clone(),
+            images,
+        })
+        .expect("WAL append failed — durability cannot be guaranteed");
+        if commit_point {
+            wal.maybe_checkpoint()
+                .expect("WAL checkpoint failed — durability cannot be guaranteed");
+        }
     }
 
     /// Record an abort in the history and statistics.
@@ -245,7 +324,7 @@ impl ExecutorCore {
         let mut undo = UndoLog::new();
         let out = {
             let section = SectionCtx::new(txn, kind, &self.store, rw, &mut undo, self.history());
-            let mut ctx = StageCtx::new(section, &self.store, &self.apologies);
+            let mut ctx = StageCtx::new(section, &self.store, &self.apologies, self.wal.as_deref());
             body(&mut ctx)
         };
         let output = match out {
@@ -262,6 +341,16 @@ impl ExecutorCore {
                 handle.stage()
             ),
         };
+
+        // Under the lock-releasing disciplines every stage is a durable
+        // commit point — stage 0 *is* the initial commit the client sees.
+        self.log_stage(
+            &handle,
+            rw,
+            &undo,
+            true,
+            !handle.is_final() || register_final_guess,
+        );
 
         if let Some(h) = &self.history {
             h.record_commit(txn, kind);
@@ -413,6 +502,7 @@ pub struct StageCtx<'a> {
     section: SectionCtx<'a>,
     store: &'a KvStore,
     apologies: &'a ApologyManager,
+    wal: Option<&'a Wal>,
     reports: Vec<RetractionReport>,
 }
 
@@ -421,11 +511,13 @@ impl<'a> StageCtx<'a> {
         section: SectionCtx<'a>,
         store: &'a KvStore,
         apologies: &'a ApologyManager,
+        wal: Option<&'a Wal>,
     ) -> Self {
         StageCtx {
             section,
             store,
             apologies,
+            wal,
             reports: Vec::new(),
         }
     }
@@ -436,9 +528,19 @@ impl<'a> StageCtx<'a> {
     }
 
     /// Retract a transaction's committed stage effects (cascading to
-    /// dependents), usually this transaction's own earlier guess.
+    /// dependents), usually this transaction's own earlier guess. With
+    /// durability on, the store restores are logged (one record per
+    /// rolled-back entry, in rollback order) so replay repeats them
+    /// byte-for-byte; their durability rides this stage's commit flush.
     pub fn retract(&mut self, txn: TxnId, reason: &str) -> RetractionReport {
         let report = self.apologies.retract(txn, self.store, reason);
+        if let Some(wal) = self.wal {
+            wal.append_retracts(report.restores.iter().map(|(txn, restores)| RetractRecord {
+                txn: *txn,
+                restores: restores.clone(),
+            }))
+            .expect("WAL append failed — durability cannot be guaranteed");
+        }
         self.reports.push(report.clone());
         report
     }

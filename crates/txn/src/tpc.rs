@@ -10,10 +10,19 @@
 //!
 //! Participants here are in-process [`Partition`]s; the [`Participant`]
 //! trait allows tests to inject failures (a participant voting no).
+//!
+//! With a WAL attached ([`Coordinator::with_wal`]), the coordinator logs
+//! its phase-1 decision — durably, before any participant enters phase 2.
+//! A coordinator crash between the two phases then leaves participants
+//! prepared (locks held, writes staged) but *not* in doubt: recovery
+//! reads the decision record and finishes phase 2 via
+//! [`Coordinator::resolve_in_doubt`]. No decision record means phase 1
+//! never completed, and presumed-abort applies.
 
 use std::sync::Arc;
 
 use croesus_store::{Key, Partition, PartitionMap, TxnId, UndoLog, Value};
+use croesus_wal::Wal;
 
 /// A participant's prepare vote.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +111,7 @@ pub type ParticipantWrites<'a> = (&'a dyn Participant, &'a [(Key, Value)]);
 /// The coordinator: runs 2PC over the partitions owning a write set.
 pub struct Coordinator {
     partitions: Arc<PartitionMap>,
+    wal: Option<Arc<Wal>>,
 }
 
 /// Result of a coordinated commit.
@@ -122,7 +132,52 @@ pub enum TpcOutcome {
 impl Coordinator {
     /// Create a coordinator over a partition map.
     pub fn new(partitions: Arc<PartitionMap>) -> Self {
-        Coordinator { partitions }
+        Coordinator {
+            partitions,
+            wal: None,
+        }
+    }
+
+    /// Log phase-1 decisions to a WAL (synced before phase 2 starts).
+    #[must_use]
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    fn log_decision(&self, txn: TxnId, commit: bool) {
+        if let Some(wal) = &self.wal {
+            wal.append_tpc_decision(txn, commit)
+                .expect("WAL append failed — the 2PC decision must be durable before phase 2");
+        }
+    }
+
+    /// Finish phase 2 for an in-doubt transaction after a coordinator
+    /// crash: `decision` is what recovery found in the coordinator's log
+    /// (`Some(true)` = commit everywhere; `Some(false)` or `None` =
+    /// presumed abort — no durable commit decision means phase 1 never
+    /// completed, so aborting cannot contradict any acknowledged commit).
+    pub fn resolve_in_doubt<'a>(
+        decision: Option<bool>,
+        txn: TxnId,
+        participants: impl IntoIterator<Item = &'a dyn Participant>,
+    ) -> TpcOutcome {
+        let participants: Vec<&dyn Participant> = participants.into_iter().collect();
+        if decision == Some(true) {
+            for p in &participants {
+                p.commit(txn);
+            }
+            TpcOutcome::Committed {
+                participants: participants.len(),
+            }
+        } else {
+            for p in &participants {
+                p.abort(txn);
+            }
+            TpcOutcome::Aborted {
+                voted: participants.len(),
+            }
+        }
     }
 
     /// Atomically apply `writes`, which may span partitions.
@@ -153,6 +208,37 @@ impl Coordinator {
         )
     }
 
+    /// Phase 1 only: collect votes and (with a WAL) durably log the
+    /// decision. `Ok(())` means every participant is prepared and the
+    /// commit decision is logged — phase 2 may run now, or after a
+    /// coordinator crash via [`resolve_in_doubt`](Self::resolve_in_doubt).
+    /// `Err(voted)` means some participant refused; everyone who had
+    /// already staged is rolled back here (their locks released), and the
+    /// abort decision is logged.
+    pub fn run_phase1(
+        &self,
+        txn: TxnId,
+        participants: &[ParticipantWrites<'_>],
+    ) -> Result<(), usize> {
+        let mut voted = 0;
+        for (p, writes) in participants {
+            match p.prepare(txn, writes) {
+                Vote::Yes => voted += 1,
+                Vote::No => {
+                    self.log_decision(txn, false);
+                    // Abort everyone who already voted: staged writes roll
+                    // back and every prepared lock is released.
+                    for (q, _) in participants.iter().take(voted) {
+                        q.abort(txn);
+                    }
+                    return Err(voted);
+                }
+            }
+        }
+        self.log_decision(txn, true);
+        Ok(())
+    }
+
     /// Run 2PC over explicit participants (for failure-injection tests).
     pub fn run<'a>(
         &self,
@@ -160,26 +246,17 @@ impl Coordinator {
         participants: impl IntoIterator<Item = ParticipantWrites<'a>>,
     ) -> TpcOutcome {
         let participants: Vec<ParticipantWrites<'a>> = participants.into_iter().collect();
-        // Phase 1: collect votes.
-        let mut voted = 0;
-        for (p, writes) in &participants {
-            match p.prepare(txn, writes) {
-                Vote::Yes => voted += 1,
-                Vote::No => {
-                    // Phase 2: abort everyone who already voted.
-                    for (q, _) in participants.iter().take(voted) {
-                        q.abort(txn);
-                    }
-                    return TpcOutcome::Aborted { voted };
+        match self.run_phase1(txn, &participants) {
+            Ok(()) => {
+                // Phase 2: commit everywhere.
+                for (p, _) in &participants {
+                    p.commit(txn);
+                }
+                TpcOutcome::Committed {
+                    participants: participants.len(),
                 }
             }
-        }
-        // Phase 2: commit everywhere.
-        for (p, _) in &participants {
-            p.commit(txn);
-        }
-        TpcOutcome::Committed {
-            participants: participants.len(),
+            Err(voted) => TpcOutcome::Aborted { voted },
         }
     }
 }
@@ -285,6 +362,133 @@ mod tests {
             "good participant's staged write must be rolled back"
         );
         assert_eq!(part.locks.locked_keys(), 0);
+    }
+
+    #[test]
+    fn coordinator_crash_after_yes_votes_recovers_via_wal_decision() {
+        use croesus_wal::{Wal, WalConfig};
+
+        let pm = map();
+        let (wal, probe) = Wal::in_memory(WalConfig::group(64));
+        let coord = Coordinator::new(Arc::clone(&pm)).with_wal(Arc::new(wal));
+        let ws = writes(20);
+
+        // Phase 1 completes: every participant voted Yes (locks held,
+        // writes staged) and the commit decision hit the log.
+        let keys: Vec<Key> = ws.iter().map(|(k, _)| k.clone()).collect();
+        let groups = pm.group_by_partition(keys.iter());
+        let participants: Vec<(PartitionParticipant, Vec<(Key, Value)>)> = groups
+            .into_iter()
+            .map(|(pid, keys)| {
+                let part = Arc::clone(pm.get(pid).unwrap());
+                let w: Vec<(Key, Value)> = ws
+                    .iter()
+                    .filter(|(k, _)| keys.contains(k))
+                    .cloned()
+                    .collect();
+                (PartitionParticipant::new(part), w)
+            })
+            .collect();
+        assert!(participants.len() > 1, "the write set must span partitions");
+        let pw: Vec<ParticipantWrites<'_>> = participants
+            .iter()
+            .map(|(p, w)| (p as &dyn Participant, w.as_slice()))
+            .collect();
+        assert!(coord.run_phase1(TxnId(7), &pw).is_ok());
+
+        // Coordinator crashes before phase 2: participants sit prepared.
+        drop(coord);
+        for p in pm.partitions() {
+            assert!(
+                p.locks.locked_keys() > 0 || !ws.iter().any(|(k, _)| pm.partition_of(k).id == p.id),
+                "prepared participants still hold their locks"
+            );
+        }
+
+        // Recovery: the decision record is durable (append_tpc_decision
+        // syncs unconditionally, even under a lazy group-commit policy).
+        let report = croesus_wal::recover(&probe.durable());
+        assert_eq!(report.tpc_decisions, vec![(TxnId(7), true)]);
+
+        // A new coordinator epoch finishes phase 2 from the record.
+        let outcome = Coordinator::resolve_in_doubt(
+            report
+                .tpc_decisions
+                .iter()
+                .find(|(t, _)| *t == TxnId(7))
+                .map(|(_, c)| *c),
+            TxnId(7),
+            pw.iter().map(|(p, _)| *p),
+        );
+        assert!(matches!(outcome, TpcOutcome::Committed { .. }));
+        for (k, v) in &ws {
+            assert_eq!(pm.partition_of(k).store.get(k).as_deref(), Some(&v.clone()));
+        }
+        for p in pm.partitions() {
+            assert_eq!(p.locks.locked_keys(), 0, "every prepared lock released");
+        }
+    }
+
+    #[test]
+    fn in_doubt_txn_without_decision_record_presumes_abort() {
+        let pm = map();
+        let ws = writes(8);
+        let part = Arc::clone(&pm.partitions()[0]);
+        let participant = PartitionParticipant::new(Arc::clone(&part));
+        assert_eq!(participant.prepare(TxnId(5), &ws), Vote::Yes);
+        assert!(part.locks.locked_keys() > 0);
+
+        // No WAL decision found for TxnId(5): presumed abort.
+        let outcome =
+            Coordinator::resolve_in_doubt(None, TxnId(5), [&participant as &dyn Participant]);
+        assert!(matches!(outcome, TpcOutcome::Aborted { .. }));
+        for (k, _) in &ws {
+            assert_eq!(part.store.get(k), None, "staged write rolled back at {k}");
+        }
+        assert_eq!(part.locks.locked_keys(), 0);
+    }
+
+    #[test]
+    fn abort_after_partial_prepare_releases_all_staged_locks() {
+        // Two participants vote Yes (staging writes, holding locks), the
+        // third refuses: phase 1 must leave zero locks held anywhere and
+        // no staged write visible.
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let a = PartitionParticipant::new(Arc::clone(&pm.partitions()[0]));
+        let b = PartitionParticipant::new(Arc::clone(&pm.partitions()[1]));
+        let bad = Refusenik;
+        let ws_a: Vec<(Key, Value)> = vec![("a/1".into(), Value::Int(1))];
+        let ws_b: Vec<(Key, Value)> = vec![("b/1".into(), Value::Int(2))];
+        let pw: Vec<ParticipantWrites<'_>> = vec![
+            (&a as &dyn Participant, ws_a.as_slice()),
+            (&b as &dyn Participant, ws_b.as_slice()),
+            (&bad as &dyn Participant, &[]),
+        ];
+        assert_eq!(coord.run_phase1(TxnId(9), &pw), Err(2));
+        for p in pm.partitions() {
+            assert_eq!(
+                p.locks.locked_keys(),
+                0,
+                "partition {:?} leaked locks",
+                p.id
+            );
+        }
+        assert_eq!(pm.partitions()[0].store.get(&"a/1".into()), None);
+        assert_eq!(pm.partitions()[1].store.get(&"b/1".into()), None);
+    }
+
+    #[test]
+    fn abort_decision_is_logged_too() {
+        use croesus_wal::{Wal, WalConfig};
+        let pm = map();
+        let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        let coord = Coordinator::new(Arc::clone(&pm)).with_wal(Arc::new(wal));
+        let bad = Refusenik;
+        let pw: Vec<ParticipantWrites<'_>> = vec![(&bad as &dyn Participant, &[])];
+        assert!(coord.run_phase1(TxnId(4), &pw).is_err());
+        let report = croesus_wal::recover(&probe.durable());
+        assert_eq!(report.tpc_decisions, vec![(TxnId(4), false)]);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Deployment-level durability selection.
+//!
+//! [`DurabilityMode`] is what `Croesus::builder().durability(..)` takes:
+//! it names a directory and a flush discipline, and the builder opens one
+//! log per edge node (`edge-<i>.wal`) — per-edge logs because each edge
+//! owns its partition of the data (§4.5) and recovers independently.
+
+use std::io;
+use std::path::PathBuf;
+
+use crate::writer::{Wal, WalConfig};
+
+/// How (and whether) a deployment logs transactions durably.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// No logging at all — byte-identical behaviour with the pre-WAL
+    /// system. The default.
+    #[default]
+    Disabled,
+    /// Log with group commit: one durable sync per `group` commit points.
+    GroupCommit {
+        /// Directory holding the per-edge log files.
+        dir: PathBuf,
+        /// Commit points per sync (≥ 1).
+        group: usize,
+    },
+    /// Log with a sync at every commit point (group size 1).
+    Strict {
+        /// Directory holding the per-edge log files.
+        dir: PathBuf,
+    },
+    /// Log without syncing on commit: durable only at checkpoints and
+    /// explicit flushes (the largest loss window, the fewest syncs).
+    Buffered {
+        /// Directory holding the per-edge log files.
+        dir: PathBuf,
+    },
+}
+
+impl DurabilityMode {
+    /// Group commit in `dir` with the default group size.
+    #[must_use]
+    pub fn group_commit(dir: impl Into<PathBuf>) -> Self {
+        DurabilityMode::GroupCommit {
+            dir: dir.into(),
+            group: WalConfig::default().group_commit,
+        }
+    }
+
+    /// Whether logging is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, DurabilityMode::Disabled)
+    }
+
+    /// The log file path for edge `i`, if logging is enabled.
+    #[must_use]
+    pub fn edge_log_path(&self, edge: usize) -> Option<PathBuf> {
+        let dir = match self {
+            DurabilityMode::Disabled => return None,
+            DurabilityMode::GroupCommit { dir, .. }
+            | DurabilityMode::Strict { dir }
+            | DurabilityMode::Buffered { dir } => dir,
+        };
+        Some(dir.join(format!("edge-{edge}.wal")))
+    }
+
+    /// The writer configuration this mode implies.
+    #[must_use]
+    pub fn wal_config(&self) -> WalConfig {
+        match self {
+            DurabilityMode::Disabled => WalConfig::default(),
+            DurabilityMode::Strict { .. } => WalConfig::strict(),
+            DurabilityMode::GroupCommit { group, .. } => WalConfig::group(*group),
+            DurabilityMode::Buffered { .. } => WalConfig {
+                group_commit: usize::MAX,
+                ..WalConfig::default()
+            },
+        }
+    }
+
+    /// Open a fresh log for edge `i` (truncating a previous one — recover
+    /// from it first if its contents matter). `Ok(None)` when disabled.
+    pub fn open_edge_wal(&self, edge: usize) -> io::Result<Option<Wal>> {
+        match self.edge_log_path(edge) {
+            None => Ok(None),
+            Some(path) => Ok(Some(Wal::create(path, self.wal_config())?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_default_and_opens_nothing() {
+        let mode = DurabilityMode::default();
+        assert!(!mode.is_enabled());
+        assert_eq!(mode.edge_log_path(0), None);
+        assert!(mode.open_edge_wal(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn modes_map_to_configs() {
+        let dir = PathBuf::from("/tmp/x");
+        assert_eq!(
+            DurabilityMode::Strict { dir: dir.clone() }.wal_config(),
+            WalConfig::strict()
+        );
+        assert_eq!(
+            DurabilityMode::GroupCommit {
+                dir: dir.clone(),
+                group: 16
+            }
+            .wal_config()
+            .group_commit,
+            16
+        );
+        assert_eq!(
+            DurabilityMode::Buffered { dir: dir.clone() }
+                .wal_config()
+                .group_commit,
+            usize::MAX
+        );
+        assert_eq!(
+            DurabilityMode::group_commit(&dir).edge_log_path(3),
+            Some(dir.join("edge-3.wal"))
+        );
+    }
+
+    #[test]
+    fn open_edge_wal_creates_the_file() {
+        let dir = crate::storage::scratch_dir("mode-test");
+        let mode = DurabilityMode::Strict { dir: dir.clone() };
+        let wal = mode.open_edge_wal(2).unwrap().unwrap();
+        wal.flush().unwrap();
+        assert!(dir.join("edge-2.wal").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,435 @@
+//! The append-side of the log: group commit, checkpoint scheduling,
+//! truncation.
+//!
+//! # Group commit
+//!
+//! Every record is appended (buffered) immediately, but the
+//! fsync-equivalent [`Storage::sync`] runs only when
+//! [`WalConfig::group_commit`] commit points have accumulated — one
+//! durable flush amortized over a batch of transactions, the classic
+//! group-commit trade: bounded loss window (the unsynced tail) for an
+//! order-of-magnitude fewer syncs. `group_commit = 1` is strict mode
+//! (sync at every commit point); `usize::MAX` never syncs on commit and
+//! relies on checkpoints / [`Wal::flush`].
+//!
+//! # Checkpoints
+//!
+//! The writer mirrors its own log through the shared
+//! [`RecoveryState`] machine *with a shadow store attached* — the exact
+//! committed state a from-genesis replay of the log would produce,
+//! maintained incrementally under the writer mutex (cheap: the shadow
+//! store's `Arc<Value>`s alias the live store's allocations). A
+//! checkpoint is therefore a pure serialization of writer-internal
+//! state, written as one record that *replaces* the log
+//! ([`Storage::reset`]) — truncation and checkpoint are the same atomic
+//! step, and it is consistent even while other threads are mid-stage on
+//! the live store (their uncommitted writes exist only there, never in
+//! the shadow). [`Wal::maybe_checkpoint`] runs one every
+//! [`WalConfig::checkpoint_every`] commit points; the executors call it
+//! from the commit path.
+
+use std::io;
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use croesus_store::{KvStore, TxnId};
+
+use crate::frame::write_frame;
+use crate::record::{RetractRecord, StageRecord, WalRecord};
+use crate::recover::RecoveryState;
+use crate::storage::{FileStorage, MemStorage, Storage};
+
+/// Writer tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Commit points per durable sync (1 = strict, `usize::MAX` = only
+    /// explicit flushes and checkpoints).
+    pub group_commit: usize,
+    /// Commit points between automatic checkpoints (0 = never).
+    pub checkpoint_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            group_commit: 8,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+impl WalConfig {
+    /// Strict durability: sync at every commit point.
+    #[must_use]
+    pub fn strict() -> Self {
+        WalConfig {
+            group_commit: 1,
+            ..WalConfig::default()
+        }
+    }
+
+    /// Group commit with the given batch size.
+    #[must_use]
+    pub fn group(group_commit: usize) -> Self {
+        assert!(group_commit >= 1, "group size must be at least 1");
+        WalConfig {
+            group_commit,
+            ..WalConfig::default()
+        }
+    }
+}
+
+/// Counters exposed for benches and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub records: u64,
+    /// Commit points among them.
+    pub commit_points: u64,
+    /// Durable syncs performed (group commit amortizes these).
+    pub syncs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Bytes handed to storage (excluding checkpoint rewrites).
+    pub bytes_appended: u64,
+}
+
+struct WalInner {
+    storage: Box<dyn Storage>,
+    config: WalConfig,
+    shadow: RecoveryState,
+    /// The committed state at the log tip — what replaying the log now
+    /// would rebuild. Values alias the live store's `Arc`s.
+    shadow_store: KvStore,
+    unsynced_commits: usize,
+    commits_since_checkpoint: u64,
+    stats: WalStats,
+}
+
+/// A per-edge write-ahead log. Thread-safe; share via `Arc`.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// A log over any storage backend.
+    #[must_use]
+    pub fn with_storage(storage: Box<dyn Storage>, config: WalConfig) -> Self {
+        Wal {
+            inner: Mutex::new(WalInner {
+                storage,
+                config,
+                shadow: RecoveryState::new(),
+                shadow_store: KvStore::new(),
+                unsynced_commits: 0,
+                commits_since_checkpoint: 0,
+                stats: WalStats::default(),
+            }),
+        }
+    }
+
+    /// A fresh file-backed log at `path` (truncates an existing file —
+    /// recover from it *first* via [`crate::recover_file`]).
+    pub fn create(path: impl AsRef<Path>, config: WalConfig) -> io::Result<Self> {
+        Ok(Wal::with_storage(
+            Box::new(FileStorage::create(path.as_ref())?),
+            config,
+        ))
+    }
+
+    /// A fresh in-memory log; the returned [`MemStorage`] handle shares
+    /// the device, for crash simulation.
+    #[must_use]
+    pub fn in_memory(config: WalConfig) -> (Self, MemStorage) {
+        let probe = MemStorage::new();
+        let wal = Wal::with_storage(Box::new(probe.clone()), config);
+        (wal, probe)
+    }
+
+    fn append_record(inner: &mut WalInner, record: &WalRecord) -> io::Result<()> {
+        let mut framed = Vec::with_capacity(64);
+        write_frame(&mut framed, &record.encode());
+        inner.storage.append(&framed)?;
+        // Split-borrow: fold into the shadow state *and* shadow store.
+        let WalInner {
+            shadow,
+            shadow_store,
+            ..
+        } = inner;
+        shadow.apply(record, Some(shadow_store));
+        inner.stats.records += 1;
+        inner.stats.bytes_appended += framed.len() as u64;
+        Ok(())
+    }
+
+    fn commit_point(inner: &mut WalInner) -> io::Result<()> {
+        inner.stats.commit_points += 1;
+        inner.commits_since_checkpoint += 1;
+        inner.unsynced_commits += 1;
+        if inner.unsynced_commits >= inner.config.group_commit {
+            inner.storage.sync()?;
+            inner.stats.syncs += 1;
+            inner.unsynced_commits = 0;
+        }
+        Ok(())
+    }
+
+    /// Log one executed stage. If the record is a commit point, the
+    /// group-commit policy decides whether this call pays the sync.
+    pub fn append_stage(&self, record: StageRecord) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let is_commit = record.flags.commit_point();
+        Self::append_record(&mut inner, &WalRecord::Stage(record))?;
+        if is_commit {
+            Self::commit_point(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Log the retraction of apology entries (one record per entry, in
+    /// rollback order). Durability rides the enclosing stage's commit.
+    pub fn append_retracts(
+        &self,
+        retracts: impl IntoIterator<Item = RetractRecord>,
+    ) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        for r in retracts {
+            Self::append_record(&mut inner, &WalRecord::Retract(r))?;
+        }
+        Ok(())
+    }
+
+    /// Log a 2PC coordinator decision and sync *immediately* — the
+    /// decision must be durable before any participant enters phase 2,
+    /// or a coordinator crash leaves them in doubt forever.
+    pub fn append_tpc_decision(&self, txn: TxnId, commit: bool) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        Self::append_record(&mut inner, &WalRecord::TpcDecision { txn, commit })?;
+        inner.storage.sync()?;
+        inner.stats.syncs += 1;
+        inner.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Force the durable boundary forward over everything appended.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        inner.storage.sync()?;
+        inner.stats.syncs += 1;
+        inner.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Whether enough commit points accumulated for an automatic
+    /// checkpoint.
+    #[must_use]
+    pub fn wants_checkpoint(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.config.checkpoint_every > 0
+            && inner.commits_since_checkpoint >= inner.config.checkpoint_every
+    }
+
+    /// Take a checkpoint now: serialize the shadow store + replay state
+    /// into one record and truncate the log to it (atomically, synced).
+    /// Consistent under concurrency — the snapshot comes from the
+    /// writer's own shadow of the log, never from the live store.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let cp = inner.shadow.to_checkpoint(&inner.shadow_store);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &WalRecord::Checkpoint(Box::new(cp)).encode());
+        inner.storage.reset(&framed)?;
+        inner.stats.checkpoints += 1;
+        inner.stats.syncs += 1;
+        inner.commits_since_checkpoint = 0;
+        inner.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Checkpoint if the schedule says so (call from the commit path).
+    pub fn maybe_checkpoint(&self) -> io::Result<bool> {
+        if self.wants_checkpoint() {
+            self.checkpoint()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        self.inner.lock().stats
+    }
+
+    /// Bytes appended to the current log (post-truncation).
+    #[must_use]
+    pub fn log_len(&self) -> u64 {
+        self.inner.lock().storage.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{StageFlags, WriteImage};
+    use crate::recover::recover;
+    use croesus_store::{Key, Value};
+    use std::sync::Arc;
+
+    fn stage_record(txn: u64, stage: u32, flags: u8, key: &str, post: i64) -> StageRecord {
+        StageRecord {
+            txn: TxnId(txn),
+            stage,
+            total: 2,
+            flags: StageFlags(flags),
+            reads: vec![],
+            writes: vec![Key::new(key)],
+            images: vec![WriteImage {
+                key: Key::new(key),
+                pre: None,
+                post: Some(Arc::new(Value::Int(post))),
+            }],
+        }
+    }
+
+    const CP: u8 = StageFlags::COMMIT_POINT;
+    const FIN: u8 = StageFlags::FINAL;
+    const REG: u8 = StageFlags::REGISTER;
+
+    #[test]
+    fn group_commit_amortizes_syncs() {
+        let (wal, probe) = Wal::in_memory(WalConfig::group(4));
+        for i in 0..8u64 {
+            wal.append_stage(stage_record(i, 0, CP, "k", i as i64))
+                .unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.commit_points, 8);
+        assert_eq!(stats.syncs, 2, "4-commit groups → 2 syncs for 8 commits");
+        assert_eq!(probe.unsynced_len(), 0);
+    }
+
+    #[test]
+    fn strict_mode_syncs_every_commit() {
+        let (wal, _) = Wal::in_memory(WalConfig::strict());
+        for i in 0..5u64 {
+            wal.append_stage(stage_record(i, 0, CP, "k", 0)).unwrap();
+        }
+        assert_eq!(wal.stats().syncs, 5);
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_synced_prefix_survives() {
+        let (wal, probe) = Wal::in_memory(WalConfig::group(2));
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        wal.append_stage(stage_record(2, 0, CP, "b", 2)).unwrap(); // sync here
+        wal.append_stage(stage_record(3, 0, CP, "c", 3)).unwrap(); // buffered
+        let crash = probe.durable();
+        let r = recover(&crash);
+        assert!(r.store.contains(&"a".into()));
+        assert!(r.store.contains(&"b".into()));
+        assert!(
+            !r.store.contains(&"c".into()),
+            "the unsynced commit is inside the group-commit loss window"
+        );
+        wal.flush().unwrap();
+        let r = recover(&probe.durable());
+        assert!(r.store.contains(&"c".into()));
+    }
+
+    #[test]
+    fn non_commit_records_do_not_trigger_sync() {
+        let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        wal.append_stage(stage_record(1, 0, 0, "a", 1)).unwrap(); // MS-SR early stage
+        assert_eq!(wal.stats().syncs, 0);
+        assert!(probe.unsynced_len() > 0);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_continues_from_it() {
+        let (wal, probe) = Wal::in_memory(WalConfig::group(1));
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        wal.append_stage(StageRecord {
+            images: vec![WriteImage {
+                key: "a".into(),
+                pre: Some(Arc::new(Value::Int(1))),
+                post: Some(Arc::new(Value::Int(2))),
+            }],
+            ..stage_record(1, 1, CP | FIN, "a", 2)
+        })
+        .unwrap();
+        let before = wal.log_len();
+        // The checkpoint serializes the writer's own shadow of the log —
+        // no live store involved.
+        wal.checkpoint().unwrap();
+        assert!(wal.log_len() < before, "checkpoint shrank the log");
+        // More activity after the checkpoint. Stage 0 registers its
+        // footprint, like every real lock-releasing initial commit.
+        wal.append_stage(stage_record(2, 0, CP | REG, "b", 9))
+            .unwrap();
+        let r = recover(&probe.durable());
+        assert_eq!(r.store.get(&"a".into()).as_deref(), Some(&Value::Int(2)));
+        assert_eq!(r.store.get(&"b".into()).as_deref(), Some(&Value::Int(9)));
+        assert_eq!(r.unfinalized, vec![TxnId(2)]);
+        assert_eq!(r.finalized, 1, "the finalized count survives truncation");
+    }
+
+    #[test]
+    fn auto_checkpoint_schedule_fires() {
+        let config = WalConfig {
+            group_commit: 1,
+            checkpoint_every: 3,
+        };
+        let (wal, _) = Wal::in_memory(config);
+        for i in 0..7u64 {
+            wal.append_stage(stage_record(i, 0, CP | FIN, "k", 0))
+                .unwrap();
+            wal.maybe_checkpoint().unwrap();
+        }
+        assert_eq!(wal.stats().checkpoints, 2, "commits 3 and 6 checkpoint");
+    }
+
+    #[test]
+    fn checkpoint_mid_stage_on_another_thread_stays_committed_only() {
+        // A concurrent thread has mutated the live store mid-stage (its
+        // record not yet appended). The checkpoint must not see it: the
+        // snapshot comes from the shadow store, which only moves at
+        // appended commit points.
+        let (wal, probe) = Wal::in_memory(WalConfig::group(1));
+        wal.append_stage(stage_record(1, 0, CP | FIN, "committed", 1))
+            .unwrap();
+        // (The live store — with some other thread's uncommitted write —
+        // is simply never consulted; there is nothing to pass in.)
+        wal.checkpoint().unwrap();
+        let r = recover(&probe.durable());
+        assert_eq!(
+            r.store.get(&"committed".into()).as_deref(),
+            Some(&Value::Int(1))
+        );
+        assert_eq!(r.store.len(), 1, "only logged commits reach checkpoints");
+    }
+
+    #[test]
+    fn tpc_decision_is_synced_immediately() {
+        let (wal, probe) = Wal::in_memory(WalConfig::group(1000));
+        wal.append_tpc_decision(TxnId(77), true).unwrap();
+        let r = recover(&probe.durable());
+        assert_eq!(r.tpc_decisions, vec![(TxnId(77), true)]);
+    }
+
+    #[test]
+    fn file_backed_wal_survives_a_real_roundtrip() {
+        let dir = crate::storage::scratch_dir("writer-test");
+        let path = dir.join("edge-0.wal");
+        let wal = Wal::create(&path, WalConfig::strict()).unwrap();
+        wal.append_stage(stage_record(1, 0, CP | REG, "k", 42))
+            .unwrap();
+        drop(wal);
+        let r = crate::recover::recover_file(&path).unwrap();
+        assert_eq!(r.store.get(&"k".into()).as_deref(), Some(&Value::Int(42)));
+        assert_eq!(r.unfinalized, vec![TxnId(1)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -10,10 +10,13 @@
 //! * [`detect`] — simulated CNN detectors (Tiny-YOLOv3 / YOLOv3 profiles)
 //!   and accuracy evaluation.
 //! * [`store`] — key-value store, lock manager, undo log, partitions.
+//! * [`wal`] — per-edge write-ahead log: CRC-framed records, group
+//!   commit, checkpoints, crash recovery.
 //! * [`txn`] — the multi-stage transaction model behind one
 //!   `MultiStageProtocol` trait: MS-SR (TSPL), MS-IA and the generalized
 //!   staged discipline over a shared `ExecutorCore`, plus apologies,
-//!   sequencer, two-phase commit, and history checkers.
+//!   sequencer, two-phase commit, history checkers, and apology-aware
+//!   crash recovery (`txn::recovery`).
 //! * [`net`] — edge-cloud network links, payload/compression models, cost.
 //! * [`core`] — the Croesus system: the `Croesus` deployment builder
 //!   (pipeline + baselines, any protocol, any edge-fleet size), edge/cloud
@@ -30,3 +33,4 @@ pub use croesus_sim as sim;
 pub use croesus_store as store;
 pub use croesus_txn as txn;
 pub use croesus_video as video;
+pub use croesus_wal as wal;

@@ -1,0 +1,324 @@
+//! Lincheck-style concurrent conformance tests: threads submit stages
+//! against each protocol, and the *observed* history is checked against a
+//! sequential specification by searching for a valid linearization
+//! (pattern after `SmnTin/lincheck`'s `LinearizabilityChecker`: DFS over
+//! interleavings, executing a sequential spec and matching each
+//! invocation's recorded result).
+//!
+//! The workload is a two-account transfer. Every stage atomically reads
+//! both balances (the recorded observation) and moves one unit between
+//! them, so the sequential spec is exact: an operation is admissible only
+//! when its observation equals the spec state. A stage that executed
+//! non-atomically (torn writes, reads outside the locks) would record an
+//! observation no interleaving can produce, and the search would fail.
+//!
+//! Granularity is the protocols' own promise (§4):
+//!
+//! * **MS-IA / staged** release locks between stages — each *stage* is an
+//!   atomic operation; stages of different transactions may interleave.
+//! * **MS-SR** makes a transaction's sections appear back-to-back in the
+//!   serial order, so both stages form one *composite* operation — if the
+//!   executor wrongly released locks between stages, a foreign stage
+//!   could slip in between and the txn-granularity search would fail.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use croesus::store::{KvStore, LockManager, TxnId, Value};
+use croesus::txn::{
+    ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, RwSet, StageCtx,
+    TxnError,
+};
+
+const ACCT_A: &str = "acct/a";
+const ACCT_B: &str = "acct/b";
+const INIT_A: i64 = 100;
+const INIT_B: i64 = 0;
+
+/// One atomic operation of the sequential spec: what the stage observed
+/// and the transfer it applied.
+#[derive(Clone, Copy, Debug)]
+struct AtomicOp {
+    observed: (i64, i64),
+    moved: i64, // units moved a → b
+}
+
+/// One invocation as the checker schedules it: a group of atomic ops that
+/// must execute back-to-back (len 1 = stage granularity; len 2 = a whole
+/// MS-SR transaction).
+type Composite = Vec<AtomicOp>;
+
+/// Sequential spec state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Accounts {
+    a: i64,
+    b: i64,
+}
+
+impl Accounts {
+    /// Execute a composite against the spec: every op's observation must
+    /// equal the state it runs in.
+    fn exec(mut self, comp: &Composite) -> Option<Accounts> {
+        for op in comp {
+            if (self.a, self.b) != op.observed {
+                return None;
+            }
+            self.a -= op.moved;
+            self.b += op.moved;
+        }
+        Some(self)
+    }
+}
+
+/// DFS over interleavings of the per-thread composite sequences
+/// (program order preserved per thread), executing the spec and matching
+/// observations — the lincheck search, with memoization on thread
+/// positions (the spec state is a function of the multiset of applied
+/// transfers, hence of the positions).
+fn linearizable(threads: &[Vec<Composite>], init: Accounts) -> bool {
+    fn dfs(
+        threads: &[Vec<Composite>],
+        pos: &mut Vec<usize>,
+        state: Accounts,
+        dead: &mut HashSet<Vec<usize>>,
+    ) -> bool {
+        if pos.iter().zip(threads).all(|(&p, ops)| p == ops.len()) {
+            return true;
+        }
+        if dead.contains(pos) {
+            return false;
+        }
+        for t in 0..threads.len() {
+            if pos[t] < threads[t].len() {
+                if let Some(next) = state.exec(&threads[t][pos[t]]) {
+                    pos[t] += 1;
+                    if dfs(threads, pos, next, dead) {
+                        return true;
+                    }
+                    pos[t] -= 1;
+                }
+            }
+        }
+        dead.insert(pos.clone());
+        false
+    }
+    let mut pos = vec![0; threads.len()];
+    dfs(threads, &mut pos, init, &mut HashSet::new())
+}
+
+fn transfer_rw() -> RwSet {
+    RwSet::new().write(ACCT_A).write(ACCT_B)
+}
+
+/// The stage body: atomically observe both balances and move `moved`.
+fn transfer_stage(ctx: &mut StageCtx<'_>, moved: i64) -> Result<AtomicOp, TxnError> {
+    let a = ctx.read(ACCT_A)?.and_then(|v| v.as_int()).unwrap_or(0);
+    let b = ctx.read(ACCT_B)?.and_then(|v| v.as_int()).unwrap_or(0);
+    ctx.write(ACCT_A, a - moved)?;
+    ctx.write(ACCT_B, b + moved)?;
+    Ok(AtomicOp {
+        observed: (a, b),
+        moved,
+    })
+}
+
+fn shared_protocol(kind: ProtocolKind) -> Arc<Box<dyn MultiStageProtocol>> {
+    let store = Arc::new(KvStore::new());
+    store.put(ACCT_A.into(), Value::Int(INIT_A));
+    store.put(ACCT_B.into(), Value::Int(INIT_B));
+    let core = ExecutorCore::new(
+        store,
+        Arc::new(LockManager::new(kind.default_lock_policy())),
+    );
+    Arc::new(kind.build(core))
+}
+
+const THREADS: usize = 3;
+const TXNS_PER_THREAD: u64 = 3;
+
+/// Run the concurrent workload; returns per-thread observed histories at
+/// the granularity the protocol guarantees.
+fn run_history(kind: ProtocolKind, txn_granularity: bool) -> Vec<Vec<Composite>> {
+    let protocol = shared_protocol(kind);
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|tid| {
+            let p = Arc::clone(&protocol);
+            thread::spawn(move || {
+                let mut history: Vec<Composite> = Vec::new();
+                for i in 0..TXNS_PER_THREAD {
+                    let txn = TxnId(tid * 100 + i);
+                    let rw = transfer_rw();
+                    let stages = [rw.clone(), rw.clone()];
+                    // Wait-die (MS-SR's pairing) can kill stage 0; retry
+                    // the whole transaction like the pipeline does.
+                    let (op0, pending) = loop {
+                        let h = p.begin(txn, &stages);
+                        match p.stage(h, &rw, |ctx| transfer_stage(ctx, 1)) {
+                            Ok((op, next)) => break (op, next.expect("two stages")),
+                            Err(_) => thread::yield_now(),
+                        }
+                    };
+                    let (op1, done) = p
+                        .stage(pending, &rw, |ctx| transfer_stage(ctx, 2))
+                        .expect("later stages cannot abort");
+                    assert!(done.is_none());
+                    if txn_granularity {
+                        history.push(vec![op0, op1]);
+                    } else {
+                        history.push(vec![op0]);
+                        history.push(vec![op1]);
+                    }
+                }
+                history
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+#[test]
+fn ms_ia_stages_linearize_against_the_sequential_spec() {
+    for round in 0..5 {
+        let history = run_history(ProtocolKind::MsIa, false);
+        assert!(
+            linearizable(
+                &history,
+                Accounts {
+                    a: INIT_A,
+                    b: INIT_B
+                }
+            ),
+            "round {round}: no interleaving of atomic stages explains the observations: {history:?}"
+        );
+    }
+}
+
+#[test]
+fn staged_stages_linearize_against_the_sequential_spec() {
+    for round in 0..5 {
+        let history = run_history(ProtocolKind::Staged, false);
+        assert!(
+            linearizable(
+                &history,
+                Accounts {
+                    a: INIT_A,
+                    b: INIT_B
+                }
+            ),
+            "round {round}: {history:?}"
+        );
+    }
+}
+
+#[test]
+fn ms_sr_whole_transactions_linearize_back_to_back() {
+    for round in 0..5 {
+        let history = run_history(ProtocolKind::MsSr, true);
+        assert!(
+            linearizable(
+                &history,
+                Accounts {
+                    a: INIT_A,
+                    b: INIT_B
+                }
+            ),
+            "round {round}: MS-SR must admit a serial order with both \
+             sections adjacent: {history:?}"
+        );
+    }
+}
+
+#[test]
+fn final_balances_conserve_the_total() {
+    for kind in ProtocolKind::ALL {
+        let protocol = shared_protocol(kind);
+        let handles: Vec<_> = (0..THREADS as u64)
+            .map(|tid| {
+                let p = Arc::clone(&protocol);
+                thread::spawn(move || {
+                    for i in 0..TXNS_PER_THREAD {
+                        let txn = TxnId(tid * 100 + i);
+                        let rw = transfer_rw();
+                        let pending = loop {
+                            let h = p.begin(txn, &[rw.clone(), rw.clone()]);
+                            match p.stage(h, &rw, |ctx| transfer_stage(ctx, 1)) {
+                                Ok((_, next)) => break next.expect("two stages"),
+                                Err(_) => thread::yield_now(),
+                            }
+                        };
+                        p.stage(pending, &rw, |ctx| transfer_stage(ctx, 2))
+                            .expect("later stages cannot abort");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let store = protocol.store();
+        let a = store.get(&ACCT_A.into()).unwrap().as_int().unwrap();
+        let b = store.get(&ACCT_B.into()).unwrap().as_int().unwrap();
+        assert_eq!(a + b, INIT_A + INIT_B, "{kind}: transfers conserve money");
+        let moved = (THREADS as i64) * (TXNS_PER_THREAD as i64) * 3;
+        assert_eq!(b, INIT_B + moved, "{kind}: every committed stage moved");
+    }
+}
+
+// --- checker self-tests: the search must reject impossible histories ----
+
+#[test]
+fn checker_accepts_a_valid_sequential_history() {
+    let t1 = vec![vec![AtomicOp {
+        observed: (100, 0),
+        moved: 1,
+    }]];
+    let t2 = vec![vec![AtomicOp {
+        observed: (99, 1),
+        moved: 2,
+    }]];
+    assert!(linearizable(&[t1, t2], Accounts { a: 100, b: 0 }));
+}
+
+#[test]
+fn checker_rejects_a_lost_update_history() {
+    // Both stages claim to have observed the initial state, yet both
+    // applied — no sequential order explains that.
+    let t1 = vec![vec![AtomicOp {
+        observed: (100, 0),
+        moved: 1,
+    }]];
+    let t2 = vec![vec![AtomicOp {
+        observed: (100, 0),
+        moved: 1,
+    }]];
+    assert!(!linearizable(&[t1, t2], Accounts { a: 100, b: 0 }));
+}
+
+#[test]
+fn checker_rejects_an_interleaved_composite() {
+    // Composite (MS-SR) semantics: t1's two stages observed a foreign
+    // transfer in between — fine at stage granularity, impossible
+    // back-to-back.
+    let t1 = vec![vec![
+        AtomicOp {
+            observed: (100, 0),
+            moved: 1,
+        },
+        AtomicOp {
+            observed: (98, 2), // t2's transfer slipped in between
+            moved: 2,
+        },
+    ]];
+    let t2 = vec![vec![AtomicOp {
+        observed: (99, 1),
+        moved: 1,
+    }]];
+    assert!(
+        !linearizable(&[t1.clone(), t2.clone()], Accounts { a: 100, b: 0 }),
+        "txn granularity must reject the interleaving"
+    );
+    // The same history at stage granularity is fine.
+    let t1_stages: Vec<Composite> = t1[0].iter().map(|&op| vec![op]).collect();
+    assert!(linearizable(&[t1_stages, t2], Accounts { a: 100, b: 0 }));
+}

@@ -3,10 +3,20 @@
 //! §3.3.3: "The cloud node has a single task of processing frames using the
 //! cloud model Mc. When a frame f is received from an edge node, the labels
 //! Lc are derived using Mc and then sent back to the edge node."
+//!
+//! Besides inference, the cloud is the failover site for edge durability:
+//! a [`ReplicaTailer`] per edge tails that edge's shipped WAL bytes and
+//! keeps a validated replica of its durable log, so that when the edge
+//! dies the cloud can rebuild its committed state (apologies included)
+//! and take over its partition.
+
+use std::sync::Arc;
 
 use croesus_detect::{Detection, DetectionModel, ModelKind, SimulatedModel};
 use croesus_sim::SimDuration;
+use croesus_txn::recovery::{recover_edge, RecoveredEdge};
 use croesus_video::Frame;
+use croesus_wal::{FrameReader, LogShipper, ShipCursor, ShipFetch, TailState, WalRecord};
 
 /// The cloud node: a wrapper around the accurate (slow) model.
 pub struct CloudNode {
@@ -36,6 +46,126 @@ impl CloudNode {
     /// The model's name.
     pub fn model_name(&self) -> &str {
         self.model.name()
+    }
+}
+
+/// What one tailing round observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailPoll {
+    /// New validated bytes were appended to the replica log.
+    Advanced {
+        /// Bytes accepted this round.
+        bytes: usize,
+        /// Whether the batch replaced the replica log (the source
+        /// checkpointed or resumed into a new epoch).
+        restarted: bool,
+    },
+    /// The cursor is at the shipped tip.
+    UpToDate,
+    /// The uplink is down; try again later.
+    Offline,
+    /// The fetched batch failed validation (damaged in flight) and was
+    /// discarded without moving the cursor — the next poll refetches.
+    Rejected,
+}
+
+/// The cloud's replica of one edge's durable log.
+///
+/// Tails a [`LogShipper`] with an LSN-style [`ShipCursor`] and validates
+/// every batch before accepting it: the candidate log must frame-parse
+/// with a clean tail *and* every payload must decode as a [`WalRecord`].
+/// The source only publishes synced whole frames, so anything less is
+/// in-flight damage; rejecting without advancing the cursor makes the
+/// next poll an automatic refetch. The replica therefore holds, at all
+/// times, a valid prefix of the edge's durable log — exactly what crash
+/// recovery accepts.
+pub struct ReplicaTailer {
+    shipper: Arc<LogShipper>,
+    cursor: ShipCursor,
+    log: Vec<u8>,
+}
+
+impl ReplicaTailer {
+    /// Start tailing from the beginning of the current epoch.
+    #[must_use]
+    pub fn new(shipper: Arc<LogShipper>) -> Self {
+        ReplicaTailer {
+            shipper,
+            cursor: ShipCursor::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Every frame CRC-clean to the very end, every payload a record.
+    fn validates(bytes: &[u8]) -> bool {
+        let mut reader = FrameReader::new(bytes);
+        for payload in reader.by_ref() {
+            if WalRecord::decode(payload).is_err() {
+                return false;
+            }
+        }
+        reader.tail() == TailState::Clean
+    }
+
+    /// One tailing round: fetch from the cursor, validate, append.
+    pub fn poll(&mut self) -> TailPoll {
+        match self.shipper.fetch(self.cursor) {
+            ShipFetch::Offline => TailPoll::Offline,
+            ShipFetch::UpToDate => TailPoll::UpToDate,
+            ShipFetch::Batch(batch) => {
+                let mut candidate = if batch.restart {
+                    Vec::new()
+                } else {
+                    self.log.clone()
+                };
+                candidate.extend_from_slice(&batch.bytes);
+                if !Self::validates(&candidate) {
+                    return TailPoll::Rejected;
+                }
+                let bytes = batch.bytes.len();
+                self.log = candidate;
+                self.cursor = ShipCursor {
+                    epoch: batch.epoch,
+                    offset: self.log.len(),
+                };
+                TailPoll::Advanced {
+                    bytes,
+                    restarted: batch.restart,
+                }
+            }
+        }
+    }
+
+    /// Poll until the replica is at the shipped tip (or the link drops).
+    /// Returns the final poll outcome.
+    pub fn catch_up(&mut self) -> TailPoll {
+        loop {
+            match self.poll() {
+                TailPoll::Advanced { .. } => continue,
+                done => return done,
+            }
+        }
+    }
+
+    /// The replicated log bytes — a valid prefix of the edge's durable
+    /// log.
+    #[must_use]
+    pub fn log(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// The replication cursor.
+    #[must_use]
+    pub fn cursor(&self) -> ShipCursor {
+        self.cursor
+    }
+
+    /// Apology-aware recovery over the replica — what takeover runs when
+    /// the edge is declared dead. Byte-identical input to in-place
+    /// recovery of the same durable prefix, so the rebuilt state is too.
+    #[must_use]
+    pub fn recover(&self) -> RecoveredEdge {
+        recover_edge(&self.log)
     }
 }
 
@@ -72,5 +202,128 @@ mod tests {
         let l320 = CloudNode::new(ModelKind::YoloV3_320, 3).process(f).1;
         let l608 = CloudNode::new(ModelKind::YoloV3_608, 3).process(f).1;
         assert!(l608 > l320);
+    }
+
+    mod tailer {
+        use super::super::*;
+        use croesus_store::{TxnId, Value};
+        use croesus_wal::{StageFlags, StageRecord, Wal, WalConfig, WriteImage};
+
+        fn shipped_wal() -> (Wal, Arc<LogShipper>) {
+            let (wal, _) = Wal::in_memory(WalConfig::strict());
+            let shipper = Arc::new(LogShipper::new());
+            wal.attach_shipper(Arc::clone(&shipper));
+            (wal, shipper)
+        }
+
+        fn commit(wal: &Wal, txn: u64, key: &str, val: i64) {
+            wal.append_stage(StageRecord {
+                txn: TxnId(txn),
+                stage: 0,
+                total: 2,
+                flags: StageFlags(StageFlags::COMMIT_POINT | StageFlags::REGISTER),
+                reads: vec![],
+                writes: vec![key.into()],
+                images: vec![WriteImage {
+                    key: key.into(),
+                    pre: None,
+                    post: Some(Arc::new(Value::Int(val))),
+                }],
+            })
+            .unwrap();
+        }
+
+        fn finalize(wal: &Wal, txn: u64) {
+            wal.append_stage(StageRecord {
+                txn: TxnId(txn),
+                stage: 1,
+                total: 2,
+                flags: StageFlags(StageFlags::COMMIT_POINT | StageFlags::FINAL),
+                reads: vec![],
+                writes: vec![],
+                images: vec![],
+            })
+            .unwrap();
+        }
+
+        #[test]
+        fn replica_tracks_the_durable_log() {
+            let (wal, shipper) = shipped_wal();
+            let mut tailer = ReplicaTailer::new(shipper.clone());
+            assert_eq!(tailer.poll(), TailPoll::UpToDate, "nothing shipped yet");
+            commit(&wal, 1, "a", 1);
+            finalize(&wal, 1);
+            commit(&wal, 2, "b", 2);
+            assert!(matches!(
+                tailer.poll(),
+                TailPoll::Advanced {
+                    restarted: false,
+                    ..
+                }
+            ));
+            assert_eq!(tailer.log(), &shipper.image()[..]);
+            let rec = tailer.recover();
+            assert_eq!(rec.store.get(&"a".into()).as_deref(), Some(&Value::Int(1)));
+            assert_eq!(rec.unfinalized, vec![TxnId(2)], "caught mid-flight");
+            assert!(
+                !rec.store.contains(&"b".into()),
+                "the unvalidated guess is retracted on the replica too"
+            );
+        }
+
+        #[test]
+        fn damaged_batch_is_rejected_then_refetched() {
+            let (wal, shipper) = shipped_wal();
+            let mut tailer = ReplicaTailer::new(shipper.clone());
+            commit(&wal, 1, "a", 1);
+            shipper.corrupt_next_fetch();
+            assert_eq!(tailer.poll(), TailPoll::Rejected);
+            assert!(tailer.log().is_empty(), "nothing damaged was kept");
+            assert!(matches!(tailer.poll(), TailPoll::Advanced { .. }));
+            assert_eq!(tailer.log(), &shipper.image()[..]);
+        }
+
+        #[test]
+        fn offline_link_stalls_the_tail_without_losing_the_cursor() {
+            let (wal, shipper) = shipped_wal();
+            let mut tailer = ReplicaTailer::new(shipper.clone());
+            commit(&wal, 1, "a", 1);
+            assert!(matches!(tailer.catch_up(), TailPoll::UpToDate));
+            shipper.set_offline(true);
+            commit(&wal, 2, "b", 2);
+            assert_eq!(tailer.poll(), TailPoll::Offline);
+            shipper.set_offline(false);
+            assert!(matches!(
+                tailer.poll(),
+                TailPoll::Advanced {
+                    restarted: false,
+                    ..
+                }
+            ));
+            assert_eq!(tailer.log(), &shipper.image()[..]);
+        }
+
+        #[test]
+        fn checkpoint_restarts_the_replica_log() {
+            let (wal, shipper) = shipped_wal();
+            let mut tailer = ReplicaTailer::new(shipper.clone());
+            commit(&wal, 1, "a", 1);
+            finalize(&wal, 1);
+            tailer.catch_up();
+            wal.checkpoint().unwrap();
+            commit(&wal, 2, "b", 2);
+            assert!(matches!(
+                tailer.poll(),
+                TailPoll::Advanced {
+                    restarted: true,
+                    ..
+                }
+            ));
+            tailer.catch_up();
+            assert_eq!(tailer.log(), &shipper.image()[..]);
+            let rec = tailer.recover();
+            assert_eq!(rec.store.get(&"a".into()).as_deref(), Some(&Value::Int(1)));
+            assert_eq!(rec.unfinalized, vec![TxnId(2)]);
+        }
     }
 }

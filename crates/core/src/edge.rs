@@ -308,6 +308,36 @@ impl EdgeNode {
     pub fn pending_frames(&self) -> usize {
         self.pending.lock().len()
     }
+
+    /// Settle-and-prune: when the edge is quiescent (no frame awaiting a
+    /// final section), every registered transaction is finalized and can
+    /// never become a retraction root; future cascades can only involve
+    /// future transactions. Dropping the retractable entries here is what
+    /// keeps the apology manager and the WAL shadow state bounded over an
+    /// unbounded run. Returns the entries dropped (0 when not quiescent —
+    /// a pending transaction could still retract, so nothing is safe to
+    /// forget).
+    pub fn settle(&self) -> usize {
+        let pending = self.pending.lock();
+        if !pending.is_empty() {
+            return 0;
+        }
+        let dropped = self.protocol.core().apologies().settle_all();
+        if dropped > 0 {
+            if let Some(wal) = self.protocol.core().wal() {
+                wal.append_settle()
+                    .expect("WAL append failed — durability cannot be guaranteed");
+            }
+        }
+        dropped
+    }
+
+    /// Start assigning transaction ids from `n` — a replacement node takes
+    /// over from a recovered log's high-water mark so ids never collide
+    /// with the dead node's.
+    pub fn set_txn_start(&self, n: u64) {
+        self.txn_counter.store(n, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +482,41 @@ mod tests {
             assert_eq!(snap.commits, 1, "{kind}");
             assert_eq!(e.protocol().kind(), kind);
         }
+    }
+
+    #[test]
+    fn settle_prunes_entries_only_at_quiescence() {
+        let e = edge();
+        e.run_initial_stage(0, &[det("car", 0.8, 0.1)]);
+        assert_eq!(e.settle(), 0, "a pending final section blocks settling");
+        e.finalize_local(0);
+        assert!(e.settle() > 0, "quiescent: retractable entries dropped");
+        assert_eq!(e.settle(), 0, "nothing left for a second settle");
+        assert_eq!(e.protocol().core().apologies().tracked_count(), 0);
+    }
+
+    #[test]
+    fn txn_ids_continue_from_the_configured_start() {
+        use croesus_wal::{Wal, WalConfig};
+        let kind = ProtocolKind::MsIa;
+        let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        let core = ExecutorCore::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(kind.default_lock_policy())),
+        )
+        .with_wal(Arc::new(wal));
+        let e = EdgeNode::with_protocol(
+            SimulatedModel::new(ModelProfile::tiny_yolov3(), 7),
+            bank(),
+            0.10,
+            7,
+            kind.build(core),
+        );
+        e.set_txn_start(500);
+        e.run_initial_stage(0, &[det("car", 0.8, 0.1)]);
+        e.finalize_local(0);
+        let r = croesus_wal::recover(&probe.durable());
+        assert_eq!(r.next_txn, 501, "ids picked up at the configured start");
     }
 
     #[test]

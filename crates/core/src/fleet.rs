@@ -1,0 +1,559 @@
+//! The fault-injected edge fleet: failure detection, WAL-shipping
+//! failover, and degradation.
+//!
+//! [`Deployment::run_fleet`] drives the multi-stage pipeline across the
+//! edge fleet while a [`FaultPlan`](croesus_sim::FaultPlan) kills, stalls,
+//! partitions and resurrects individual edges. The pieces:
+//!
+//! * **Heartbeats** — every serving edge beats once per frame (failure
+//!   detection is frame-synchronous, like everything else in the
+//!   simulation). An edge silent for more than
+//!   [`heartbeat_timeout`](crate::CroesusBuilder::heartbeat_timeout)
+//!   frames is declared dead.
+//! * **Shipping** — each edge's WAL publishes its durable bytes to a
+//!   [`LogShipper`]; a cloud-side [`ReplicaTailer`] per edge tails and
+//!   validates them, holding a valid prefix of the durable log at all
+//!   times.
+//! * **Takeover** — when the detector times an edge out (and failover is
+//!   on), the cloud recovers the replica apology-aware
+//!   ([`ReplicaTailer::recover`]) and stands up a replacement node over
+//!   the recovered state: same model, same workload stream, transaction
+//!   ids continuing from the log's high-water mark. Clients see
+//!   retractions-with-apologies for the in-flight guesses, never lost
+//!   finalized state. The dead edge is *fenced*: if it ever wakes (a
+//!   stall that outlived the timeout, a resurrect after takeover), it
+//!   must not rejoin.
+//! * **Degradation** — a partition cuts only the edge→cloud data plane.
+//!   The edge is still alive and authoritative, so this is explicitly
+//!   *not* a failover trigger: validated frames finalize locally
+//!   (degraded accuracy, full availability) until the uplink heals.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use croesus_detect::{Detection, ModelProfile, SimulatedModel};
+use croesus_sim::{FaultEvent, FaultInjector, FaultKind};
+use croesus_store::{KvStore, LockManager};
+use croesus_txn::recovery::{recover_edge_file, RecoveredEdge};
+use croesus_txn::ExecutorCore;
+use croesus_wal::{FileStorage, LogShipper, MemStorage, Storage, Wal};
+
+use crate::bank::TransactionsBank;
+use crate::cloud::{CloudNode, ReplicaTailer, TailPoll};
+use crate::config::ValidationPolicy;
+use crate::edge::EdgeNode;
+use crate::pipeline::evaluation_bank;
+use crate::system::Deployment;
+
+/// One completed failover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Takeover {
+    /// The edge whose partition the cloud took over.
+    pub edge: usize,
+    /// Frame at which the failure detector declared it dead.
+    pub detected_at: u64,
+    /// Transactions recovery had to retract (apologies issued), cascades
+    /// counted once per root.
+    pub retractions: usize,
+}
+
+/// What a chaos run observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Frames that reached a serving edge.
+    pub frames_processed: u64,
+    /// Frames routed to a dead or stalled edge before takeover (the
+    /// availability gap the heartbeat timeout buys).
+    pub frames_dropped: u64,
+    /// Validated-band frames finalized locally because the uplink was
+    /// partitioned (graceful degradation, not failover).
+    pub degraded_frames: u64,
+    /// Initial sections committed across the fleet.
+    pub transactions_committed: u64,
+    /// Completed failovers, in detection order.
+    pub takeovers: Vec<Takeover>,
+    /// Killed edges restarted in place from their own durable log
+    /// (resurrect before the detector fired).
+    pub in_place_restarts: u64,
+    /// Deposed nodes that woke (or resurrected) after a takeover and were
+    /// refused re-entry.
+    pub fenced_wakeups: u64,
+    /// Shipped batches the replica rejected as damaged (each was refetched
+    /// intact afterwards).
+    pub rejected_batches: u64,
+    /// Apology entries dropped by per-frame settling.
+    pub settled_entries: u64,
+    /// Apologies owed across the surviving fleet at shutdown (crash
+    /// retractions included).
+    pub apologies_owed: u64,
+}
+
+/// One edge's seat in the fleet: the node (if alive), its shipping
+/// endpoint, the cloud's replica tail, and its fault clocks.
+struct EdgeSlot {
+    /// The serving node: the original edge, its in-place resurrection, or
+    /// (after takeover) the cloud-side replacement. `None` while killed.
+    node: Option<EdgeNode>,
+    shipper: Arc<LogShipper>,
+    tailer: ReplicaTailer,
+    wal_path: PathBuf,
+    /// Frame until which the node is frozen (misses heartbeats, serves
+    /// nothing, loses nothing).
+    stalled_until: u64,
+    /// Frame until which the edge→cloud uplink is cut.
+    partition_until: u64,
+    /// The cloud replacement owns this partition; the original edge is
+    /// fenced forever.
+    failed_over: bool,
+}
+
+impl EdgeSlot {
+    /// Whether the slot serves frames (and beats) at `now`. A failed-over
+    /// slot's replacement ignores the original's stall clock.
+    fn serving(&self, now: u64) -> bool {
+        self.node.is_some() && (self.failed_over || now >= self.stalled_until)
+    }
+}
+
+impl Deployment {
+    fn edge_model(&self) -> SimulatedModel {
+        SimulatedModel::new(ModelProfile::tiny_yolov3(), self.config.seed ^ 0xE)
+            .with_hardware_factor(self.config.setup.edge.hardware_factor())
+    }
+
+    fn build_slot(&self, bank: &Arc<TransactionsBank>, i: usize) -> EdgeSlot {
+        let cfg = &self.config;
+        let salt = (i as u64) << 48;
+        let wal = self
+            .durability
+            .open_edge_wal(i)
+            .expect("durability directory must be creatable and writable")
+            .expect("the fleet driver requires durability");
+        let shipper = Arc::new(LogShipper::new());
+        wal.attach_shipper(Arc::clone(&shipper));
+        let core = ExecutorCore::new(
+            Arc::new(KvStore::new()),
+            Arc::new(LockManager::new(self.protocol.default_lock_policy())),
+        )
+        .with_wal(Arc::new(wal));
+        let node = EdgeNode::with_protocol(
+            self.edge_model(),
+            Arc::clone(bank),
+            cfg.overlap_threshold,
+            cfg.seed ^ salt,
+            self.protocol.build(core),
+        );
+        EdgeSlot {
+            node: Some(node),
+            tailer: ReplicaTailer::new(Arc::clone(&shipper)),
+            shipper,
+            wal_path: self.durability.edge_log_path(i).expect("durability is on"),
+            stalled_until: 0,
+            partition_until: 0,
+            failed_over: false,
+        }
+    }
+
+    /// Stand a node back up over recovered state: the WAL restarts as a
+    /// checkpoint of the recovered world, the apology manager carries the
+    /// crash retractions, and transaction ids continue from the log's
+    /// high-water mark. Returns the node and how many transactions the
+    /// recovery retracted.
+    fn revive_node(
+        &self,
+        i: usize,
+        bank: &Arc<TransactionsBank>,
+        rec: RecoveredEdge,
+        storage: Box<dyn Storage>,
+        shipper: Option<Arc<LogShipper>>,
+    ) -> (EdgeNode, usize) {
+        let RecoveredEdge {
+            store,
+            apologies,
+            retractions,
+            next_txn,
+            state,
+            ..
+        } = rec;
+        let wal = Wal::resume(
+            storage,
+            self.durability.wal_config(),
+            state,
+            &store,
+            shipper,
+        )
+        .expect("resuming the write-ahead log must succeed");
+        let core = ExecutorCore::new(
+            store,
+            Arc::new(LockManager::new(self.protocol.default_lock_policy())),
+        )
+        .with_apologies(apologies)
+        .with_wal(Arc::new(wal));
+        let salt = (i as u64) << 48;
+        let node = EdgeNode::with_protocol(
+            self.edge_model(),
+            Arc::clone(bank),
+            self.config.overlap_threshold,
+            self.config.seed ^ salt,
+            self.protocol.build(core),
+        );
+        node.set_txn_start(next_txn);
+        (node, retractions.len())
+    }
+
+    /// The cloud takes over a dead edge's partition from its replica.
+    fn take_over(
+        &self,
+        i: usize,
+        now: u64,
+        slot: &mut EdgeSlot,
+        bank: &Arc<TransactionsBank>,
+        report: &mut FleetReport,
+    ) {
+        // Pull whatever the link still carries; if it is down, the replica
+        // serves from what already shipped — a stale-but-valid durable
+        // prefix is exactly what a crash would have preserved anyway.
+        let mut rejects = 0;
+        loop {
+            match slot.tailer.poll() {
+                TailPoll::Advanced { .. } => continue,
+                TailPoll::Rejected => {
+                    report.rejected_batches += 1;
+                    rejects += 1;
+                    if rejects > 3 {
+                        break;
+                    }
+                }
+                TailPoll::UpToDate | TailPoll::Offline => break,
+            }
+        }
+        if slot.node.take().is_some() {
+            // The node was stalled, not dead: it gets deposed now and
+            // fenced when it wakes.
+            report.fenced_wakeups += 1;
+        }
+        let rec = slot.tailer.recover();
+        let (node, retractions) = self.revive_node(i, bank, rec, Box::new(MemStorage::new()), None);
+        slot.node = Some(node);
+        slot.failed_over = true;
+        report.takeovers.push(Takeover {
+            edge: i,
+            detected_at: now,
+            retractions,
+        });
+    }
+
+    /// A killed edge restarts from its own durable log file (resurrect
+    /// before the detector fired). After a takeover it is fenced instead.
+    fn resurrect(
+        &self,
+        i: usize,
+        slot: &mut EdgeSlot,
+        bank: &Arc<TransactionsBank>,
+        report: &mut FleetReport,
+    ) {
+        if slot.failed_over {
+            report.fenced_wakeups += 1;
+            return;
+        }
+        if slot.node.is_some() {
+            return; // scripted resurrect of a live edge: nothing to do
+        }
+        let rec = recover_edge_file(&slot.wal_path).expect("the durable log file is readable");
+        let storage: Box<dyn Storage> = Box::new(
+            FileStorage::create(&slot.wal_path).expect("the durable log file is writable"),
+        );
+        // Resuming restarts the shipping epoch, so the replica re-tails
+        // from the restart checkpoint.
+        let (node, _) = self.revive_node(i, bank, rec, storage, Some(Arc::clone(&slot.shipper)));
+        slot.node = Some(node);
+        report.in_place_restarts += 1;
+    }
+
+    fn apply_fault(
+        &self,
+        ev: FaultEvent,
+        slot: &mut EdgeSlot,
+        bank: &Arc<TransactionsBank>,
+        report: &mut FleetReport,
+    ) {
+        match ev.kind {
+            // Process death: the node (and its unsynced WAL buffer) is
+            // gone; only the synced file — and its shipped image — remain.
+            FaultKind::Kill => {
+                if !slot.failed_over {
+                    slot.node = None;
+                }
+            }
+            FaultKind::Stall { frames } => {
+                if !slot.failed_over && slot.node.is_some() {
+                    slot.stalled_until = ev.frame + frames;
+                }
+            }
+            // Data-plane only: shipping stops, the edge keeps serving.
+            FaultKind::Partition { frames } => {
+                slot.partition_until = slot.partition_until.max(ev.frame + frames);
+            }
+            FaultKind::Resurrect => self.resurrect(ev.edge, slot, bank, report),
+            FaultKind::CorruptShipment => slot.shipper.corrupt_next_fetch(),
+        }
+    }
+
+    /// Run the multi-stage pipeline across the fleet under the configured
+    /// [`FaultPlan`](croesus_sim::FaultPlan). Requires durability (the
+    /// builder enforces the failover half of that contract). Fully
+    /// deterministic: the report is a pure function of the configuration
+    /// and the plan.
+    pub fn run_fleet(&self) -> FleetReport {
+        assert!(
+            self.durability.is_enabled(),
+            "the fleet driver requires durability: WAL shipping is the failover substrate"
+        );
+        let config = &self.config;
+        let video = config.preset.generate(config.num_frames, config.seed);
+        let query = video.query_class().clone();
+        let bank = evaluation_bank();
+        let cloud = CloudNode::new(config.cloud_model, config.seed ^ 0xC);
+        let mut slots: Vec<EdgeSlot> = (0..self.edges).map(|i| self.build_slot(&bank, i)).collect();
+        let mut injector = FaultInjector::new(self.faults.clone());
+        let mut last_seen = vec![0u64; self.edges];
+        let mut report = FleetReport::default();
+
+        for frame in video.frames() {
+            let now = frame.index;
+            for ev in injector.take_due(now) {
+                if ev.edge < self.edges {
+                    let slot = &mut slots[ev.edge];
+                    self.apply_fault(ev, slot, &bank, &mut report);
+                }
+            }
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot.shipper.set_offline(now < slot.partition_until);
+                if slot.serving(now) {
+                    last_seen[i] = now;
+                }
+            }
+            if self.failover {
+                for i in 0..self.edges {
+                    if !slots[i].failed_over
+                        && now.saturating_sub(last_seen[i]) > self.heartbeat_timeout
+                    {
+                        self.take_over(i, now, &mut slots[i], &bank, &mut report);
+                        last_seen[i] = now;
+                    }
+                }
+            }
+
+            let i = (now as usize) % self.edges;
+            let slot = &mut slots[i];
+            if !slot.serving(now) {
+                report.frames_dropped += 1;
+            } else {
+                let edge = slot.node.as_ref().expect("serving implies a node");
+                let (detections, _) = edge.detect(frame);
+                let (send, surviving): (bool, Vec<Detection>) = match config.validation {
+                    ValidationPolicy::Thresholds(pair) => {
+                        let d = pair.decide_frame(&detections, &query);
+                        (d.send, d.surviving())
+                    }
+                    ValidationPolicy::ForcedBu(bu) => (
+                        ValidationPolicy::forced_send(bu, now),
+                        detections
+                            .into_iter()
+                            .filter(|d| d.confidence >= config.low_confidence_filter)
+                            .collect(),
+                    ),
+                };
+                let initial = edge.run_initial_stage(now, &surviving);
+                report.transactions_committed += initial.committed;
+                // The replacement node lives at the cloud: its "uplink"
+                // cannot be partitioned away.
+                let partitioned = !slot.failed_over && now < slot.partition_until;
+                if send && !partitioned {
+                    let (cloud_labels, _) = cloud.process(frame);
+                    edge.deliver_cloud_labels(now, &cloud_labels);
+                } else {
+                    edge.finalize_local(now);
+                    if send {
+                        report.degraded_frames += 1;
+                    }
+                }
+                report.frames_processed += 1;
+            }
+
+            for slot in &mut slots {
+                if let Some(edge) = &slot.node {
+                    report.settled_entries += edge.settle() as u64;
+                }
+                if !slot.failed_over {
+                    loop {
+                        match slot.tailer.poll() {
+                            TailPoll::Advanced { .. } => continue,
+                            TailPoll::Rejected => {
+                                report.rejected_batches += 1;
+                                break; // next frame's poll refetches
+                            }
+                            TailPoll::UpToDate | TailPoll::Offline => break,
+                        }
+                    }
+                }
+            }
+        }
+
+        // Clean shutdown: flush the surviving WALs, let every replica
+        // catch up (chaos assertions compare them against the files), and
+        // total the apologies the fleet owes.
+        for slot in &mut slots {
+            if let Some(edge) = &slot.node {
+                if let Some(wal) = edge.protocol().core().wal() {
+                    wal.flush().expect("WAL flush at shutdown failed");
+                }
+                report.apologies_owed +=
+                    edge.protocol().core().apologies().apologies().len() as u64;
+            }
+            if !slot.failed_over {
+                slot.shipper.set_offline(false);
+                slot.tailer.catch_up();
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Croesus;
+    use croesus_sim::FaultPlan;
+    use croesus_wal::DurabilityMode;
+
+    fn fleet(dir: &std::path::Path) -> crate::system::CroesusBuilder {
+        Croesus::builder()
+            .frames(30)
+            .edges(3)
+            .durability(DurabilityMode::Strict {
+                dir: dir.to_path_buf(),
+            })
+            .failover(true)
+            .heartbeat_timeout(3)
+    }
+
+    #[test]
+    fn fault_free_fleet_processes_everything() {
+        let dir = croesus_wal::scratch_dir("fleet-clean");
+        let r = fleet(&dir).build().run_fleet();
+        assert_eq!(r.frames_processed, 30);
+        assert_eq!(r.frames_dropped, 0);
+        assert!(r.takeovers.is_empty());
+        assert_eq!(r.apologies_owed, 0);
+        assert!(r.settled_entries > 0, "per-frame settling fired");
+        assert!(r.transactions_committed > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_edge_fails_over_exactly_at_the_timeout() {
+        let dir = croesus_wal::scratch_dir("fleet-kill");
+        let plan = FaultPlan::new().at(6, 1, FaultKind::Kill);
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert_eq!(r.takeovers.len(), 1);
+        let t = &r.takeovers[0];
+        assert_eq!(t.edge, 1);
+        assert_eq!(
+            t.detected_at,
+            6 + 3,
+            "last beat at frame 5, declared dead once the silence exceeds the timeout"
+        );
+        // Frame 7 (the only frame routed to edge 1 during the gap) dropped.
+        assert_eq!(r.frames_dropped, 1);
+        assert_eq!(r.frames_processed, 29);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_stall_recovers_without_failover() {
+        let dir = croesus_wal::scratch_dir("fleet-stall");
+        let plan = FaultPlan::new().at(5, 2, FaultKind::Stall { frames: 2 });
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert!(r.takeovers.is_empty(), "woke before the detector fired");
+        assert_eq!(r.fenced_wakeups, 0);
+        assert_eq!(r.frames_dropped, 1, "frame 5 (5 % 3 == 2) was missed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn long_stall_is_deposed_and_fenced() {
+        let dir = croesus_wal::scratch_dir("fleet-long-stall");
+        let plan = FaultPlan::new().at(5, 0, FaultKind::Stall { frames: 10 });
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert_eq!(r.takeovers.len(), 1, "a stall past the timeout is death");
+        assert_eq!(r.fenced_wakeups, 1, "the frozen original must not rejoin");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partition_degrades_instead_of_failing_over() {
+        let dir = croesus_wal::scratch_dir("fleet-partition");
+        let plan = FaultPlan::new().at(3, 0, FaultKind::Partition { frames: 12 });
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert!(
+            r.takeovers.is_empty(),
+            "a partitioned edge is alive and authoritative — never deposed"
+        );
+        assert_eq!(r.frames_dropped, 0, "full availability throughout");
+        assert!(r.degraded_frames > 0, "validated frames finalized locally");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resurrect_before_detection_restarts_in_place() {
+        let dir = croesus_wal::scratch_dir("fleet-resurrect");
+        let plan = FaultPlan::new()
+            .at(6, 1, FaultKind::Kill)
+            .at(8, 1, FaultKind::Resurrect);
+        let r = fleet(&dir)
+            .heartbeat_timeout(5)
+            .faults(plan)
+            .build()
+            .run_fleet();
+        assert!(r.takeovers.is_empty(), "back before the detector fired");
+        assert_eq!(r.in_place_restarts, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resurrect_after_takeover_is_fenced() {
+        let dir = croesus_wal::scratch_dir("fleet-fence");
+        let plan = FaultPlan::new()
+            .at(6, 1, FaultKind::Kill)
+            .at(15, 1, FaultKind::Resurrect);
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert_eq!(r.takeovers.len(), 1);
+        assert_eq!(r.in_place_restarts, 0);
+        assert_eq!(r.fenced_wakeups, 1, "the zombie stays out");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shipment_is_rejected_and_refetched() {
+        let dir = croesus_wal::scratch_dir("fleet-corrupt");
+        let plan = FaultPlan::new().at(4, 0, FaultKind::CorruptShipment);
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert!(r.rejected_batches >= 1);
+        assert!(r.takeovers.is_empty());
+        assert_eq!(r.frames_processed, 30, "damage in flight costs nothing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let dir_a = croesus_wal::scratch_dir("fleet-det-a");
+        let dir_b = croesus_wal::scratch_dir("fleet-det-b");
+        let plan = FaultPlan::seeded(99, 30, 3, 0.08);
+        let a = fleet(&dir_a).faults(plan.clone()).build().run_fleet();
+        let b = fleet(&dir_b).faults(plan).build().run_fleet();
+        assert_eq!(a, b, "a chaos run is a pure function of (config, plan)");
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+}

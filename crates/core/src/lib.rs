@@ -39,6 +39,7 @@ pub mod client;
 pub mod cloud;
 pub mod config;
 pub mod edge;
+pub mod fleet;
 pub mod matching;
 pub mod metrics;
 pub mod optimizer;
@@ -52,11 +53,13 @@ pub mod workload;
 pub use bank::{TransactionsBank, TriggerRule, TxnInstance, TxnTemplate};
 pub use baseline::EDGE_BASELINE_CONFIDENCE;
 pub use client::{AuxInput, Client, FrameResponses};
-pub use cloud::CloudNode;
+pub use cloud::{CloudNode, ReplicaTailer, TailPoll};
 pub use config::{CroesusConfig, ValidationPolicy};
+pub use croesus_sim::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use croesus_txn::ProtocolKind;
 pub use croesus_wal::DurabilityMode;
 pub use edge::{EdgeNode, FinalStage, InitialStage};
+pub use fleet::{FleetReport, Takeover};
 pub use matching::{match_edge_to_cloud, FinalInput, FrameMatch, LabelVerdict};
 pub use metrics::{CorrectionCounts, LatencyBreakdown, MetricsCollector, RunMetrics};
 pub use optimizer::{OptimalThresholds, ThresholdEvaluator, ThresholdOutcome};

@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use croesus_detect::{score_against, Detection, ModelProfile, SimulatedModel};
 use croesus_net::BandwidthMeter;
-use croesus_sim::DetRng;
+use croesus_sim::{DetRng, FaultPlan};
 use croesus_store::{KvStore, LockManager};
 use croesus_txn::{ExecutorCore, ProtocolKind};
 use croesus_video::{LabelClass, VideoPreset};
@@ -112,6 +112,9 @@ pub struct CroesusBuilder {
     mode: DeploymentMode,
     edges: usize,
     durability: DurabilityMode,
+    faults: FaultPlan,
+    failover: bool,
+    heartbeat_timeout: u64,
 }
 
 impl Default for CroesusBuilder {
@@ -122,6 +125,9 @@ impl Default for CroesusBuilder {
             mode: DeploymentMode::MultiStage,
             edges: 1,
             durability: DurabilityMode::Disabled,
+            faults: FaultPlan::new(),
+            failover: false,
+            heartbeat_timeout: 3,
         }
     }
 }
@@ -234,15 +240,61 @@ impl CroesusBuilder {
         self
     }
 
+    /// Fault schedule for chaos runs ([`Deployment::run_fleet`]): scripted
+    /// or seeded kill/stall/partition/resurrect events against individual
+    /// edges. Empty by default (the fault-free control run).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enable edge→cloud failover: the cloud tails every edge's shipped
+    /// WAL and takes over a dead edge's partition once the failure
+    /// detector times it out. Requires durability — [`build`] rejects the
+    /// combination with `durability(Disabled)`, because without a WAL
+    /// there is nothing to ship and the replica would take over from
+    /// nothing, silently dropping every committed write.
+    ///
+    /// [`build`]: CroesusBuilder::build
+    #[must_use]
+    pub fn failover(mut self, on: bool) -> Self {
+        self.failover = on;
+        self
+    }
+
+    /// Frames without a heartbeat before an edge is declared dead
+    /// (failure detection is frame-synchronous). Panics on 0 — a zero
+    /// timeout deposes every edge at the first missed beat, including
+    /// ones that were merely scheduled after a busy frame.
+    #[must_use]
+    pub fn heartbeat_timeout(mut self, frames: u64) -> Self {
+        assert!(
+            frames >= 1,
+            "the heartbeat timeout must be at least one frame"
+        );
+        self.heartbeat_timeout = frames;
+        self
+    }
+
     /// Build the deployment.
     #[must_use]
     pub fn build(self) -> Deployment {
+        assert!(
+            !self.failover || self.durability.is_enabled(),
+            "failover requires durability: the cloud replica takes over from the \
+             edge's shipped WAL, and durability(Disabled) ships nothing — enable a \
+             durability mode or drop failover(true)"
+        );
         Deployment {
             config: self.config,
             protocol: self.protocol,
             mode: self.mode,
             edges: self.edges,
             durability: self.durability,
+            faults: self.faults,
+            failover: self.failover,
+            heartbeat_timeout: self.heartbeat_timeout,
         }
     }
 }
@@ -250,11 +302,14 @@ impl CroesusBuilder {
 /// A configured Croesus deployment, ready to run.
 #[derive(Clone, Debug)]
 pub struct Deployment {
-    config: CroesusConfig,
-    protocol: ProtocolKind,
-    mode: DeploymentMode,
-    edges: usize,
-    durability: DurabilityMode,
+    pub(crate) config: CroesusConfig,
+    pub(crate) protocol: ProtocolKind,
+    pub(crate) mode: DeploymentMode,
+    pub(crate) edges: usize,
+    pub(crate) durability: DurabilityMode,
+    pub(crate) faults: FaultPlan,
+    pub(crate) failover: bool,
+    pub(crate) heartbeat_timeout: u64,
 }
 
 impl Deployment {
@@ -281,6 +336,11 @@ impl Deployment {
     /// The durability mode.
     pub fn durability(&self) -> &DurabilityMode {
         &self.durability
+    }
+
+    /// Frames without a heartbeat before an edge is declared dead.
+    pub fn heartbeat_timeout(&self) -> u64 {
+        self.heartbeat_timeout
     }
 
     /// Build the edge fleet: each edge owns its own store, lock manager
@@ -509,6 +569,13 @@ impl Deployment {
                 &query,
                 config.overlap_threshold,
             ));
+
+            // Settle-and-prune: this frame is fully finalized on its edge,
+            // so at quiescence the retractable entries (and their WAL
+            // shadow mirror) are dropped — an unbounded run no longer
+            // accumulates apology state for transactions that can never be
+            // retraction roots again.
+            edge.settle();
         }
 
         let base = match config.validation {
@@ -579,6 +646,7 @@ impl Deployment {
                 &query,
                 config.overlap_threshold,
             ));
+            edge.settle();
         }
         Self::flush_wals(&edges);
         collector.finish(
@@ -651,6 +719,7 @@ impl Deployment {
                 &query,
                 config.overlap_threshold,
             ));
+            edge.settle();
         }
         Self::flush_wals(&edges);
         collector.finish(
@@ -817,5 +886,38 @@ mod tests {
     #[should_panic(expected = "at least one edge")]
     fn zero_edges_panics() {
         let _ = Croesus::builder().edges(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failover requires durability")]
+    fn failover_without_durability_is_rejected() {
+        let _ = Croesus::builder().failover(true).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_heartbeat_timeout_panics() {
+        let _ = Croesus::builder().heartbeat_timeout(0);
+    }
+
+    #[test]
+    fn per_frame_settling_keeps_apology_state_bounded() {
+        // The leak regression: without settling, every finalized txn with
+        // live retractable entries stayed registered forever (manager and
+        // WAL shadow both). With per-frame settling, a clean run ends with
+        // zero tracked entries — the log replays to an empty registry.
+        let dir = croesus_wal::scratch_dir("system-settle");
+        quick()
+            .durability(DurabilityMode::group_commit(&dir))
+            .build()
+            .run();
+        let rec = croesus_txn::recovery::recover_edge_file(dir.join("edge-0.wal")).unwrap();
+        assert_eq!(
+            rec.apologies.tracked_count(),
+            0,
+            "the final settle dropped every retractable entry"
+        );
+        assert!(rec.unfinalized.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -17,14 +17,19 @@
 //!   top of [`DetRng`].
 //! * [`stats`] — summaries (mean/stddev/percentiles), online accumulation
 //!   and fixed-width histograms for reporting experiment results.
+//! * [`fault`] — replayable fault schedules ([`FaultPlan`]) and the
+//!   [`FaultInjector`] that drains them, so chaos runs against the edge
+//!   fleet are as deterministic as the fault-free ones.
 
 pub mod dist;
+pub mod fault;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Distribution, Exponential, Kumaraswamy, Normal, Zipf};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use kernel::{Scheduler, Simulator};
 pub use rng::DetRng;
 pub use stats::{Histogram, OnlineStats, PrecisionRecall, Summary};

@@ -233,6 +233,30 @@ impl ApologyManager {
         true
     }
 
+    /// Drop every tracked entry — live, retracted and finalized alike —
+    /// keeping issued apologies and the sequence counter. Returns how many
+    /// entries were dropped.
+    ///
+    /// Only safe at **quiescence**: with no transaction mid-flight there
+    /// is no retraction root left, and any *future* retraction can only
+    /// start from a transaction registered after this point — its cascade
+    /// flows forward in sequence order and never reaches the dropped
+    /// entries. The pipeline calls this between frames (see
+    /// `EdgeNode::settle`), which is what keeps the manager bounded over
+    /// arbitrarily long runs.
+    pub fn settle_all(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let dropped = inner.entries.len();
+        inner.entries.clear();
+        dropped
+    }
+
+    /// Number of entries currently tracked (live **or** retracted) — the
+    /// quantity [`settle_all`](Self::settle_all) keeps bounded.
+    pub fn tracked_count(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
     /// All apologies issued so far.
     pub fn apologies(&self) -> Vec<Apology> {
         self.inner.lock().apologies.clone()
@@ -397,6 +421,25 @@ mod tests {
         assert!(mgr.prune_finalized(TxnId(2)), "nothing depends on t2");
         assert!(mgr.prune_finalized(TxnId(1)), "now t1 is free");
         assert_eq!(mgr.live_count(), 0);
+    }
+
+    #[test]
+    fn settle_all_drops_entries_but_keeps_apologies_and_seq() {
+        let store = KvStore::new();
+        let mgr = ApologyManager::new();
+        run_initial(&mgr, &store, TxnId(1), &[], &[("a", 1)]);
+        run_initial(&mgr, &store, TxnId(2), &["a"], &[("b", 2)]);
+        mgr.retract(TxnId(1), &store, "pre-settle");
+        assert_eq!(mgr.tracked_count(), 2, "retracted entries linger");
+        assert_eq!(mgr.settle_all(), 2);
+        assert_eq!(mgr.tracked_count(), 0);
+        assert_eq!(mgr.apologies().len(), 2, "history of apologies survives");
+        // The sequence counter keeps counting: a post-settle registration
+        // orders after everything that ever existed.
+        let mut undo = UndoLog::new();
+        undo.put(&store, Key::new("c"), Value::Int(3));
+        let seq = mgr.register(TxnId(3), vec![], vec![Key::new("c")], undo);
+        assert_eq!(seq, 2);
     }
 
     #[test]

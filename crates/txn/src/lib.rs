@@ -87,4 +87,4 @@ pub use recovery::{recover_edge, recover_edge_file, RecoveredEdge};
 pub use sequencer::Sequencer;
 pub use staged::StagedExecutor;
 pub use stats::{ProtocolStats, StatsSnapshot};
-pub use tpc::{Coordinator, Participant, PartitionParticipant, TpcOutcome, Vote};
+pub use tpc::{Coordinator, Participant, PartitionParticipant, RetryPolicy, TpcOutcome, Vote};

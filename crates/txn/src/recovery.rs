@@ -46,7 +46,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
-use croesus_wal::RecoveryReport;
+use croesus_wal::{RecoveryReport, RecoveryState, RetractRecord, WalRecord};
 
 use crate::apology::{ApologyManager, RetractionReport};
 use crate::protocol::ExecutorCore;
@@ -73,6 +73,13 @@ pub struct RecoveredEdge {
     pub torn_tail: bool,
     /// Valid frames replayed.
     pub frames: usize,
+    /// One past the highest transaction id in the log — a replacement
+    /// node continues assigning ids from here.
+    pub next_txn: u64,
+    /// The WAL replay state with the crash retractions already folded in —
+    /// hand this (with [`store`](Self::store)) to `Wal::resume` so the new
+    /// log continues exactly where recovery left the world.
+    pub state: RecoveryState,
 }
 
 impl RecoveredEdge {
@@ -108,11 +115,22 @@ pub fn recover_edge_file(path: impl AsRef<Path>) -> io::Result<RecoveredEdge> {
 /// initially-committed-but-unfinalized transaction, collect apologies.
 #[must_use]
 pub fn apology_aware(report: RecoveryReport) -> RecoveredEdge {
-    let store = Arc::new(report.store);
+    let RecoveryReport {
+        store,
+        entries,
+        unfinalized,
+        tpc_decisions,
+        frames,
+        torn_tail,
+        next_txn,
+        mut state,
+        ..
+    } = report;
+    let store = Arc::new(store);
     let apologies = Arc::new(ApologyManager::new());
     // Registration order = log sequence order, so the manager's internal
     // sequence numbers reproduce the pre-crash cascade ordering.
-    for entry in &report.entries {
+    for entry in &entries {
         let mut undo = UndoLog::new();
         for (key, pre) in &entry.undo {
             undo.record(key.clone(), pre.clone());
@@ -120,7 +138,7 @@ pub fn apology_aware(report: RecoveryReport) -> RecoveredEdge {
         apologies.register(entry.txn, entry.reads.clone(), entry.writes.clone(), undo);
     }
     let mut retractions = Vec::new();
-    for txn in &report.unfinalized {
+    for txn in &unfinalized {
         let r = apologies.retract(
             *txn,
             &store,
@@ -129,6 +147,18 @@ pub fn apology_aware(report: RecoveryReport) -> RecoveredEdge {
         // A transaction already swept up by a previous cascade yields an
         // empty (idempotent) report — don't record those.
         if !r.retracted.is_empty() {
+            // Mirror the retraction into the replay state (the store was
+            // already rolled back by the manager above), so a writer
+            // resumed from this state checkpoints the post-recovery world.
+            for (victim, restores) in &r.restores {
+                state.apply(
+                    &WalRecord::Retract(RetractRecord {
+                        txn: *victim,
+                        restores: restores.clone(),
+                    }),
+                    None,
+                );
+            }
             retractions.push(r);
         }
     }
@@ -136,10 +166,12 @@ pub fn apology_aware(report: RecoveryReport) -> RecoveredEdge {
         store,
         apologies,
         retractions,
-        unfinalized: report.unfinalized,
-        tpc_decisions: report.tpc_decisions,
-        torn_tail: report.torn_tail,
-        frames: report.frames,
+        unfinalized,
+        tpc_decisions,
+        torn_tail,
+        frames,
+        next_txn,
+        state,
     }
 }
 

@@ -108,6 +108,56 @@ impl Participant for PartitionParticipant {
 /// A participant paired with the writes routed to it.
 pub type ParticipantWrites<'a> = (&'a dyn Participant, &'a [(Key, Value)]);
 
+/// Bounded-backoff retry for the coordinator path. Cross-edge commits
+/// contend on remote locks (and remote edges stall); rather than failing
+/// the client on the first `No` vote, the coordinator retries with
+/// exponential backoff up to a cap, then degrades gracefully by reporting
+/// the abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); 1 means no retry.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in microseconds; doubles per
+    /// attempt.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, in microseconds.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_us: 50,
+            max_backoff_us: 800,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all — the pre-retry behaviour.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before attempt `attempt` (1-based; attempt 0 is the
+    /// first try and waits nothing).
+    #[must_use]
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        self.base_backoff_us
+            .checked_shl(attempt - 1)
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff_us)
+    }
+}
+
 /// The coordinator: runs 2PC over the partitions owning a write set.
 pub struct Coordinator {
     partitions: Arc<PartitionMap>,
@@ -149,6 +199,17 @@ impl Coordinator {
         if let Some(wal) = &self.wal {
             wal.append_tpc_decision(txn, commit)
                 .expect("WAL append failed — the 2PC decision must be durable before phase 2");
+        }
+    }
+
+    /// Log that phase 2 finished: every participant acked, so the decision
+    /// entry may be expired from the shadow state. Unsynced on purpose —
+    /// losing the record only means a recovering coordinator re-runs an
+    /// idempotent phase 2.
+    fn log_end(&self, txn: TxnId) {
+        if let Some(wal) = &self.wal {
+            wal.append_tpc_end(txn)
+                .expect("WAL append failed — durability cannot be guaranteed");
         }
     }
 
@@ -252,12 +313,60 @@ impl Coordinator {
                 for (p, _) in &participants {
                     p.commit(txn);
                 }
+                self.log_end(txn);
                 TpcOutcome::Committed {
                     participants: participants.len(),
                 }
             }
-            Err(voted) => TpcOutcome::Aborted { voted },
+            Err(voted) => {
+                // Phase 1 already rolled the voters back — phase 2 is done.
+                self.log_end(txn);
+                TpcOutcome::Aborted { voted }
+            }
         }
+    }
+
+    /// Retry [`commit_writes`](Self::commit_writes) under a bounded
+    /// exponential backoff, for write sets that contend with remote
+    /// partitions. Returns the final outcome and the attempts spent. An
+    /// abort after `max_attempts` is the graceful-degradation signal: the
+    /// caller keeps serving edge-local reads and surfaces the abort to the
+    /// client instead of wedging.
+    pub fn commit_writes_with_retry(
+        &self,
+        txn: TxnId,
+        writes: &[(Key, Value)],
+        policy: RetryPolicy,
+    ) -> (TpcOutcome, u32) {
+        assert!(policy.max_attempts >= 1, "at least one attempt");
+        let mut outcome = TpcOutcome::Aborted { voted: 0 };
+        for attempt in 0..policy.max_attempts {
+            let backoff = policy.backoff_us(attempt);
+            if backoff > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(backoff));
+            }
+            outcome = self.commit_writes(txn, writes);
+            if matches!(outcome, TpcOutcome::Committed { .. }) {
+                return (outcome, attempt + 1);
+            }
+        }
+        (outcome, policy.max_attempts)
+    }
+
+    /// Resolve an in-doubt transaction against this coordinator's **own
+    /// decision log** (the same log a cloud replica tails): commit if a
+    /// durable commit decision exists, presumed abort otherwise, then
+    /// expire the decision. This is the recovery path a new coordinator
+    /// epoch runs for every transaction its predecessor left prepared.
+    pub fn resolve_from_log<'a>(
+        &self,
+        txn: TxnId,
+        participants: impl IntoIterator<Item = &'a dyn Participant>,
+    ) -> TpcOutcome {
+        let decision = self.wal.as_ref().and_then(|w| w.tpc_decision(txn));
+        let outcome = Self::resolve_in_doubt(decision, txn, participants);
+        self.log_end(txn);
+        outcome
     }
 }
 
@@ -505,5 +614,110 @@ mod tests {
         let coord = Coordinator::new(pm);
         let outcome = coord.commit_writes(TxnId(1), &[]);
         assert_eq!(outcome, TpcOutcome::Committed { participants: 0 });
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_us: 50,
+            max_backoff_us: 800,
+        };
+        assert_eq!(p.backoff_us(0), 0, "the first try waits nothing");
+        assert_eq!(p.backoff_us(1), 50);
+        assert_eq!(p.backoff_us(2), 100);
+        assert_eq!(p.backoff_us(5), 800, "capped");
+        assert_eq!(p.backoff_us(63), 800, "shift overflow saturates at the cap");
+    }
+
+    #[test]
+    fn retry_commits_once_the_contending_lock_clears() {
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let ws = writes(8);
+        let victim = ws[3].0.clone();
+        pm.partition_of(&victim)
+            .locks
+            .lock(TxnId(99), &victim, croesus_store::LockMode::Exclusive)
+            .unwrap();
+        // The contender releases while the coordinator is backing off.
+        let pm2 = Arc::clone(&pm);
+        let v2 = victim.clone();
+        let holder = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(2_000));
+            pm2.partition_of(&v2).locks.release(TxnId(99), &v2);
+        });
+        let policy = RetryPolicy {
+            max_attempts: 200,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+        };
+        let (outcome, attempts) = coord.commit_writes_with_retry(TxnId(1), &ws, policy);
+        holder.join().unwrap();
+        assert!(matches!(outcome, TpcOutcome::Committed { .. }));
+        assert!(attempts >= 2, "the first attempt hit the held lock");
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_a_reported_abort() {
+        let pm = map();
+        let coord = Coordinator::new(Arc::clone(&pm));
+        let ws = writes(8);
+        let victim = &ws[3].0;
+        pm.partition_of(victim)
+            .locks
+            .lock(TxnId(99), victim, croesus_store::LockMode::Exclusive)
+            .unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 10,
+            max_backoff_us: 20,
+        };
+        let (outcome, attempts) = coord.commit_writes_with_retry(TxnId(1), &ws, policy);
+        assert!(matches!(outcome, TpcOutcome::Aborted { .. }));
+        assert_eq!(attempts, 3);
+        // Nothing leaked anywhere despite three rounds of prepare/abort.
+        for (k, _) in &ws {
+            assert_eq!(pm.partition_of(k).store.get(k), None);
+        }
+    }
+
+    #[test]
+    fn completed_phase2_expires_the_decision_entry() {
+        use croesus_wal::{Wal, WalConfig};
+        let pm = map();
+        let (wal, _) = Wal::in_memory(WalConfig::group(64));
+        let wal = Arc::new(wal);
+        let coord = Coordinator::new(Arc::clone(&pm)).with_wal(Arc::clone(&wal));
+        for i in 0..100u64 {
+            coord.commit_writes(TxnId(i), &writes(6));
+        }
+        assert_eq!(
+            wal.tpc_decision_count(),
+            0,
+            "every acked phase 2 expired its decision"
+        );
+    }
+
+    #[test]
+    fn resolve_from_log_finishes_phase2_and_expires() {
+        use croesus_wal::{Wal, WalConfig};
+        let pm = map();
+        let (wal, _) = Wal::in_memory(WalConfig::strict());
+        let wal = Arc::new(wal);
+        let coord = Coordinator::new(Arc::clone(&pm)).with_wal(Arc::clone(&wal));
+        let part = Arc::clone(&pm.partitions()[0]);
+        let participant = PartitionParticipant::new(Arc::clone(&part));
+        let ws: Vec<(Key, Value)> = vec![("k".into(), Value::Int(1))];
+        let pw: Vec<ParticipantWrites<'_>> =
+            vec![(&participant as &dyn Participant, ws.as_slice())];
+        assert!(coord.run_phase1(TxnId(7), &pw).is_ok());
+        assert_eq!(wal.tpc_decision(TxnId(7)), Some(true));
+        // The old epoch dies here; a new one resolves from the log.
+        let outcome = coord.resolve_from_log(TxnId(7), [&participant as &dyn Participant]);
+        assert!(matches!(outcome, TpcOutcome::Committed { .. }));
+        assert_eq!(part.store.get(&"k".into()).as_deref(), Some(&Value::Int(1)));
+        assert_eq!(wal.tpc_decision_count(), 0);
+        assert_eq!(part.locks.locked_keys(), 0);
     }
 }

@@ -66,6 +66,7 @@ pub mod frame;
 pub mod mode;
 pub mod record;
 pub mod recover;
+pub mod ship;
 pub mod storage;
 pub mod writer;
 
@@ -73,5 +74,6 @@ pub use frame::{crc32, FrameReader, TailState};
 pub use mode::DurabilityMode;
 pub use record::{CheckpointRecord, RetractRecord, StageFlags, StageRecord, WalRecord, WriteImage};
 pub use recover::{recover, recover_file, RecoveredEntry, RecoveryReport, RecoveryState};
+pub use ship::{LogShipper, ShipBatch, ShipCursor, ShipFetch};
 pub use storage::{scratch_dir, FileStorage, MemStorage, Storage};
 pub use writer::{Wal, WalConfig, WalStats};

@@ -135,6 +135,20 @@ pub enum WalRecord {
     /// A checkpoint: the full recovery state at a moment in time. The log
     /// is truncated to just this record, bounding replay work.
     Checkpoint(Box<CheckpointRecord>),
+    /// A settle point: the edge was quiescent (no frame in flight) and
+    /// dropped every registered apology entry — finalized guesses included
+    /// — because no retraction can reach back past a quiescent boundary.
+    /// Replay drops the same entries, so shadow state and checkpoints stay
+    /// bounded however long the run (the settle-and-prune pass).
+    Settle,
+    /// The 2PC coordinator finished phase 2 for `txn`: every participant
+    /// acked. The decision entry can be dropped from the shadow state —
+    /// nobody can be in doubt about a transaction whose phase 2 completed.
+    /// Not synced on its own: losing it re-runs an idempotent phase 2.
+    TpcEnd {
+        /// The finished distributed transaction.
+        txn: TxnId,
+    },
 }
 
 /// Serialized recovery state (see `recover::RecoveryState`).
@@ -152,6 +166,10 @@ pub struct CheckpointRecord {
     pub finalized: u64,
     /// Coordinator decisions not yet resolved.
     pub tpc: Vec<(TxnId, bool)>,
+    /// Next transaction id the edge would assign (so a replacement node
+    /// taking over the partition continues the id sequence instead of
+    /// colliding with ids the dead edge already used).
+    pub next_txn: u64,
 }
 
 /// One transaction's state inside a checkpoint.
@@ -194,6 +212,8 @@ const TAG_STAGE: u8 = 1;
 const TAG_RETRACT: u8 = 2;
 const TAG_TPC: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
+const TAG_SETTLE: u8 = 5;
+const TAG_TPC_END: u8 = 6;
 
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -435,6 +455,14 @@ impl WalRecord {
                     put_u64(&mut out, txn.0);
                     out.push(u8::from(*commit));
                 }
+                put_u64(&mut out, cp.next_txn);
+            }
+            WalRecord::Settle => {
+                out.push(TAG_SETTLE);
+            }
+            WalRecord::TpcEnd { txn } => {
+                out.push(TAG_TPC_END);
+                put_u64(&mut out, txn.0);
             }
         }
         out
@@ -499,14 +527,20 @@ impl WalRecord {
                 for _ in 0..n {
                     tpc.push((TxnId(c.u64()?), c.u8()? != 0));
                 }
+                let next_txn = c.u64()?;
                 WalRecord::Checkpoint(Box::new(CheckpointRecord {
                     store,
                     txns,
                     next_seq,
                     finalized,
                     tpc,
+                    next_txn,
                 }))
             }
+            TAG_SETTLE => WalRecord::Settle,
+            TAG_TPC_END => WalRecord::TpcEnd {
+                txn: TxnId(c.u64()?),
+            },
             _ => return Err(DecodeError("unknown record tag")),
         };
         c.done()?;
@@ -593,7 +627,17 @@ mod tests {
             next_seq: 10,
             finalized: 4,
             tpc: vec![(TxnId(11), true)],
+            next_txn: 77,
         })));
+    }
+
+    #[test]
+    fn settle_and_tpc_end_roundtrip() {
+        roundtrip(WalRecord::Settle);
+        roundtrip(WalRecord::TpcEnd { txn: TxnId(19) });
+        roundtrip(WalRecord::TpcEnd {
+            txn: TxnId(u64::MAX),
+        });
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct RecoveryState {
     /// once settled, so this cannot be derived from `txns`).
     finalized_total: u64,
     tpc: Vec<(TxnId, bool)>,
+    /// One past the highest transaction id seen — the id a replacement
+    /// node must continue from after taking over the partition.
+    next_txn: u64,
 }
 
 impl RecoveryState {
@@ -122,10 +125,27 @@ impl RecoveryState {
                     }
                 }
             }
+            WalRecord::Settle => self.settle(),
+            WalRecord::TpcEnd { txn } => {
+                self.tpc.retain(|(t, _)| t != txn);
+            }
         }
     }
 
+    /// Replay of a [`WalRecord::Settle`]: drop every registered entry and
+    /// every transaction state that is now inert. The live side only logs
+    /// a settle at quiescence (no frame in flight), where no future
+    /// retraction cascade can reach the dropped entries.
+    fn settle(&mut self) {
+        for t in self.txns.values_mut() {
+            t.entries.clear();
+        }
+        self.txns
+            .retain(|_, t| !t.pending.is_empty() || !t.finalized);
+    }
+
     fn apply_stage(&mut self, s: &StageRecord, store: Option<&KvStore>) {
+        self.next_txn = self.next_txn.max(s.txn.0 + 1);
         let t = self.txns.entry(s.txn.0).or_default();
         t.pending.extend(s.images.iter().cloned());
         if !s.flags.commit_point() {
@@ -268,6 +288,33 @@ impl RecoveryState {
         self.finalized_total as usize
     }
 
+    /// One past the highest transaction id seen (0 for an empty log) — a
+    /// replacement node continues assigning ids from here.
+    #[must_use]
+    pub fn next_txn(&self) -> u64 {
+        self.next_txn
+    }
+
+    /// Count of registered entries still tracked (live or retracted) —
+    /// what settle-and-prune keeps bounded.
+    #[must_use]
+    pub fn tracked_entries(&self) -> usize {
+        self.txns.values().map(|t| t.entries.len()).sum()
+    }
+
+    /// Forget writes that were logged but never reached a commit point.
+    /// After a crash, the transactions that buffered them are dead — their
+    /// locks died with the process, so the writes can never commit — but a
+    /// rebuilt writer must not overlay their stale pre-images onto future
+    /// checkpoints. States left empty by the drop are removed.
+    pub fn abandon_pending(&mut self) {
+        for t in self.txns.values_mut() {
+            t.pending.clear();
+        }
+        self.txns
+            .retain(|_, t| t.initial_committed || !t.entries.is_empty());
+    }
+
     /// Serialize into a checkpoint record. `store` is the *live* store;
     /// writes still pending (logged without a commit point — MS-SR
     /// transactions caught mid-flight) are overlaid back to their
@@ -329,6 +376,7 @@ impl RecoveryState {
             next_seq: self.next_seq,
             finalized: self.finalized_total,
             tpc: self.tpc.clone(),
+            next_txn: self.next_txn,
         }
     }
 
@@ -363,6 +411,7 @@ impl RecoveryState {
             next_seq: cp.next_seq,
             finalized_total: cp.finalized,
             tpc: cp.tpc.clone(),
+            next_txn: cp.next_txn,
         }
     }
 }
@@ -388,6 +437,13 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
     /// Transactions whose final commit survived.
     pub finalized: usize,
+    /// One past the highest transaction id in the log — where a
+    /// replacement node continues the id sequence.
+    pub next_txn: u64,
+    /// The full replay state machine at the end of the valid prefix —
+    /// hand this to [`Wal::resume`](crate::Wal::resume) to continue the
+    /// log where the crash left it.
+    pub state: RecoveryState,
 }
 
 /// Replay a log byte stream (everything the crash preserved) into a fresh
@@ -422,10 +478,12 @@ pub fn recover(bytes: &[u8]) -> RecoveryReport {
         unfinalized: state.unfinalized(),
         tpc_decisions: state.tpc_decisions().to_vec(),
         finalized: state.finalized_count(),
+        next_txn: state.next_txn(),
         store,
         frames,
         bytes_replayed,
         torn_tail,
+        state,
     }
 }
 
@@ -662,5 +720,68 @@ mod tests {
         assert_eq!(r.entries.len(), 2);
         assert_eq!(r.entries[0].seq, 0);
         assert_eq!(r.entries[1].seq, 1);
+    }
+
+    #[test]
+    fn settle_drops_finalized_entries_but_keeps_the_store() {
+        let log = log_of(&[
+            stage(1, 0, 2, CP | REG, vec![("a", None, Some(1))]),
+            stage(1, 1, 2, CP | FIN | REG, vec![("a", Some(1), Some(2))]),
+            WalRecord::Settle,
+        ]);
+        let r = recover(&log);
+        assert_eq!(r.store.get(&"a".into()).as_deref(), Some(&Value::Int(2)));
+        assert!(r.entries.is_empty(), "settle dropped the live guesses");
+        assert_eq!(r.state.tracked_entries(), 0);
+        assert_eq!(r.finalized, 1, "the finalized count survives settling");
+        assert_eq!(r.next_txn, 2);
+    }
+
+    #[test]
+    fn tpc_end_expires_the_decision() {
+        let log = log_of(&[
+            WalRecord::TpcDecision {
+                txn: TxnId(5),
+                commit: true,
+            },
+            WalRecord::TpcDecision {
+                txn: TxnId(6),
+                commit: false,
+            },
+            WalRecord::TpcEnd { txn: TxnId(5) },
+        ]);
+        let r = recover(&log);
+        assert_eq!(r.tpc_decisions, vec![(TxnId(6), false)]);
+    }
+
+    #[test]
+    fn abandon_pending_forgets_uncommitted_writes() {
+        // An MS-SR transaction died mid-flight: stage 0 logged, no commit
+        // point. Its buffered pre-image must not leak into checkpoints
+        // taken by a writer resumed from this state.
+        let mut state = RecoveryState::new();
+        let store = KvStore::new();
+        state.apply(
+            &stage(3, 0, 2, 0, vec![("held", Some(7), Some(100))]),
+            Some(&store),
+        );
+        state.abandon_pending();
+        let cp = state.to_checkpoint(&store);
+        assert!(cp.txns.is_empty(), "the dead txn's state is gone");
+        assert!(cp.store.is_empty(), "no stale pre-image overlay");
+        assert_eq!(state.next_txn(), 4, "the id high-water mark survives");
+    }
+
+    #[test]
+    fn next_txn_survives_a_checkpoint_roundtrip() {
+        let mut state = RecoveryState::new();
+        let store = KvStore::new();
+        state.apply(
+            &stage(41, 0, 1, CP | FIN, vec![("a", None, Some(1))]),
+            Some(&store),
+        );
+        let log = log_of(&[WalRecord::Checkpoint(Box::new(state.to_checkpoint(&store)))]);
+        let r = recover(&log);
+        assert_eq!(r.next_txn, 42);
     }
 }

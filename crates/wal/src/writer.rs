@@ -30,6 +30,7 @@
 
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -38,6 +39,7 @@ use croesus_store::{KvStore, TxnId};
 use crate::frame::write_frame;
 use crate::record::{RetractRecord, StageRecord, WalRecord};
 use crate::recover::RecoveryState;
+use crate::ship::LogShipper;
 use crate::storage::{FileStorage, MemStorage, Storage};
 
 /// Writer tuning.
@@ -105,6 +107,28 @@ struct WalInner {
     unsynced_commits: usize,
     commits_since_checkpoint: u64,
     stats: WalStats,
+    /// Cloud replication endpoint, when shipping is on. Published to only
+    /// inside the sync paths, so the shipped image is exactly the durable
+    /// image — a replica can lag but never run ahead of a crash.
+    shipper: Option<Arc<LogShipper>>,
+    /// Frame bytes appended since the last sync — the batch the next sync
+    /// publishes.
+    unshipped: Vec<u8>,
+}
+
+impl WalInner {
+    /// Make everything appended durable and publish it to the shipper.
+    /// The single exit through which bytes become both synced and shipped.
+    fn sync_and_publish(&mut self) -> io::Result<()> {
+        self.storage.sync()?;
+        self.stats.syncs += 1;
+        self.unsynced_commits = 0;
+        if let Some(shipper) = &self.shipper {
+            shipper.publish(&self.unshipped);
+        }
+        self.unshipped.clear();
+        Ok(())
+    }
 }
 
 /// A per-edge write-ahead log. Thread-safe; share via `Arc`.
@@ -125,8 +149,85 @@ impl Wal {
                 unsynced_commits: 0,
                 commits_since_checkpoint: 0,
                 stats: WalStats::default(),
+                shipper: None,
+                unshipped: Vec::new(),
             }),
         }
+    }
+
+    /// Attach a cloud shipping endpoint. Must happen before the first
+    /// append — the writer cannot read already-written bytes back out of
+    /// its storage to backfill the replica.
+    pub fn attach_shipper(&self, shipper: Arc<LogShipper>) {
+        let mut inner = self.inner.lock();
+        assert!(
+            inner.storage.is_empty(),
+            "attach the shipper before the first append"
+        );
+        inner.shipper = Some(shipper);
+    }
+
+    /// The attached shipping endpoint, if any.
+    #[must_use]
+    pub fn shipper(&self) -> Option<Arc<LogShipper>> {
+        self.inner.lock().shipper.clone()
+    }
+
+    /// Rebuild a writer over recovered state: the log restarts as a single
+    /// checkpoint frame serializing `state` (as recovered — see
+    /// [`RecoveryReport::state`](crate::RecoveryReport)) over `store` (the
+    /// recovered committed store). Writes the recovered transactions never
+    /// committed are abandoned first: their owners died with their locks,
+    /// so they can never finish, and their stale pre-images must not
+    /// overlay future checkpoints. With a shipper, the replica's tail
+    /// restarts at the new epoch.
+    pub fn resume(
+        storage: Box<dyn Storage>,
+        config: WalConfig,
+        mut state: RecoveryState,
+        store: &KvStore,
+        shipper: Option<Arc<LogShipper>>,
+    ) -> io::Result<Self> {
+        state.abandon_pending();
+        let shadow_store = KvStore::new();
+        for (key, versioned) in store.snapshot() {
+            shadow_store.put(key, versioned.value);
+        }
+        let cp = state.to_checkpoint(&shadow_store);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &WalRecord::Checkpoint(Box::new(cp)).encode());
+        let wal = Wal::with_storage(storage, config);
+        {
+            let mut inner = wal.inner.lock();
+            inner.storage.reset(&framed)?;
+            inner.shadow = state;
+            inner.shadow_store = shadow_store;
+            inner.stats.checkpoints += 1;
+            inner.stats.syncs += 1;
+            if let Some(shipper) = &shipper {
+                shipper.restart_epoch(&framed);
+            }
+            inner.shipper = shipper;
+        }
+        Ok(wal)
+    }
+
+    /// [`resume`](Wal::resume) over a file (truncating whatever is there —
+    /// recover from it *first*).
+    pub fn resume_file(
+        path: impl AsRef<Path>,
+        config: WalConfig,
+        state: RecoveryState,
+        store: &KvStore,
+        shipper: Option<Arc<LogShipper>>,
+    ) -> io::Result<Self> {
+        Wal::resume(
+            Box::new(FileStorage::create(path.as_ref())?),
+            config,
+            state,
+            store,
+            shipper,
+        )
     }
 
     /// A fresh file-backed log at `path` (truncates an existing file —
@@ -160,6 +261,7 @@ impl Wal {
         shadow.apply(record, Some(shadow_store));
         inner.stats.records += 1;
         inner.stats.bytes_appended += framed.len() as u64;
+        inner.unshipped.extend_from_slice(&framed);
         Ok(())
     }
 
@@ -168,9 +270,7 @@ impl Wal {
         inner.commits_since_checkpoint += 1;
         inner.unsynced_commits += 1;
         if inner.unsynced_commits >= inner.config.group_commit {
-            inner.storage.sync()?;
-            inner.stats.syncs += 1;
-            inner.unsynced_commits = 0;
+            inner.sync_and_publish()?;
         }
         Ok(())
     }
@@ -206,19 +306,51 @@ impl Wal {
     pub fn append_tpc_decision(&self, txn: TxnId, commit: bool) -> io::Result<()> {
         let mut inner = self.inner.lock();
         Self::append_record(&mut inner, &WalRecord::TpcDecision { txn, commit })?;
-        inner.storage.sync()?;
-        inner.stats.syncs += 1;
-        inner.unsynced_commits = 0;
-        Ok(())
+        inner.sync_and_publish()
+    }
+
+    /// Log the completion of a 2PC transaction's phase 2: every
+    /// participant acked, so the decision entry may be forgotten. Not
+    /// synced on its own — losing this record merely re-runs an
+    /// idempotent phase 2 under presumed abort.
+    pub fn append_tpc_end(&self, txn: TxnId) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        Self::append_record(&mut inner, &WalRecord::TpcEnd { txn })
+    }
+
+    /// Log a settle point: the caller vouches the edge is quiescent (no
+    /// frame in flight) and the apology manager dropped all its entries;
+    /// the shadow state drops its mirror of them. Durability rides the
+    /// next sync — a lost settle only means some entries get re-dropped
+    /// by the next one.
+    pub fn append_settle(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        Self::append_record(&mut inner, &WalRecord::Settle)
+    }
+
+    /// The phase-1 decision the shadow state holds for `txn`, if it has
+    /// not been expired by a [`WalRecord::TpcEnd`].
+    #[must_use]
+    pub fn tpc_decision(&self, txn: TxnId) -> Option<bool> {
+        self.inner.lock().shadow.tpc_decision(txn)
+    }
+
+    /// Unexpired coordinator decisions currently tracked.
+    #[must_use]
+    pub fn tpc_decision_count(&self) -> usize {
+        self.inner.lock().shadow.tpc_decisions().len()
+    }
+
+    /// Registered entries (live or retracted) still mirrored in the shadow
+    /// state — what the settle pass keeps bounded.
+    #[must_use]
+    pub fn shadow_entry_count(&self) -> usize {
+        self.inner.lock().shadow.tracked_entries()
     }
 
     /// Force the durable boundary forward over everything appended.
     pub fn flush(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock();
-        inner.storage.sync()?;
-        inner.stats.syncs += 1;
-        inner.unsynced_commits = 0;
-        Ok(())
+        self.inner.lock().sync_and_publish()
     }
 
     /// Whether enough commit points accumulated for an automatic
@@ -244,6 +376,13 @@ impl Wal {
         inner.stats.syncs += 1;
         inner.commits_since_checkpoint = 0;
         inner.unsynced_commits = 0;
+        // The truncation rewrote history: unsynced bytes are gone (their
+        // effects live inside the checkpoint), and the replica must
+        // re-tail from the new epoch's single frame.
+        inner.unshipped.clear();
+        if let Some(shipper) = &inner.shipper {
+            shipper.restart_epoch(&framed);
+        }
         Ok(())
     }
 
@@ -431,5 +570,78 @@ mod tests {
         assert_eq!(r.store.get(&"k".into()).as_deref(), Some(&Value::Int(42)));
         assert_eq!(r.unfinalized, vec![TxnId(1)]);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shipped_image_equals_durable_image_at_every_sync() {
+        let (wal, probe) = Wal::in_memory(WalConfig::group(2));
+        let shipper = Arc::new(LogShipper::new());
+        wal.attach_shipper(Arc::clone(&shipper));
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        assert_eq!(shipper.shipped_len(), 0, "unsynced bytes are never shipped");
+        wal.append_stage(stage_record(2, 0, CP, "b", 2)).unwrap(); // group sync
+        assert_eq!(shipper.image(), probe.durable());
+        wal.append_stage(stage_record(3, 0, CP, "c", 3)).unwrap(); // buffered
+        wal.flush().unwrap();
+        assert_eq!(shipper.image(), probe.durable());
+    }
+
+    #[test]
+    fn checkpoint_restarts_the_shipping_epoch() {
+        let (wal, probe) = Wal::in_memory(WalConfig::group(1));
+        let shipper = Arc::new(LogShipper::new());
+        wal.attach_shipper(Arc::clone(&shipper));
+        wal.append_stage(stage_record(1, 0, CP | FIN, "a", 1))
+            .unwrap();
+        wal.checkpoint().unwrap();
+        assert_eq!(shipper.epoch(), 1);
+        assert_eq!(shipper.image(), probe.durable());
+        let r = recover(&shipper.image());
+        assert_eq!(r.store.get(&"a".into()).as_deref(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first append")]
+    fn attaching_a_shipper_to_a_dirty_log_panics() {
+        let (wal, _) = Wal::in_memory(WalConfig::strict());
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        wal.attach_shipper(Arc::new(LogShipper::new()));
+    }
+
+    #[test]
+    fn resume_restarts_the_log_as_a_checkpoint_and_continues() {
+        // A crash after one unfinalized commit, then a resumed writer over
+        // the recovered state.
+        let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        wal.append_stage(stage_record(1, 0, CP | REG, "a", 1))
+            .unwrap();
+        wal.append_stage(stage_record(9, 0, 0, "held", 5)).unwrap(); // MS-SR mid-flight
+        wal.flush().unwrap(); // the mid-flight record reaches the disk...
+        let r = recover(&probe.durable()); // ...then the process dies
+        assert_eq!(r.unfinalized, vec![TxnId(1)]);
+
+        let shipper = Arc::new(LogShipper::new());
+        let probe2 = MemStorage::new();
+        let resumed = Wal::resume(
+            Box::new(probe2.clone()),
+            WalConfig::strict(),
+            r.state,
+            &r.store,
+            Some(Arc::clone(&shipper)),
+        )
+        .unwrap();
+        assert_eq!(shipper.image(), probe2.durable());
+        // New work continues against the resumed log.
+        resumed
+            .append_stage(stage_record(1, 1, CP | FIN, "a", 2))
+            .unwrap();
+        let r2 = recover(&probe2.durable());
+        assert_eq!(r2.store.get(&"a".into()).as_deref(), Some(&Value::Int(2)));
+        assert!(r2.unfinalized.is_empty(), "txn 1 finalized after resume");
+        assert!(
+            !r2.store.contains(&"held".into()),
+            "the dead mid-flight write never reappears"
+        );
+        assert_eq!(r2.next_txn, 10, "the id high-water mark survived resume");
     }
 }

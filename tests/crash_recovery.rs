@@ -94,8 +94,11 @@ impl Oracle {
                 }
                 self.live_entries.remove(&r.txn.0);
             }
-            WalRecord::TpcDecision { .. } | WalRecord::Checkpoint(_) => {
-                unreachable!("this workload emits neither")
+            WalRecord::TpcDecision { .. }
+            | WalRecord::TpcEnd { .. }
+            | WalRecord::Checkpoint(_)
+            | WalRecord::Settle => {
+                unreachable!("this workload emits none of these")
             }
         }
     }

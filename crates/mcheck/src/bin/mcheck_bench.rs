@@ -1,0 +1,159 @@
+//! Model-checker throughput snapshot: runs the standard scenario suite
+//! and reports schedules/sec, decision points, states pruned, and per-
+//! scenario interleaving counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p croesus-mcheck --release --bin mcheck_bench [-- --quick] [--merge <BENCH_PRn.json>]
+//! ```
+//!
+//! With `--merge <path>` the `"mcheck"` section is spliced into an
+//! existing perf snapshot written by `perf_json` (and its `"pr"` field is
+//! bumped to 7); without it, the section alone goes to stdout.
+
+use croesus_mcheck::{
+    explore, ms_sr_block_deadlock, ms_sr_commit_point, retract_self, three_txn_hot_key,
+    two_txn_two_stage, Config, Report, Scenario, TpcCoordinatorCrash,
+};
+use croesus_txn::ProtocolKind;
+
+fn run<S: Scenario>(scenario: &S, config: &Config, out: &mut Vec<Report>) {
+    eprintln!("exploring {}...", scenario.name());
+    out.push(explore(scenario, config));
+}
+
+fn section(reports: &[Report]) -> String {
+    let schedules: u64 = reports.iter().map(|r| r.schedules).sum();
+    let decisions: u64 = reports.iter().map(|r| r.stats.decision_points).sum();
+    let pruned: u64 = reports.iter().map(|r| r.stats.pruned_points).sum();
+    let elapsed: f64 = reports.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let rate = if elapsed > 0.0 {
+        schedules as f64 / elapsed
+    } else {
+        0.0
+    };
+    let rows = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"name\": \"{}\", \"schedules\": {}, \"exhaustive\": {}, \
+                 \"completes\": {}, \"deadlocks\": {}, \"violations\": {}, \
+                 \"decision_points\": {}, \"pruned_points\": {}, \
+                 \"schedules_per_sec\": {:.0}}}",
+                r.name,
+                r.schedules,
+                r.exhaustive,
+                r.completes,
+                r.deadlocks,
+                r.violations.len(),
+                r.stats.decision_points,
+                r.stats.pruned_points,
+                r.schedules_per_sec(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        r#""mcheck": {{
+    "note": "PR 7 deterministic-scheduler model checker: each scenario's schedule count is its explored interleavings (exhaustive=true means the whole space, pruned via state hashing); the instrumentation is behind the mcheck cargo feature, so none of the numbers above this section run any of it",
+    "totals": {{
+      "schedules": {schedules},
+      "decision_points": {decisions},
+      "pruned_points": {pruned},
+      "elapsed_sec": {elapsed:.3},
+      "schedules_per_sec": {rate:.0}
+    }},
+    "scenarios": [
+{rows}
+    ]
+  }}"#
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let merge = args
+        .iter()
+        .position(|a| a == "--merge")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if quick {
+        Config::smoke()
+    } else {
+        Config::default()
+    };
+    // The sampled scenario gets a deliberately small DFS budget so the
+    // bench always exercises the sampling fallback too.
+    let sampled = Config {
+        max_schedules: 200,
+        samples: if quick { 50 } else { 200 },
+        ..config
+    };
+
+    let mut reports = Vec::new();
+    run(
+        &two_txn_two_stage(ProtocolKind::MsSr),
+        &config,
+        &mut reports,
+    );
+    run(
+        &two_txn_two_stage(ProtocolKind::MsIa),
+        &config,
+        &mut reports,
+    );
+    run(
+        &two_txn_two_stage(ProtocolKind::Staged),
+        &config,
+        &mut reports,
+    );
+    run(&retract_self(ProtocolKind::MsIa), &config, &mut reports);
+    run(&ms_sr_block_deadlock(), &config, &mut reports);
+    run(&ms_sr_commit_point(false), &config, &mut reports);
+    run(&TpcCoordinatorCrash, &config, &mut reports);
+    run(
+        &three_txn_hot_key(ProtocolKind::MsIa),
+        &sampled,
+        &mut reports,
+    );
+
+    for r in &reports {
+        if !r.violations.is_empty() {
+            eprintln!(
+                "error: {} found a violation on a clean build: {}",
+                r.name, r.violations[0].message
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let section = section(&reports);
+    match merge {
+        Some(path) => {
+            let base = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let Some(end) = base.rfind('}') else {
+                eprintln!("error: {path} does not look like a JSON object");
+                std::process::exit(1);
+            };
+            let merged = format!("{},\n  {}\n}}\n", base[..end].trim_end(), section).replacen(
+                "\"pr\": 3",
+                "\"pr\": 7",
+                1,
+            );
+            if let Err(e) = std::fs::write(&path, &merged) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("merged mcheck section into {path}");
+        }
+        None => println!("{{\n  {section}\n}}"),
+    }
+}

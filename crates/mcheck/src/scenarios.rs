@@ -1,0 +1,821 @@
+//! Ready-made scenarios over the real protocol stack: scripted multi-stage
+//! transactions racing through MS-SR / MS-IA / staged executors with a
+//! strict-sync in-memory WAL, plus a 2PC coordinator-crash scenario.
+//!
+//! Every scenario expresses the DESIGN.md commit-point table as invariant
+//! predicates checked at the end of **every schedule** and at **every
+//! WAL-record-boundary crash point** within it:
+//!
+//! * acked final commits survive any later crash point;
+//! * MS-SR transactions un-happen atomically (a commit point implies the
+//!   final commit — nothing partial is ever replayed);
+//! * MS-IA / staged acked stages are durable commit points;
+//! * unfinalized transactions are retracted and apologized for
+//!   (apologies ⊇ retracted state — enforced inside [`crate::crash::sweep`]);
+//! * 2PC decisions are durable before any participant enters phase 2 and
+//!   are never contradicted by in-doubt resolution.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use croesus_store::{Key, KvStore, LockManager, LockPolicy, PartitionMap, TxnId, Value};
+use croesus_txn::tpc::ParticipantWrites;
+use croesus_txn::{
+    Coordinator, ExecutorCore, HistoryRecorder, MsIaExecutor, MultiStageProtocol,
+    MultiStageProtocolExt, Participant, PartitionParticipant, ProtocolKind, RwSet, StageCtx,
+    StagedExecutor, TpcOutcome, TsplExecutor, TxnError, TxnHandle,
+};
+use croesus_wal::{MemStorage, Wal, WalConfig};
+
+use crate::crash::{sweep, CrashCut};
+use crate::explore::Scenario;
+use crate::scheduler::{RunEnd, TaskFn};
+
+/// One operation inside a stage body.
+#[derive(Clone, Copy, Debug)]
+pub enum StageOp {
+    /// `key = value`.
+    Write(&'static str, i64),
+    /// `key += delta` (missing reads as 0).
+    Add(&'static str, i64),
+    /// `dst = src` (missing reads as 0) — a dependent read, the probe for
+    /// dirty-read/commit-point bugs.
+    CopyFrom(&'static str, &'static str),
+    /// `ctx.retract_self(reason)` — the apology path.
+    RetractSelf(&'static str),
+}
+
+/// One stage: its declared read/write set and its body.
+#[derive(Clone, Debug)]
+pub struct StageScript {
+    /// Declared footprint (binding under MS-SR).
+    pub rw: RwSet,
+    /// Operations the body performs, in order.
+    pub ops: Vec<StageOp>,
+}
+
+/// A scripted multi-stage transaction.
+#[derive(Clone, Debug)]
+pub struct TxnScript {
+    /// Transaction id (WaitDie age: smaller = older).
+    pub txn: TxnId,
+    /// The stages, initial first.
+    pub stages: Vec<StageScript>,
+}
+
+/// A stage-commit acknowledgement, as the client would see it: sampled
+/// *after* the stage call returned, with the WAL record count at that
+/// moment. `records_at_ack ≤` a crash cut's frame count means everything
+/// the client was promised is inside that cut.
+#[derive(Clone, Copy, Debug)]
+pub struct Ack {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Stage index.
+    pub stage: usize,
+    /// Whether this was the final stage.
+    pub is_final: bool,
+    /// `wal.stats().records` right after the stage returned.
+    pub records_at_ack: u64,
+    /// The stage aborted instead of committing.
+    pub aborted: bool,
+}
+
+/// Any of the three protocol executors, held concretely so tests can reach
+/// executor-specific switches (the MS-SR mutation flag).
+pub enum AnyProtocol {
+    /// Two-Stage 2PL.
+    MsSr(TsplExecutor),
+    /// Invariant-confluence + apologies.
+    MsIa(MsIaExecutor),
+    /// The m-stage generalization.
+    Staged(StagedExecutor),
+}
+
+impl AnyProtocol {
+    fn build(kind: ProtocolKind, core: ExecutorCore) -> Self {
+        match kind {
+            ProtocolKind::MsSr => AnyProtocol::MsSr(TsplExecutor::from_core(core)),
+            ProtocolKind::MsIa => AnyProtocol::MsIa(MsIaExecutor::from_core(core)),
+            ProtocolKind::Staged => AnyProtocol::Staged(StagedExecutor::from_core(core)),
+        }
+    }
+
+    /// The unified protocol view.
+    pub fn as_dyn(&self) -> &dyn MultiStageProtocol {
+        match self {
+            AnyProtocol::MsSr(p) => p,
+            AnyProtocol::MsIa(p) => p,
+            AnyProtocol::Staged(p) => p,
+        }
+    }
+}
+
+/// The world one schedule runs in: a fresh executor + store + strict-sync
+/// in-memory WAL, rebuilt per schedule.
+pub struct ProtoWorld {
+    /// The executor under test.
+    pub protocol: AnyProtocol,
+    /// Its store.
+    pub store: Arc<KvStore>,
+    /// Its lock manager.
+    pub locks: Arc<LockManager>,
+    /// Its WAL (strict sync: every append is durable on return).
+    pub wal: Arc<Wal>,
+    /// The WAL's backing storage — `all_bytes()` is the crash-sweep input.
+    pub probe: MemStorage,
+    /// History recorder for the serializability checks.
+    pub history: HistoryRecorder,
+    /// Client-visible acks, in ack order.
+    pub acks: Mutex<Vec<Ack>>,
+}
+
+/// Extra per-cut predicate a scenario can attach to the crash sweep.
+pub type CutCheck = Arc<dyn Fn(&CrashCut<'_>) -> Result<(), String> + Send + Sync>;
+
+/// Scripted transactions racing through one protocol executor.
+pub struct ProtocolScenario {
+    /// Which protocol.
+    pub kind: ProtocolKind,
+    /// Scenario label for reports.
+    pub label: String,
+    /// Lock policy override (`None` = the protocol's default).
+    pub policy: Option<LockPolicy>,
+    /// The racing transactions, one task each.
+    pub scripts: Vec<TxnScript>,
+    /// Whether deadlocking schedules are legitimate outcomes (the MS-SR
+    /// Block-policy demo) rather than violations.
+    pub deadlock_expected: bool,
+    /// Arm the MS-SR log-final-after-release mutation (self-test).
+    pub mutate_ms_sr: bool,
+    /// Scenario-specific crash-cut predicate.
+    pub extra_crash_check: Option<CutCheck>,
+}
+
+fn apply_ops(ctx: &mut StageCtx<'_>, ops: &[StageOp]) -> Result<(), TxnError> {
+    for op in ops {
+        match *op {
+            StageOp::Write(key, v) => ctx.write(key, v)?,
+            StageOp::Add(key, delta) => {
+                let cur = ctx.read(key)?.and_then(|v| v.as_int()).unwrap_or(0);
+                ctx.write(key, cur + delta)?;
+            }
+            StageOp::CopyFrom(src, dst) => {
+                let cur = ctx.read(src)?.and_then(|v| v.as_int()).unwrap_or(0);
+                ctx.write(dst, cur)?;
+            }
+            StageOp::RetractSelf(reason) => {
+                ctx.retract_self(reason);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_script(world: &ProtoWorld, script: &TxnScript) {
+    let rws: Vec<RwSet> = script.stages.iter().map(|s| s.rw.clone()).collect();
+    let mut handle: Option<TxnHandle> = Some(world.protocol.as_dyn().begin(script.txn, &rws));
+    for (i, s) in script.stages.iter().enumerate() {
+        let h = handle
+            .take()
+            .expect("script length matches declared stages");
+        match world
+            .protocol
+            .as_dyn()
+            .stage(h, &s.rw, |ctx| apply_ops(ctx, &s.ops))
+        {
+            Ok((_, next)) => {
+                world.acks.lock().push(Ack {
+                    txn: script.txn,
+                    stage: i,
+                    is_final: next.is_none(),
+                    records_at_ack: world.wal.stats().records,
+                    aborted: false,
+                });
+                handle = next;
+            }
+            Err(_) => {
+                // The protocol rolled everything back; the client sees an
+                // abort. No retry: keeps the schedule space finite.
+                world.acks.lock().push(Ack {
+                    txn: script.txn,
+                    stage: i,
+                    is_final: false,
+                    records_at_ack: world.wal.stats().records,
+                    aborted: true,
+                });
+                return;
+            }
+        }
+    }
+}
+
+impl Scenario for ProtocolScenario {
+    type World = ProtoWorld;
+
+    fn name(&self) -> String {
+        format!("{}/{}", self.kind.paper_name(), self.label)
+    }
+
+    fn build(&self) -> Arc<ProtoWorld> {
+        let policy = self
+            .policy
+            .unwrap_or_else(|| self.kind.default_lock_policy());
+        let store = Arc::new(KvStore::new());
+        let locks = Arc::new(LockManager::new(policy));
+        let history = HistoryRecorder::new();
+        let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        let wal = Arc::new(wal);
+        let core = ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks))
+            .with_history(history.clone())
+            .with_wal(Arc::clone(&wal));
+        let protocol = AnyProtocol::build(self.kind, core);
+        if self.mutate_ms_sr {
+            match &protocol {
+                AnyProtocol::MsSr(p) => p.enable_log_final_after_release_mutation(),
+                _ => panic!("the mutation self-test targets MS-SR"),
+            }
+        }
+        Arc::new(ProtoWorld {
+            protocol,
+            store,
+            locks,
+            wal,
+            probe,
+            history,
+            acks: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn tasks(&self, world: &Arc<ProtoWorld>) -> Vec<TaskFn> {
+        self.scripts
+            .iter()
+            .map(|script| {
+                let world = Arc::clone(world);
+                let script = script.clone();
+                Box::new(move || run_script(&world, &script)) as TaskFn
+            })
+            .collect()
+    }
+
+    fn fingerprint(&self, world: &ProtoWorld) -> u64 {
+        let mut h = DefaultHasher::new();
+        let mut snapshot = world.store.snapshot();
+        snapshot.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        for (k, v) in snapshot {
+            k.as_str().hash(&mut h);
+            format!("{:?}", v.value).hash(&mut h);
+        }
+        world.probe.all_bytes().hash(&mut h);
+        world.locks.locked_keys().hash(&mut h);
+        format!("{:?}", world.history.events()).hash(&mut h);
+        for a in world.acks.lock().iter() {
+            (a.txn.0, a.stage, a.is_final, a.records_at_ack, a.aborted).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    fn check(&self, world: &ProtoWorld, end: &RunEnd) -> Result<(), String> {
+        match end {
+            RunEnd::Panic { message } => return Err(format!("task panic: {message}")),
+            RunEnd::Deadlock { blocked } => {
+                return if self.deadlock_expected {
+                    Ok(())
+                } else {
+                    Err(format!("unexpected deadlock: {blocked:?}"))
+                };
+            }
+            RunEnd::Complete => {}
+        }
+
+        // Every transaction finished (committed or aborted): no lock may
+        // survive the schedule.
+        let leaked = world.locks.locked_keys();
+        if leaked != 0 {
+            return Err(format!("{leaked} locks leaked after all txns finished"));
+        }
+
+        let checker = world.history.checker();
+        match self.kind {
+            ProtocolKind::MsSr => checker
+                .check_ms_sr()
+                .map_err(|e| format!("MS-SR history: {e}"))?,
+            ProtocolKind::MsIa | ProtocolKind::Staged => checker
+                .check_stage_order()
+                .map_err(|e| format!("stage order: {e}"))?,
+        }
+
+        world
+            .wal
+            .flush()
+            .map_err(|e| format!("final flush failed: {e}"))?;
+        let log = world.probe.all_bytes();
+        let acks = world.acks.lock().clone();
+        let kind = self.kind;
+        let extra = self.extra_crash_check.clone();
+        sweep(&log, |cut| {
+            // MS-SR un-happens atomically: its only durable commit point is
+            // the final one, so a replayed commit point implies FINAL.
+            if kind == ProtocolKind::MsSr {
+                for t in &cut.oracle.initial {
+                    if !cut.oracle.finalized.contains(t) {
+                        return Err(format!(
+                            "MS-SR txn {t} replayed a non-final commit point — \
+                             partial transactions must un-happen"
+                        ));
+                    }
+                }
+            }
+            // Acked durability: anything acknowledged to the client by
+            // record `r` must be honoured by every cut that contains `r`.
+            for a in acks.iter().filter(|a| !a.aborted) {
+                if (a.records_at_ack as usize) > cut.frames {
+                    continue;
+                }
+                match kind {
+                    ProtocolKind::MsSr => {
+                        if a.is_final && !cut.oracle.finalized.contains(&a.txn.0) {
+                            return Err(format!(
+                                "acked final commit of {} lost at this cut",
+                                a.txn
+                            ));
+                        }
+                    }
+                    ProtocolKind::MsIa | ProtocolKind::Staged => {
+                        // Every stage is a client-visible durable commit.
+                        if !cut.oracle.initial.contains(&a.txn.0) {
+                            return Err(format!(
+                                "acked stage {} of {} lost at this cut",
+                                a.stage, a.txn
+                            ));
+                        }
+                        if a.is_final && !cut.oracle.finalized.contains(&a.txn.0) {
+                            return Err(format!(
+                                "acked final commit of {} lost at this cut",
+                                a.txn
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(f) = &extra {
+                f(cut)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+/// The canonical 2-txn / 2-stage conflict: t1 rewrites `a`; t2 copies `a`
+/// into `b` and then bumps `b`. Exhaustively explorable for all three
+/// protocols.
+#[must_use]
+pub fn two_txn_two_stage(kind: ProtocolKind) -> ProtocolScenario {
+    ProtocolScenario {
+        kind,
+        label: "2txn-2stage".into(),
+        policy: None,
+        scripts: vec![
+            TxnScript {
+                txn: TxnId(1),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().write("a"),
+                        ops: vec![StageOp::Write("a", 1)],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("a"),
+                        ops: vec![StageOp::Write("a", 10)],
+                    },
+                ],
+            },
+            TxnScript {
+                txn: TxnId(2),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().read("a").write("b"),
+                        ops: vec![StageOp::CopyFrom("a", "b")],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("b"),
+                        ops: vec![StageOp::Add("b", 100)],
+                    },
+                ],
+            },
+        ],
+        deadlock_expected: false,
+        mutate_ms_sr: false,
+        extra_crash_check: None,
+    }
+}
+
+/// MS-IA's apology path: t1 retracts itself in its final section while t2
+/// commits independently — the crash sweep checks retraction records and
+/// apology coverage at every cut.
+#[must_use]
+pub fn retract_self(kind: ProtocolKind) -> ProtocolScenario {
+    ProtocolScenario {
+        kind,
+        label: "retract-self".into(),
+        policy: None,
+        scripts: vec![
+            TxnScript {
+                txn: TxnId(1),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().write("a"),
+                        ops: vec![StageOp::Write("a", 1)],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("a"),
+                        ops: vec![
+                            StageOp::RetractSelf("cloud disagreed"),
+                            StageOp::Write("a", 2),
+                        ],
+                    },
+                ],
+            },
+            TxnScript {
+                txn: TxnId(2),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().write("b"),
+                        ops: vec![StageOp::Write("b", 5)],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("b"),
+                        ops: vec![StageOp::Add("b", 1)],
+                    },
+                ],
+            },
+        ],
+        deadlock_expected: false,
+        mutate_ms_sr: false,
+        extra_crash_check: None,
+    }
+}
+
+/// The MS-SR Block-policy hazard: crossing initial/later lock sets
+/// genuinely deadlock under `LockPolicy::Block` — the reason MS-SR
+/// defaults to WaitDie. The checker must *find* the deadlocking schedule.
+#[must_use]
+pub fn ms_sr_block_deadlock() -> ProtocolScenario {
+    ProtocolScenario {
+        kind: ProtocolKind::MsSr,
+        label: "block-deadlock".into(),
+        policy: Some(LockPolicy::Block),
+        scripts: vec![
+            TxnScript {
+                txn: TxnId(1),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().write("x"),
+                        ops: vec![StageOp::Write("x", 1)],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("y"),
+                        ops: vec![StageOp::Write("y", 1)],
+                    },
+                ],
+            },
+            TxnScript {
+                txn: TxnId(2),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().write("y"),
+                        ops: vec![StageOp::Write("y", 2)],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("x"),
+                        ops: vec![StageOp::Write("x", 2)],
+                    },
+                ],
+            },
+        ],
+        deadlock_expected: true,
+        mutate_ms_sr: false,
+        extra_crash_check: None,
+    }
+}
+
+/// The mutation self-test scenario: t1's final section writes `x = 1`; t2
+/// copies `x` into `y`. Under the armed mutation (final commit logged
+/// *after* lock release) a schedule exists where t2 commits durably with
+/// `y = 1` while t1's final record is still unlogged — the crash-cut
+/// predicate below catches exactly that.
+#[must_use]
+pub fn ms_sr_commit_point(mutate: bool) -> ProtocolScenario {
+    ProtocolScenario {
+        kind: ProtocolKind::MsSr,
+        label: if mutate {
+            "commit-point-mutated".into()
+        } else {
+            "commit-point".into()
+        },
+        policy: None,
+        scripts: vec![
+            TxnScript {
+                txn: TxnId(1),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().write("x"),
+                        ops: vec![],
+                    },
+                    StageScript {
+                        rw: RwSet::new().write("x"),
+                        ops: vec![StageOp::Write("x", 1)],
+                    },
+                ],
+            },
+            TxnScript {
+                txn: TxnId(2),
+                stages: vec![
+                    StageScript {
+                        rw: RwSet::new().read("x").write("y"),
+                        ops: vec![StageOp::CopyFrom("x", "y")],
+                    },
+                    StageScript {
+                        rw: RwSet::new(),
+                        ops: vec![],
+                    },
+                ],
+            },
+        ],
+        deadlock_expected: false,
+        mutate_ms_sr: mutate,
+        extra_crash_check: Some(Arc::new(|cut: &CrashCut<'_>| {
+            // If t2's committed `y` carries t1's final value, t1's final
+            // commit must be in the same durable prefix — otherwise a
+            // crash resurrects a value derived from a transaction that
+            // un-happened.
+            let y_is_dirty = cut.oracle.finalized.contains(&2)
+                && cut.oracle.store.get("y") == Some(&Value::Int(1))
+                && !cut.oracle.finalized.contains(&1);
+            if y_is_dirty {
+                Err("t2 durably committed y copied from t1's unlogged final write".into())
+            } else {
+                Ok(())
+            }
+        })),
+    }
+}
+
+/// A 3-txn scenario over a shared hot key — too large to enumerate within
+/// a small DFS budget, exercising the seeded-sampling fallback.
+#[must_use]
+pub fn three_txn_hot_key(kind: ProtocolKind) -> ProtocolScenario {
+    let script = |id: u64| TxnScript {
+        txn: TxnId(id),
+        stages: vec![
+            StageScript {
+                rw: RwSet::new().read("hot").write("hot"),
+                ops: vec![StageOp::Add("hot", 1)],
+            },
+            StageScript {
+                rw: RwSet::new().write("hot").write("out"),
+                ops: vec![StageOp::Add("hot", 1), StageOp::CopyFrom("hot", "out")],
+            },
+        ],
+    };
+    ProtocolScenario {
+        kind,
+        label: "3txn-hot-key".into(),
+        policy: None,
+        scripts: vec![script(1), script(2), script(3)],
+        deadlock_expected: false,
+        mutate_ms_sr: false,
+        extra_crash_check: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2PC coordinator crash
+// ---------------------------------------------------------------------------
+
+/// The world of the 2PC scenario: two partitions, a WAL-backed
+/// coordinator, one transaction that crashes between phases and one that
+/// races it to completion.
+pub struct TpcWorld {
+    /// The partitions.
+    pub pm: Arc<PartitionMap>,
+    /// The coordinator (decision log attached).
+    pub coord: Coordinator,
+    /// The coordinator's WAL.
+    pub wal: Arc<Wal>,
+    /// Backing storage of the WAL.
+    pub probe: MemStorage,
+    /// Prepared participants of the crashing transaction, kept so recovery
+    /// can finish phase 2 after the run.
+    pub crashed: Vec<(PartitionParticipant, Vec<(Key, Value)>)>,
+    /// Phase-1 result of the crashing transaction (`None` until it ran).
+    pub phase1: Mutex<Option<bool>>,
+    /// Outcome of the racing transaction: (committed, records at return).
+    pub raced: Mutex<Option<(bool, u64)>>,
+}
+
+/// A coordinator that crashes after phase 1 (txn 1) racing a full 2PC
+/// commit (txn 2) that conflicts with it on one key. Every interleaving of
+/// prepares, the decision append and phase-2 commits is explored; every
+/// crash cut checks decision durability; and the post-run in-doubt
+/// resolution must agree with whatever the log says.
+pub struct TpcCoordinatorCrash;
+
+/// Writes for the crashing transaction: one key on each partition.
+fn crash_writes(pm: &PartitionMap) -> Vec<(Key, Value)> {
+    let mut writes: Vec<(Key, Value)> = Vec::new();
+    let mut covered: Vec<bool> = vec![false; pm.partitions().len()];
+    let mut i = 0u64;
+    while covered.iter().any(|c| !c) {
+        let k = Key::indexed("w", i);
+        let pid = pm.partition_of(&k).id;
+        let idx = pm.partitions().iter().position(|p| p.id == pid).unwrap();
+        if !covered[idx] {
+            covered[idx] = true;
+            writes.push((k, Value::Int(i as i64 + 1)));
+        }
+        i += 1;
+    }
+    writes.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+    writes
+}
+
+impl Scenario for TpcCoordinatorCrash {
+    type World = TpcWorld;
+
+    fn name(&self) -> String {
+        "2pc/coordinator-crash".into()
+    }
+
+    fn build(&self) -> Arc<TpcWorld> {
+        let pm = Arc::new(PartitionMap::new(2, LockPolicy::NoWait));
+        let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        let wal = Arc::new(wal);
+        let coord = Coordinator::new(Arc::clone(&pm)).with_wal(Arc::clone(&wal));
+        let writes = crash_writes(&pm);
+        let crashed: Vec<(PartitionParticipant, Vec<(Key, Value)>)> = pm
+            .group_by_partition(writes.iter().map(|(k, _)| k))
+            .into_iter()
+            .map(|(pid, keys)| {
+                let part = Arc::clone(pm.get(pid).expect("valid partition id"));
+                let ws: Vec<(Key, Value)> = writes
+                    .iter()
+                    .filter(|(k, _)| keys.contains(k))
+                    .cloned()
+                    .collect();
+                (PartitionParticipant::new(part), ws)
+            })
+            .collect();
+        Arc::new(TpcWorld {
+            pm,
+            coord,
+            wal,
+            probe,
+            crashed,
+            phase1: Mutex::new(None),
+            raced: Mutex::new(None),
+        })
+    }
+
+    fn tasks(&self, world: &Arc<TpcWorld>) -> Vec<TaskFn> {
+        let w1 = Arc::clone(world);
+        let w2 = Arc::clone(world);
+        vec![
+            // The crashing coordinator: phase 1 only, then the task ends —
+            // modelling a crash between the phases. Participants stay
+            // prepared (locks held) until post-run resolution.
+            Box::new(move || {
+                let pw: Vec<ParticipantWrites<'_>> = w1
+                    .crashed
+                    .iter()
+                    .map(|(p, ws)| (p as &dyn Participant, ws.as_slice()))
+                    .collect();
+                let ok = w1.coord.run_phase1(TxnId(1), &pw).is_ok();
+                *w1.phase1.lock() = Some(ok);
+            }),
+            // The racing transaction: a full 2PC commit conflicting on the
+            // crashing transaction's first key.
+            Box::new(move || {
+                let mut writes = crash_writes(&w2.pm);
+                writes.truncate(1); // the shared, conflicting key
+                writes[0].1 = Value::Int(77);
+                let outcome = w2.coord.commit_writes(TxnId(2), &writes);
+                let committed = matches!(outcome, TpcOutcome::Committed { .. });
+                *w2.raced.lock() = Some((committed, w2.wal.stats().records));
+            }),
+        ]
+    }
+
+    fn fingerprint(&self, world: &TpcWorld) -> u64 {
+        let mut h = DefaultHasher::new();
+        world.probe.all_bytes().hash(&mut h);
+        for p in world.pm.partitions() {
+            p.locks.locked_keys().hash(&mut h);
+            let mut snapshot = p.store.snapshot();
+            snapshot.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+            for (k, v) in snapshot {
+                k.as_str().hash(&mut h);
+                format!("{:?}", v.value).hash(&mut h);
+            }
+        }
+        format!("{:?} {:?}", *world.phase1.lock(), *world.raced.lock()).hash(&mut h);
+        h.finish()
+    }
+
+    fn check(&self, world: &TpcWorld, end: &RunEnd) -> Result<(), String> {
+        match end {
+            RunEnd::Panic { message } => return Err(format!("task panic: {message}")),
+            RunEnd::Deadlock { blocked } => {
+                return Err(format!("2PC under NoWait must not deadlock: {blocked:?}"))
+            }
+            RunEnd::Complete => {}
+        }
+        world
+            .wal
+            .flush()
+            .map_err(|e| format!("final flush failed: {e}"))?;
+        let log = world.probe.all_bytes();
+        let raced = world.raced.lock().expect("racing task finished");
+        sweep(&log, |cut| {
+            // The racing txn's acked commit implies its durable decision:
+            // any cut containing the records present at its return must
+            // contain the commit decision (possibly already expired by the
+            // phase-2-complete record, which only ever follows it).
+            let (committed, records_at_return) = raced;
+            if (records_at_return as usize) <= cut.frames {
+                match cut.oracle.tpc_all.get(&2) {
+                    Some(&decision) if decision == committed => {}
+                    Some(&decision) => {
+                        return Err(format!(
+                            "txn 2 returned {} but the durable decision says {}",
+                            if committed { "commit" } else { "abort" },
+                            if decision { "commit" } else { "abort" },
+                        ))
+                    }
+                    None => {
+                        return Err("txn 2 returned before its 2PC decision was durable".to_string())
+                    }
+                }
+            }
+            // Never contradicted: a cut without txn 1's decision record
+            // presumes abort — legal only while no participant has entered
+            // phase 2, which holds by construction (txn 1 never starts
+            // phase 2) — and a cut *with* the decision must resolve to it.
+            if let Some(&decision) = cut.oracle.tpc.get(&1) {
+                let resolved = cut.report.tpc_decisions.iter().find(|(t, _)| t.0 == 1);
+                if resolved.map(|(_, c)| *c) != Some(decision) {
+                    return Err("recovery dropped txn 1's live decision record".to_string());
+                }
+            }
+            Ok(())
+        })?;
+
+        // Post-crash resolution: a new coordinator epoch reads the durable
+        // decision and finishes phase 2. The resolution must agree with
+        // phase 1's outcome and leave no lock held anywhere.
+        let phase1 = world.phase1.lock().expect("crashing task ran phase 1");
+        let report = croesus_wal::recover(&log);
+        let decision = report
+            .tpc_decisions
+            .iter()
+            .find(|(t, _)| t.0 == 1)
+            .map(|(_, c)| *c);
+        if decision != Some(phase1) {
+            return Err(format!(
+                "phase 1 {} but the log's decision is {decision:?}",
+                if phase1 { "committed" } else { "aborted" }
+            ));
+        }
+        let outcome = Coordinator::resolve_in_doubt(
+            decision,
+            TxnId(1),
+            world.crashed.iter().map(|(p, _)| p as &dyn Participant),
+        );
+        match (phase1, outcome) {
+            (true, TpcOutcome::Committed { .. }) => {
+                for (k, v) in world.crashed.iter().flat_map(|(_, ws)| ws) {
+                    if world.pm.partition_of(k).store.get(k).as_deref() != Some(v) {
+                        return Err(format!("resolved commit lost write {k}"));
+                    }
+                }
+            }
+            (false, TpcOutcome::Aborted { .. }) => {}
+            (p1, out) => {
+                return Err(format!(
+                    "in-doubt resolution ({out:?}) contradicts phase 1 (ok={p1})"
+                ))
+            }
+        }
+        for p in world.pm.partitions() {
+            if p.locks.locked_keys() != 0 {
+                return Err(format!(
+                    "partition {:?} leaked locks after resolution",
+                    p.id
+                ));
+            }
+        }
+        Ok(())
+    }
+}

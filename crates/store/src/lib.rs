@@ -63,6 +63,21 @@
 pub mod kv;
 pub mod lock;
 pub mod partition;
+#[cfg(feature = "mcheck")]
+pub mod sched;
+#[cfg(not(feature = "mcheck"))]
+pub(crate) mod sched {
+    //! No-op stand-ins for the model-checker hooks (`mcheck` feature off),
+    //! so call sites stay unconditional and compile to nothing.
+    #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+    #[inline(always)]
+    pub fn block_point(_label: &'static str) {}
+    #[inline(always)]
+    pub fn progress(_label: &'static str) {}
+}
 pub mod undo;
 pub mod value;
 

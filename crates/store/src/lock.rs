@@ -272,7 +272,18 @@ impl LockManager {
                         return Err(LockError::Timeout);
                     }
                 }
-                None => shard.released.wait(&mut table),
+                None => {
+                    if crate::sched::active() {
+                        // Model-checked run: hand the wait to the checker's
+                        // scheduler instead of parking on the condvar. The
+                        // shard mutex must be released across the switch.
+                        drop(table);
+                        crate::sched::block_point("store.lock.wait");
+                        table = shard.table.lock();
+                        continue;
+                    }
+                    shard.released.wait(&mut table);
+                }
             }
         }
     }
@@ -295,6 +306,7 @@ impl LockManager {
             }
             drop(table);
             shard.released.notify_all();
+            crate::sched::progress("store.lock.rollback");
             end = start;
         }
     }
@@ -377,6 +389,7 @@ impl LockManager {
         Self::ungrant(&mut table, txn, key);
         drop(table);
         shard.released.notify_all();
+        crate::sched::progress("store.lock.release");
     }
 
     /// Release a set of keys, batched by shard: one mutex hold and one
@@ -399,6 +412,7 @@ impl LockManager {
             }
             drop(table);
             shard.released.notify_all();
+            crate::sched::progress("store.lock.release");
             start = end;
         }
     }

@@ -1,0 +1,124 @@
+//! Scheduler instrumentation hooks for the `croesus-mcheck` model checker.
+//!
+//! Compiled only under the `mcheck` feature. The production crates mark
+//! interesting interleaving points (lock waits, WAL appends, stage
+//! boundaries) by calling the free functions below; with no hook installed
+//! they are near-free no-ops, and a checker installs a [`SchedHook`] *per
+//! thread* to turn every marked point into a controlled context switch.
+//!
+//! The registry is thread-local on purpose: the model checker runs each
+//! virtual task on its own OS thread and must not perturb unrelated test
+//! threads running in the same process.
+//!
+//! Three kinds of points:
+//!
+//! * [`yield_point`] — the task could be preempted here; the scheduler may
+//!   run any other ready task before this one continues.
+//! * [`block_point`] — the task cannot make progress until some other task
+//!   releases a resource (a lock). The scheduler must not reschedule it
+//!   until a [`progress`] call signals that a release happened.
+//! * [`progress`] — a resource was released; every blocked task becomes
+//!   schedulable again.
+//!
+//! Call-site rule: never mark a yield/block point while holding an
+//! internal mutex another instrumented path takes (the parked task would
+//! hold it across the context switch and deadlock the harness for real).
+//! The call sites in `lock.rs`, `wal::writer` and `croesus-txn` all mark
+//! points *outside* their mutexes.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A per-thread scheduling hook: the model checker's side of the contract.
+pub trait SchedHook: Send + Sync {
+    /// The current task reached a preemption point labelled `label`.
+    fn yield_point(&self, label: &'static str);
+    /// The current task is blocked on a resource until some [`progress`].
+    fn block_point(&self, label: &'static str);
+    /// The current task released a resource; wake blocked tasks.
+    fn progress(&self, label: &'static str);
+}
+
+thread_local! {
+    static HOOK: RefCell<Option<Arc<dyn SchedHook>>> = const { RefCell::new(None) };
+}
+
+/// Install `hook` for the current thread (replacing any previous one).
+pub fn install(hook: Arc<dyn SchedHook>) {
+    HOOK.with(|h| *h.borrow_mut() = Some(hook));
+}
+
+/// Remove the current thread's hook, if any.
+pub fn uninstall() {
+    HOOK.with(|h| *h.borrow_mut() = None);
+}
+
+/// Whether the current thread runs under a scheduling hook.
+pub fn active() -> bool {
+    HOOK.with(|h| h.borrow().is_some())
+}
+
+/// Clone the hook out of the registry before invoking it, so the
+/// `RefCell` borrow never spans the (potentially parking) hook call.
+fn with_hook(f: impl FnOnce(&dyn SchedHook)) {
+    let hook = HOOK.with(|h| h.borrow().clone());
+    if let Some(hook) = hook {
+        f(&*hook);
+    }
+}
+
+/// Mark a preemption point (no-op without an installed hook).
+pub fn yield_point(label: &'static str) {
+    with_hook(|h| h.yield_point(label));
+}
+
+/// Mark a blocked-until-progress point (no-op without an installed hook).
+pub fn block_point(label: &'static str) {
+    with_hook(|h| h.block_point(label));
+}
+
+/// Mark a resource release (no-op without an installed hook).
+pub fn progress(label: &'static str) {
+    with_hook(|h| h.progress(label));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter(AtomicUsize);
+    impl SchedHook for Counter {
+        fn yield_point(&self, _l: &'static str) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+        fn block_point(&self, _l: &'static str) {
+            self.0.fetch_add(100, Ordering::Relaxed);
+        }
+        fn progress(&self, _l: &'static str) {
+            self.0.fetch_add(10_000, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn hooks_fire_only_while_installed_and_only_on_this_thread() {
+        yield_point("noop"); // nothing installed: must not panic
+        assert!(!active());
+        let hook = Arc::new(Counter(AtomicUsize::new(0)));
+        install(Arc::clone(&hook) as Arc<dyn SchedHook>);
+        assert!(active());
+        yield_point("a");
+        block_point("b");
+        progress("c");
+        // Another thread sees no hook.
+        std::thread::spawn(|| {
+            assert!(!active());
+            yield_point("elsewhere");
+        })
+        .join()
+        .unwrap();
+        uninstall();
+        yield_point("after");
+        assert_eq!(hook.0.load(Ordering::Relaxed), 10_101);
+    }
+}

@@ -54,6 +54,11 @@ struct TsplInFlight {
 pub struct TsplExecutor {
     core: ExecutorCore,
     inflight: Mutex<HashMap<TxnId, TsplInFlight>>,
+    /// Mutation self-test flag (mcheck builds only): when set, the final
+    /// commit record is logged *after* the locks are released — a seeded
+    /// commit-point bug the model checker must be able to catch.
+    #[cfg(feature = "mcheck")]
+    mutate_log_final_after_release: std::sync::atomic::AtomicBool,
 }
 
 impl TsplExecutor {
@@ -63,11 +68,52 @@ impl TsplExecutor {
         TsplExecutor {
             core,
             inflight: Mutex::new(HashMap::new()),
+            #[cfg(feature = "mcheck")]
+            mutate_log_final_after_release: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Arm the deliberate commit-point bug (self-test for the model
+    /// checker — see `tests/mcheck.rs`). Never use outside tests.
+    #[cfg(feature = "mcheck")]
+    pub fn enable_log_final_after_release_mutation(&self) {
+        self.mutate_log_final_after_release
+            .store(true, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn remove_inflight(&self, txn: TxnId) -> Option<TsplInFlight> {
         self.inflight.lock().remove(&txn)
+    }
+
+    /// Release everything the transaction holds (the final-commit path).
+    fn release_held(&self, txn: TxnId) {
+        if let Some(state) = self.remove_inflight(txn) {
+            self.core
+                .stats()
+                .record_lock_hold(state.lock_epoch.elapsed());
+            self.core.locks().release_all(txn, state.held.iter());
+        }
+    }
+
+    /// Mutation self-test (mcheck builds only): when armed, release the
+    /// locks *before* the final commit record is appended — deliberately
+    /// breaking MS-SR's "log under locks, then release" discipline so a
+    /// checker run can prove it would catch such a bug. Returns whether
+    /// the early release happened.
+    #[cfg(feature = "mcheck")]
+    fn maybe_release_before_final_log(&self, handle: &TxnHandle, txn: TxnId) -> bool {
+        use std::sync::atomic::Ordering;
+        if !handle.is_final() || !self.mutate_log_final_after_release.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.release_held(txn);
+        crate::sched::yield_point("ms_sr.mutated.unlogged-window");
+        true
+    }
+
+    #[cfg(not(feature = "mcheck"))]
+    fn maybe_release_before_final_log(&self, _handle: &TxnHandle, _txn: TxnId) -> bool {
+        false
     }
 
     /// Stage 0: lock the initial items, execute, then lock every later
@@ -89,6 +135,7 @@ impl TsplExecutor {
             return Err(TxnError::Aborted(e));
         }
         let lock_epoch = Instant::now();
+        crate::sched::yield_point("ms_sr.initial.locked");
 
         if let Some(h) = core.history() {
             h.record_begin(txn, handle.section_kind());
@@ -140,12 +187,14 @@ impl TsplExecutor {
             core.record_abort(txn);
             return Err(TxnError::Aborted(e));
         }
+        crate::sched::yield_point("ms_sr.later.locked");
 
         // MS-SR's durable commit point is *final* commit: log this stage's
         // writes without the commit-point flag, so replay buffers them —
         // the held locks guarantee no other transaction saw them, and a
         // crash before final commit legitimately un-happens the whole txn.
         core.log_stage(&handle, rw, &undo, false, false);
+        crate::sched::yield_point("ms_sr.initial.logged");
 
         // Initial commit: the response may now be exposed to the client.
         if let Some(h) = core.history() {
@@ -228,19 +277,21 @@ impl TsplExecutor {
             ),
         };
 
+        let released_early = self.maybe_release_before_final_log(&handle, txn);
+
         // Final commit is MS-SR's one durable commit point; intermediate
         // stages keep buffering (replay applies everything at the final
         // record).
         core.log_stage(&handle, rw, &undo, handle.is_final(), false);
+        crate::sched::yield_point("ms_sr.held.logged");
 
         if let Some(h) = core.history() {
             h.record_commit(txn, handle.section_kind());
         }
         if handle.is_final() {
             core.stats().record_commit();
-            if let Some(state) = self.remove_inflight(txn) {
-                core.stats().record_lock_hold(state.lock_epoch.elapsed());
-                core.locks().release_all(txn, state.held.iter());
+            if !released_early {
+                self.release_held(txn);
             }
             Ok(StageOutcome::Complete { output })
         } else {

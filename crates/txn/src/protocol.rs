@@ -309,6 +309,12 @@ impl ExecutorCore {
             // small backoff to let wait-die conflicts drain.
             let mut backoff = 0u32;
             while self.locks.acquire_all(txn, &pairs, None).is_err() {
+                if crate::sched::active() {
+                    // Model-checked run: the retry is a real blocking wait
+                    // from the scheduler's point of view.
+                    crate::sched::block_point("txn.stage.retry");
+                    continue;
+                }
                 backoff = (backoff + 1).min(6);
                 std::thread::yield_now();
                 if backoff > 2 {
@@ -316,6 +322,7 @@ impl ExecutorCore {
                 }
             }
         }
+        crate::sched::yield_point("txn.stage.locked");
         let lock_epoch = Instant::now();
 
         if let Some(h) = &self.history {
@@ -344,6 +351,7 @@ impl ExecutorCore {
 
         // Under the lock-releasing disciplines every stage is a durable
         // commit point — stage 0 *is* the initial commit the client sees.
+        crate::sched::yield_point("txn.stage.executed");
         self.log_stage(
             &handle,
             rw,
@@ -351,6 +359,7 @@ impl ExecutorCore {
             true,
             !handle.is_final() || register_final_guess,
         );
+        crate::sched::yield_point("txn.stage.logged");
 
         if let Some(h) = &self.history {
             h.record_commit(txn, kind);

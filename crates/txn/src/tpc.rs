@@ -283,6 +283,7 @@ impl Coordinator {
     ) -> Result<(), usize> {
         let mut voted = 0;
         for (p, writes) in participants {
+            crate::sched::yield_point("tpc.prepare");
             match p.prepare(txn, writes) {
                 Vote::Yes => voted += 1,
                 Vote::No => {
@@ -297,6 +298,7 @@ impl Coordinator {
             }
         }
         self.log_decision(txn, true);
+        crate::sched::yield_point("tpc.decided");
         Ok(())
     }
 
@@ -311,6 +313,7 @@ impl Coordinator {
             Ok(()) => {
                 // Phase 2: commit everywhere.
                 for (p, _) in &participants {
+                    crate::sched::yield_point("tpc.phase2.commit");
                     p.commit(txn);
                 }
                 self.log_end(txn);

@@ -278,6 +278,7 @@ impl Wal {
     /// Log one executed stage. If the record is a commit point, the
     /// group-commit policy decides whether this call pays the sync.
     pub fn append_stage(&self, record: StageRecord) -> io::Result<()> {
+        crate::sched::yield_point("wal.append_stage");
         let mut inner = self.inner.lock();
         let is_commit = record.flags.commit_point();
         Self::append_record(&mut inner, &WalRecord::Stage(record))?;
@@ -293,6 +294,7 @@ impl Wal {
         &self,
         retracts: impl IntoIterator<Item = RetractRecord>,
     ) -> io::Result<()> {
+        crate::sched::yield_point("wal.append_retracts");
         let mut inner = self.inner.lock();
         for r in retracts {
             Self::append_record(&mut inner, &WalRecord::Retract(r))?;
@@ -304,6 +306,7 @@ impl Wal {
     /// decision must be durable before any participant enters phase 2,
     /// or a coordinator crash leaves them in doubt forever.
     pub fn append_tpc_decision(&self, txn: TxnId, commit: bool) -> io::Result<()> {
+        crate::sched::yield_point("wal.append_tpc_decision");
         let mut inner = self.inner.lock();
         Self::append_record(&mut inner, &WalRecord::TpcDecision { txn, commit })?;
         inner.sync_and_publish()
@@ -314,6 +317,7 @@ impl Wal {
     /// synced on its own — losing this record merely re-runs an
     /// idempotent phase 2 under presumed abort.
     pub fn append_tpc_end(&self, txn: TxnId) -> io::Result<()> {
+        crate::sched::yield_point("wal.append_tpc_end");
         let mut inner = self.inner.lock();
         Self::append_record(&mut inner, &WalRecord::TpcEnd { txn })
     }

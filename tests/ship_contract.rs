@@ -1,0 +1,147 @@
+//! Property tests for the PR 4 edge→cloud shipping contract
+//! (DESIGN.md, "Failure model & failover"):
+//!
+//! * an epoch bump always reaches the replica as a **restart batch** — the
+//!   replica replaces its copy wholesale and never appends across epochs;
+//! * a rejected (damaged) batch never advances the cursor or mutates the
+//!   replica's log — the next poll is an automatic refetch;
+//! * whenever the replica's epoch matches the source, its log is exactly
+//!   the shipped image up to its cursor (shipped ⊆ durable ⇒ the replica
+//!   can lag, never run ahead).
+
+use proptest::prelude::*;
+
+use croesus::core::{ReplicaTailer, TailPoll};
+use croesus::store::TxnId;
+use croesus::wal::frame::write_frame;
+use croesus::wal::{FrameReader, LogShipper, TailState, WalRecord};
+use std::sync::Arc;
+
+/// One source-side or replica-side step of the shipping dialogue.
+#[derive(Clone, Debug)]
+enum Ev {
+    /// The edge syncs new records: frame and publish them.
+    Publish(Vec<(u64, bool)>),
+    /// The edge checkpoints: epoch bump, image replaced.
+    Checkpoint,
+    /// The next fetched copy is damaged in flight.
+    Corrupt,
+    /// Cut or restore the uplink.
+    Offline(bool),
+    /// The replica polls once.
+    Poll,
+}
+
+fn arb_event() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        prop::collection::vec((1u64..9, any::<bool>()), 1..4).prop_map(Ev::Publish),
+        Just(Ev::Checkpoint),
+        Just(Ev::Corrupt),
+        any::<bool>().prop_map(Ev::Offline),
+        // Weight polls up so runs actually consume what they publish.
+        Just(Ev::Poll),
+        Just(Ev::Poll),
+        Just(Ev::Poll),
+    ]
+}
+
+fn framed(records: &[WalRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        write_frame(&mut out, &r.encode());
+    }
+    out
+}
+
+fn decision_frames(decisions: &[(u64, bool)]) -> Vec<u8> {
+    let records: Vec<WalRecord> = decisions
+        .iter()
+        .map(|&(txn, commit)| WalRecord::TpcDecision {
+            txn: TxnId(txn),
+            commit,
+        })
+        .collect();
+    framed(&records)
+}
+
+fn parses_cleanly(bytes: &[u8]) -> bool {
+    let mut reader = FrameReader::new(bytes);
+    for payload in reader.by_ref() {
+        if WalRecord::decode(payload).is_err() {
+            return false;
+        }
+    }
+    reader.tail() == TailState::Clean
+}
+
+proptest! {
+    #[test]
+    fn shipping_contract_holds_for_any_dialogue(events in prop::collection::vec(arb_event(), 1..40)) {
+        let shipper = Arc::new(LogShipper::new());
+        let mut tailer = ReplicaTailer::new(Arc::clone(&shipper));
+
+        for ev in &events {
+            match ev {
+                Ev::Publish(decisions) => shipper.publish(&decision_frames(decisions)),
+                Ev::Checkpoint => shipper.restart_epoch(&framed(&[WalRecord::Settle])),
+                Ev::Corrupt => shipper.corrupt_next_fetch(),
+                Ev::Offline(down) => shipper.set_offline(*down),
+                Ev::Poll => {
+                    let cursor_before = tailer.cursor();
+                    let log_before = tailer.log().to_vec();
+                    match tailer.poll() {
+                        TailPoll::Rejected => {
+                            // A damaged batch must be a pure no-op.
+                            prop_assert_eq!(tailer.cursor(), cursor_before);
+                            prop_assert_eq!(tailer.log(), log_before.as_slice());
+                        }
+                        TailPoll::Advanced { bytes, restarted } => {
+                            let cursor = tailer.cursor();
+                            if cursor.epoch != cursor_before.epoch {
+                                // Epoch bump ⇒ full re-tail, never append.
+                                prop_assert!(restarted, "cross-epoch batch must restart");
+                            }
+                            if restarted {
+                                // The replica's copy is replaced wholesale
+                                // by the new epoch's whole image.
+                                prop_assert_eq!(tailer.log(), shipper.image().as_slice());
+                            } else {
+                                // Same epoch: strictly appended.
+                                prop_assert_eq!(cursor.epoch, cursor_before.epoch);
+                                prop_assert!(tailer.log().starts_with(&log_before));
+                                prop_assert_eq!(tailer.log().len(), log_before.len() + bytes);
+                            }
+                            prop_assert_eq!(cursor.offset, tailer.log().len());
+                        }
+                        TailPoll::Offline => prop_assert!(shipper.is_offline()),
+                        TailPoll::UpToDate => {
+                            prop_assert_eq!(cursor_before.offset, shipper.shipped_len());
+                        }
+                    }
+                    // The replica always holds a valid, replayable prefix.
+                    prop_assert!(parses_cleanly(tailer.log()));
+                    // And when epochs agree, exactly the shipped image up
+                    // to its cursor — lagging, never ahead.
+                    if tailer.cursor().epoch == shipper.epoch() {
+                        let image = shipper.image();
+                        prop_assert!(tailer.cursor().offset <= image.len());
+                        prop_assert_eq!(tailer.log(), &image[..tailer.cursor().offset]);
+                    }
+                }
+            }
+        }
+
+        // Drain: back online, at most one pending corrupt fetch to shed,
+        // then the replica must converge on the full image.
+        shipper.set_offline(false);
+        for _ in 0..2 {
+            match tailer.catch_up() {
+                TailPoll::UpToDate => break,
+                TailPoll::Rejected => continue,
+                other => prop_assert!(false, "unexpected drain outcome: {other:?}"),
+            }
+        }
+        prop_assert_eq!(tailer.log(), shipper.image().as_slice());
+        prop_assert_eq!(tailer.cursor().epoch, shipper.epoch());
+    }
+}

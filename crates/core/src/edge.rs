@@ -139,6 +139,11 @@ impl EdgeNode {
     /// is the hot-spot behaviour of Fig. 6(b).
     pub fn run_initial_stage(&self, frame_index: u64, labels: &[Detection]) -> InitialStage {
         let started = Instant::now();
+        // Frame ingest advances the stream's sim frame clock: every event
+        // this frame produces (stages, syncs, verdicts) is stamped with it.
+        let obs = self.protocol.core().obs();
+        obs.set_frame(frame_index);
+        obs.emit(croesus_obs::EventKind::FrameIngest);
         // Instantiate all triggered transactions.
         let mut instances = Vec::new();
         {
@@ -276,6 +281,16 @@ impl EdgeNode {
                 }
             }
         }
+
+        self.protocol
+            .core()
+            .obs()
+            .emit(croesus_obs::EventKind::CloudVerdict {
+                correct: correct as u32,
+                corrected: corrected as u32,
+                erroneous: erroneous as u32,
+                missed: missed as u32,
+            });
 
         FinalStage {
             committed,

@@ -32,6 +32,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use croesus_detect::{Detection, ModelProfile, SimulatedModel};
+use croesus_obs::{EdgeObs, Event, EventKind, HistKind};
 use croesus_sim::{FaultEvent, FaultInjector, FaultKind};
 use croesus_store::{KvStore, LockManager};
 use croesus_txn::recovery::{recover_edge_file, RecoveredEdge};
@@ -86,6 +87,48 @@ pub struct FleetReport {
     /// Apologies owed across the surviving fleet at shutdown (crash
     /// retractions included).
     pub apologies_owed: u64,
+    /// The structured event timeline, grouped by edge in per-edge
+    /// emission order — exactly what the ordering checker consumes. Empty
+    /// unless the deployment was built with
+    /// [`observe`](crate::CroesusBuilder::observe); fully deterministic
+    /// (events carry the sim frame clock, never wall time), so it
+    /// participates in the report's equality.
+    pub timeline: Vec<Event>,
+}
+
+impl FleetReport {
+    /// A "flight recorder" dump: the last `per_edge` events of every
+    /// edge stream, formatted for a failing chaos assertion. Explains
+    /// *which* heartbeat, takeover, sync or retraction happened in what
+    /// order — instead of bare counters.
+    #[must_use]
+    pub fn flight_recorder(&self, per_edge: usize) -> String {
+        if self.timeline.is_empty() {
+            return "(no timeline: the run was not built with .observe(..))".to_string();
+        }
+        let mut by_edge: std::collections::BTreeMap<u32, Vec<&Event>> =
+            std::collections::BTreeMap::new();
+        for e in &self.timeline {
+            by_edge.entry(e.edge).or_default().push(e);
+        }
+        let mut out = String::new();
+        for (edge, events) in by_edge {
+            let skip = events.len().saturating_sub(per_edge);
+            out.push_str(&format!(
+                "edge {edge} — last {} of {} events:\n",
+                events.len() - skip,
+                events.len()
+            ));
+            for e in &events[skip..] {
+                let txn = e.txn.map_or_else(|| "-".to_string(), |t| t.to_string());
+                out.push_str(&format!(
+                    "  seq {:>5}  frame {:>4}  txn {:>4}  {:?}\n",
+                    e.seq, e.frame, txn, e.kind
+                ));
+            }
+        }
+        out
+    }
 }
 
 /// One edge's seat in the fleet: the node (if alive), its shipping
@@ -105,6 +148,9 @@ struct EdgeSlot {
     /// The cloud replacement owns this partition; the original edge is
     /// fenced forever.
     failed_over: bool,
+    /// The edge's observability stream — persistent across takeover, so
+    /// the replacement node continues the dead node's sequence numbers.
+    obs: EdgeObs,
 }
 
 impl EdgeSlot {
@@ -131,10 +177,13 @@ impl Deployment {
             .expect("the fleet driver requires durability");
         let shipper = Arc::new(LogShipper::new());
         wal.attach_shipper(Arc::clone(&shipper));
+        let eobs = self.edge_obs(i);
+        wal.set_obs(eobs.clone());
         let core = ExecutorCore::new(
             Arc::new(KvStore::new()),
             Arc::new(LockManager::new(self.protocol.default_lock_policy())),
         )
+        .with_obs(eobs.clone())
         .with_wal(Arc::new(wal));
         let node = EdgeNode::with_protocol(
             self.edge_model(),
@@ -151,6 +200,7 @@ impl Deployment {
             stalled_until: 0,
             partition_until: 0,
             failed_over: false,
+            obs: eobs,
         }
     }
 
@@ -183,10 +233,13 @@ impl Deployment {
             shipper,
         )
         .expect("resuming the write-ahead log must succeed");
+        let eobs = self.edge_obs(i);
+        wal.set_obs(eobs.clone());
         let core = ExecutorCore::new(
             store,
             Arc::new(LockManager::new(self.protocol.default_lock_policy())),
         )
+        .with_obs(eobs)
         .with_apologies(apologies)
         .with_wal(Arc::new(wal));
         let salt = (i as u64) << 48;
@@ -206,18 +259,27 @@ impl Deployment {
         &self,
         i: usize,
         now: u64,
+        silence_frames: u64,
         slot: &mut EdgeSlot,
         bank: &Arc<TransactionsBank>,
         report: &mut FleetReport,
     ) {
+        slot.obs.emit(EventKind::TakeoverStart);
+        slot.obs
+            .record_value(HistKind::DetectToTakeoverFrames, silence_frames);
         // Pull whatever the link still carries; if it is down, the replica
         // serves from what already shipped — a stale-but-valid durable
         // prefix is exactly what a crash would have preserved anyway.
         let mut rejects = 0;
         loop {
             match slot.tailer.poll() {
-                TailPoll::Advanced { .. } => continue,
+                TailPoll::Advanced { bytes, .. } => {
+                    slot.obs.emit(EventKind::ShipAccept {
+                        bytes: bytes as u64,
+                    });
+                }
                 TailPoll::Rejected => {
+                    slot.obs.emit(EventKind::ShipReject);
                     report.rejected_batches += 1;
                     rejects += 1;
                     if rejects > 3 {
@@ -231,11 +293,25 @@ impl Deployment {
             // The node was stalled, not dead: it gets deposed now and
             // fenced when it wakes.
             report.fenced_wakeups += 1;
+            slot.obs.emit(EventKind::Fence);
         }
         let rec = slot.tailer.recover();
+        // Recovery's crash retractions, apology-paired in the trace: the
+        // in-flight guesses the takeover rolls back.
+        if slot.obs.is_enabled() {
+            for retraction in &rec.retractions {
+                for txn in &retraction.retracted {
+                    slot.obs.emit_txn(txn.0, EventKind::Retract);
+                    slot.obs.emit_txn(txn.0, EventKind::Apology);
+                }
+            }
+        }
         let (node, retractions) = self.revive_node(i, bank, rec, Box::new(MemStorage::new()), None);
         slot.node = Some(node);
         slot.failed_over = true;
+        slot.obs.emit(EventKind::TakeoverEnd {
+            retractions: retractions as u32,
+        });
         report.takeovers.push(Takeover {
             edge: i,
             detected_at: now,
@@ -254,6 +330,7 @@ impl Deployment {
     ) {
         if slot.failed_over {
             report.fenced_wakeups += 1;
+            slot.obs.emit(EventKind::Fence);
             return;
         }
         if slot.node.is_some() {
@@ -321,6 +398,11 @@ impl Deployment {
 
         for frame in video.frames() {
             let now = frame.index;
+            // Advance every stream's sim frame clock first: fault, miss
+            // and takeover events this frame must be stamped with it.
+            for slot in &slots {
+                slot.obs.set_frame(now);
+            }
             for ev in injector.take_due(now) {
                 if ev.edge < self.edges {
                     let slot = &mut slots[ev.edge];
@@ -331,14 +413,15 @@ impl Deployment {
                 slot.shipper.set_offline(now < slot.partition_until);
                 if slot.serving(now) {
                     last_seen[i] = now;
+                } else if !slot.failed_over {
+                    slot.obs.emit(EventKind::HeartbeatMiss);
                 }
             }
             if self.failover {
                 for i in 0..self.edges {
-                    if !slots[i].failed_over
-                        && now.saturating_sub(last_seen[i]) > self.heartbeat_timeout
-                    {
-                        self.take_over(i, now, &mut slots[i], &bank, &mut report);
+                    let silence = now.saturating_sub(last_seen[i]);
+                    if !slots[i].failed_over && silence > self.heartbeat_timeout {
+                        self.take_over(i, now, silence, &mut slots[i], &bank, &mut report);
                         last_seen[i] = now;
                     }
                 }
@@ -386,10 +469,24 @@ impl Deployment {
                     report.settled_entries += edge.settle() as u64;
                 }
                 if !slot.failed_over {
+                    // Replication lag, sampled before this frame's tail
+                    // round: durable-but-unreplicated bytes at the source.
+                    if slot.obs.is_enabled() {
+                        let lag = slot
+                            .shipper
+                            .shipped_len()
+                            .saturating_sub(slot.tailer.log().len());
+                        slot.obs.record_value(HistKind::ShipLagBytes, lag as u64);
+                    }
                     loop {
                         match slot.tailer.poll() {
-                            TailPoll::Advanced { .. } => continue,
+                            TailPoll::Advanced { bytes, .. } => {
+                                slot.obs.emit(EventKind::ShipAccept {
+                                    bytes: bytes as u64,
+                                });
+                            }
                             TailPoll::Rejected => {
+                                slot.obs.emit(EventKind::ShipReject);
                                 report.rejected_batches += 1;
                                 break; // next frame's poll refetches
                             }
@@ -415,6 +512,9 @@ impl Deployment {
                 slot.shipper.set_offline(false);
                 slot.tailer.catch_up();
             }
+        }
+        if let Some(obs) = &self.obs {
+            report.timeline = obs.events();
         }
         report
     }

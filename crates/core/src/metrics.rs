@@ -1,6 +1,15 @@
-//! Run metrics: the quantities the paper's figures report.
+//! Run metrics: the per-run quantities the paper's figures report, plus
+//! the latency tail the obs exporter surfaces.
+//!
+//! The figure-facing numbers (means, F-score, bandwidth, correction
+//! counts) are unchanged from the paper's reporting. On top of them the
+//! collector now feeds [`croesus_obs::AtomicHistogram`]s for the
+//! initial- and final-commit paths, so [`RunMetrics`] carries full
+//! p50/p90/p99/p999 [`Quantiles`] — the same numbers the `perf_json`
+//! bench bin exports next to the obs summary.
 
 use croesus_net::BandwidthMeter;
+use croesus_obs::{AtomicHistogram, Quantiles};
 use croesus_sim::{OnlineStats, SimDuration};
 
 /// Mean per-frame latency of each pipeline component, in milliseconds —
@@ -51,7 +60,7 @@ impl CorrectionCounts {
 }
 
 /// The complete result of one run (Croesus or a baseline) over one video.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// What ran, e.g. `"croesus v2 (0.4,0.6)"`.
     pub label: String,
@@ -61,8 +70,15 @@ pub struct RunMetrics {
     pub initial_commit_ms: f64,
     /// Mean latency to final commit, ms.
     pub final_commit_ms: f64,
-    /// 99th-percentile final-commit latency, ms.
+    /// 99th-percentile final-commit latency, ms (exact, from the sorted
+    /// samples — the historical number, kept for continuity).
     pub final_commit_p99_ms: f64,
+    /// Initial-commit latency tail (histogram-derived, bounded relative
+    /// error).
+    pub initial_commit_quantiles: Quantiles,
+    /// Final-commit latency tail (histogram-derived, bounded relative
+    /// error).
+    pub final_commit_quantiles: Quantiles,
     /// F-score of the client-observed labels against the cloud reference.
     pub f_score: f64,
     /// Precision component.
@@ -95,6 +111,8 @@ pub struct MetricsCollector {
     final_txn: OnlineStats,
     initial_commit: OnlineStats,
     final_commit: Vec<f64>,
+    initial_commit_hist: AtomicHistogram,
+    final_commit_hist: AtomicHistogram,
     pr: croesus_sim::stats::PrecisionRecall,
     corrections: CorrectionCounts,
     transactions: u64,
@@ -122,8 +140,10 @@ impl MetricsCollector {
         self.final_txn.push_duration(final_txn);
         let initial = edge_link + edge_detect + initial_txn;
         self.initial_commit.push_duration(initial);
-        self.final_commit
-            .push((initial + final_txn).as_millis_f64());
+        self.initial_commit_hist.record_ms(initial.as_millis_f64());
+        let final_ms = (initial + final_txn).as_millis_f64();
+        self.final_commit.push(final_ms);
+        self.final_commit_hist.record_ms(final_ms);
     }
 
     /// Record one frame that was validated at the cloud.
@@ -145,8 +165,10 @@ impl MetricsCollector {
         self.final_txn.push_duration(final_txn);
         let initial = edge_link + edge_detect + initial_txn;
         self.initial_commit.push_duration(initial);
-        self.final_commit
-            .push((initial + cloud_link + cloud_detect + final_txn).as_millis_f64());
+        self.initial_commit_hist.record_ms(initial.as_millis_f64());
+        let final_ms = (initial + cloud_link + cloud_detect + final_txn).as_millis_f64();
+        self.final_commit.push(final_ms);
+        self.final_commit_hist.record_ms(final_ms);
     }
 
     /// Record a frame's accuracy counts.
@@ -194,6 +216,8 @@ impl MetricsCollector {
             initial_commit_ms: self.initial_commit.mean(),
             final_commit_ms: final_summary.as_ref().map_or(0.0, |s| s.mean()),
             final_commit_p99_ms: final_summary.as_ref().map_or(0.0, |s| s.percentile(99.0)),
+            initial_commit_quantiles: self.initial_commit_hist.quantiles_ms(),
+            final_commit_quantiles: self.final_commit_hist.quantiles_ms(),
             f_score: self.pr.f_score(),
             precision: self.pr.precision(),
             recall: self.pr.recall(),
@@ -276,6 +300,37 @@ mod tests {
         assert_eq!(m.corrections.correct, 6);
         assert_eq!(m.corrections.total(), 12);
         assert_eq!(m.transactions_committed, 7);
+    }
+
+    #[test]
+    fn commit_quantiles_track_the_recorded_tail() {
+        let mut c = MetricsCollector::new();
+        // 99 fast edge frames and one slow validated frame: the final-
+        // commit p99/p999 must land on the slow one, p50 on the fast path.
+        for _ in 0..99 {
+            c.record_edge_frame(ms(10), ms(190), ms(0), ms(0));
+        }
+        c.record_validated_frame(ms(10), ms(190), ms(0), ms(130), ms(1120), ms(0));
+        let m = c.finish("tail".into(), &BandwidthMeter::new());
+        let q = m.final_commit_quantiles;
+        assert!((q.p50 - 200.0).abs() / 200.0 < 0.1, "p50={}", q.p50);
+        // One slow frame in a hundred: p99 still rides the fast path,
+        // p999 must land on the outlier.
+        assert!((q.p99 - 200.0).abs() / 200.0 < 0.1, "p99={}", q.p99);
+        assert!((q.p999 - 1450.0).abs() / 1450.0 < 0.1, "p999={}", q.p999);
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.p999);
+        // The histogram p99 agrees with the exact sorted-sample p99
+        // within the bucket's bounded relative error.
+        assert!((q.p99 - m.final_commit_p99_ms).abs() / m.final_commit_p99_ms < 0.1);
+        // Initial commit never includes the cloud leg.
+        assert!(m.initial_commit_quantiles.p999 < 250.0);
+    }
+
+    #[test]
+    fn empty_run_has_zero_quantiles() {
+        let m = MetricsCollector::new().finish("empty".into(), &BandwidthMeter::new());
+        assert_eq!(m.final_commit_quantiles, croesus_obs::Quantiles::default());
+        assert_eq!(m.initial_commit_quantiles.p50, 0.0);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use croesus_detect::{score_against, Detection, ModelProfile, SimulatedModel};
 use croesus_net::BandwidthMeter;
+use croesus_obs::{EdgeObs, Obs};
 use croesus_sim::{DetRng, FaultPlan};
 use croesus_store::{KvStore, LockManager};
 use croesus_txn::{ExecutorCore, ProtocolKind};
@@ -115,6 +116,7 @@ pub struct CroesusBuilder {
     faults: FaultPlan,
     failover: bool,
     heartbeat_timeout: u64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Default for CroesusBuilder {
@@ -128,6 +130,7 @@ impl Default for CroesusBuilder {
             faults: FaultPlan::new(),
             failover: false,
             heartbeat_timeout: 3,
+            obs: None,
         }
     }
 }
@@ -233,6 +236,31 @@ impl CroesusBuilder {
         self
     }
 
+    /// Attach an observability collector: every edge's executor, WAL and
+    /// the fleet loop emit typed [`croesus_obs::Event`]s into the
+    /// collector's per-edge streams, and the latency histograms fill in.
+    /// Off by default — an unobserved run takes the exact same code paths
+    /// with a single `Option`-is-`None` branch at each emission site, so
+    /// the golden pins stay byte-identical.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use croesus_core::Croesus;
+    ///
+    /// let obs = croesus_obs::Obs::shared();
+    /// Croesus::builder()
+    ///     .frames(30)
+    ///     .observe(Arc::clone(&obs))
+    ///     .build()
+    ///     .run();
+    /// croesus_obs::check_obs(&obs).expect("the trace obeys the ordering contract");
+    /// ```
+    #[must_use]
+    pub fn observe(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Replace the whole run configuration (protocol/mode/edges are kept).
     #[must_use]
     pub fn config(mut self, config: CroesusConfig) -> Self {
@@ -295,6 +323,7 @@ impl CroesusBuilder {
             faults: self.faults,
             failover: self.failover,
             heartbeat_timeout: self.heartbeat_timeout,
+            obs: self.obs,
         }
     }
 }
@@ -310,6 +339,7 @@ pub struct Deployment {
     pub(crate) faults: FaultPlan,
     pub(crate) failover: bool,
     pub(crate) heartbeat_timeout: u64,
+    pub(crate) obs: Option<Arc<Obs>>,
 }
 
 impl Deployment {
@@ -343,6 +373,19 @@ impl Deployment {
         self.heartbeat_timeout
     }
 
+    /// The attached observability collector, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// The emission handle for edge `i`: the collector's persistent
+    /// per-edge stream when observing, the no-op handle otherwise.
+    pub(crate) fn edge_obs(&self, i: usize) -> EdgeObs {
+        self.obs
+            .as_ref()
+            .map_or_else(EdgeObs::disabled, |o| o.edge(i))
+    }
+
     /// Build the edge fleet: each edge owns its own store, lock manager
     /// and protocol executor (its partition of the data, §4.5).
     /// `edge_hardware` applies the setup's edge machine class to inference
@@ -362,15 +405,18 @@ impl Deployment {
                 if edge_hardware {
                     model = model.with_hardware_factor(cfg.setup.edge.hardware_factor());
                 }
+                let eobs = self.edge_obs(i);
                 let mut core = ExecutorCore::new(
                     Arc::new(KvStore::new()),
                     Arc::new(LockManager::new(self.protocol.default_lock_policy())),
-                );
+                )
+                .with_obs(eobs.clone());
                 if let Some(wal) = self
                     .durability
                     .open_edge_wal(i)
                     .expect("durability directory must be creatable and writable")
                 {
+                    wal.set_obs(eobs);
                     core = core.with_wal(Arc::new(wal));
                 }
                 EdgeNode::with_protocol(

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use croesus_obs::EdgeObs;
 use croesus_store::{Key, KvStore, LockManager, LockPolicy, PartitionMap, TxnId, Value};
 use croesus_txn::tpc::ParticipantWrites;
 use croesus_txn::{
@@ -131,6 +132,8 @@ pub struct ProtoWorld {
     pub history: HistoryRecorder,
     /// Client-visible acks, in ack order.
     pub acks: Mutex<Vec<Ack>>,
+    /// The observability stream (disabled unless the scenario traces).
+    pub obs: EdgeObs,
 }
 
 /// Extra per-cut predicate a scenario can attach to the crash sweep.
@@ -153,6 +156,18 @@ pub struct ProtocolScenario {
     pub mutate_ms_sr: bool,
     /// Scenario-specific crash-cut predicate.
     pub extra_crash_check: Option<CutCheck>,
+    /// Collect a structured event trace and verify it against the
+    /// `croesus_obs` ordering contract at the end of every schedule.
+    pub trace: bool,
+}
+
+impl ProtocolScenario {
+    /// Enable per-schedule event tracing + ordering-contract checking.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
 }
 
 fn apply_ops(ctx: &mut StageCtx<'_>, ops: &[StageOp]) -> Result<(), TxnError> {
@@ -228,9 +243,16 @@ impl Scenario for ProtocolScenario {
         let locks = Arc::new(LockManager::new(policy));
         let history = HistoryRecorder::new();
         let (wal, probe) = Wal::in_memory(WalConfig::strict());
+        let obs = if self.trace {
+            EdgeObs::standalone(0)
+        } else {
+            EdgeObs::disabled()
+        };
+        wal.set_obs(obs.clone());
         let wal = Arc::new(wal);
         let core = ExecutorCore::new(Arc::clone(&store), Arc::clone(&locks))
             .with_history(history.clone())
+            .with_obs(obs.clone())
             .with_wal(Arc::clone(&wal));
         let protocol = AnyProtocol::build(self.kind, core);
         if self.mutate_ms_sr {
@@ -247,6 +269,7 @@ impl Scenario for ProtocolScenario {
             probe,
             history,
             acks: Mutex::new(Vec::new()),
+            obs,
         })
     }
 
@@ -296,6 +319,14 @@ impl Scenario for ProtocolScenario {
         let leaked = world.locks.locked_keys();
         if leaked != 0 {
             return Err(format!("{leaked} locks leaked after all txns finished"));
+        }
+
+        // The ordering contract holds on every explored interleaving, not
+        // just the fault-free fleet runs: replay this schedule's event
+        // stream through the executable checker.
+        if world.obs.is_enabled() {
+            croesus_obs::check_stream(&world.obs.events(), world.obs.dropped() > 0)
+                .map_err(|v| format!("event-ordering contract: {v}"))?;
         }
 
         let checker = world.history.checker();
@@ -409,6 +440,7 @@ pub fn two_txn_two_stage(kind: ProtocolKind) -> ProtocolScenario {
         deadlock_expected: false,
         mutate_ms_sr: false,
         extra_crash_check: None,
+        trace: false,
     }
 }
 
@@ -455,6 +487,7 @@ pub fn retract_self(kind: ProtocolKind) -> ProtocolScenario {
         deadlock_expected: false,
         mutate_ms_sr: false,
         extra_crash_check: None,
+        trace: false,
     }
 }
 
@@ -498,6 +531,7 @@ pub fn ms_sr_block_deadlock() -> ProtocolScenario {
         deadlock_expected: true,
         mutate_ms_sr: false,
         extra_crash_check: None,
+        trace: false,
     }
 }
 
@@ -560,6 +594,7 @@ pub fn ms_sr_commit_point(mutate: bool) -> ProtocolScenario {
                 Ok(())
             }
         })),
+        trace: false,
     }
 }
 
@@ -588,6 +623,7 @@ pub fn three_txn_hot_key(kind: ProtocolKind) -> ProtocolScenario {
         deadlock_expected: false,
         mutate_ms_sr: false,
         extra_crash_check: None,
+        trace: false,
     }
 }
 

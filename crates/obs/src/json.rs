@@ -1,0 +1,231 @@
+//! Hand-rolled JSON exporters for traces and summaries.
+//!
+//! The workspace has no serde (no network access for dependencies), so
+//! this module renders the two shapes the bench bins and CI artifacts
+//! need: a full event trace (`events_json`) and a compact summary of
+//! counters + histogram quantiles (`summary_json`).
+
+use crate::event::{Event, EventKind};
+use crate::hist::Quantiles;
+use crate::sink::{HistKind, Obs};
+
+fn push_field(out: &mut String, first: &mut bool, key: &str, value: impl std::fmt::Display) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn kind_fields(out: &mut String, first: &mut bool, kind: EventKind) {
+    match kind {
+        EventKind::TxnBegin { stages } => push_field(out, first, "stages", stages),
+        EventKind::StageStart { stage } | EventKind::StageEnd { stage } => {
+            push_field(out, first, "stage", stage);
+        }
+        EventKind::WalAppend { lsn } => push_field(out, first, "lsn", lsn),
+        EventKind::WalSync { lsn, epoch } | EventKind::ShipPublish { lsn, epoch } => {
+            push_field(out, first, "lsn", lsn);
+            push_field(out, first, "epoch", epoch);
+        }
+        EventKind::ShipAccept { bytes } => push_field(out, first, "bytes", bytes),
+        EventKind::CloudVerdict {
+            correct,
+            corrected,
+            erroneous,
+            missed,
+        } => {
+            push_field(out, first, "correct", correct);
+            push_field(out, first, "corrected", corrected);
+            push_field(out, first, "erroneous", erroneous);
+            push_field(out, first, "missed", missed);
+        }
+        EventKind::TakeoverEnd { retractions } => {
+            push_field(out, first, "retractions", retractions);
+        }
+        EventKind::TpcDecision { commit } => push_field(out, first, "commit", commit),
+        _ => {}
+    }
+}
+
+/// Render one event as a JSON object.
+#[must_use]
+pub fn event_json(event: &Event) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    push_field(&mut out, &mut first, "seq", event.seq);
+    push_field(&mut out, &mut first, "frame", event.frame);
+    push_field(&mut out, &mut first, "edge", event.edge);
+    if let Some(txn) = event.txn {
+        push_field(&mut out, &mut first, "txn", txn);
+    }
+    push_field(
+        &mut out,
+        &mut first,
+        "kind",
+        format_args!("\"{}\"", event.kind.name()),
+    );
+    kind_fields(&mut out, &mut first, event.kind);
+    out.push('}');
+    out
+}
+
+/// Render a whole trace as a JSON array of event objects.
+#[must_use]
+pub fn events_json(events: &[Event]) -> String {
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str("  ");
+        out.push_str(&event_json(event));
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn quantiles_json(q: Quantiles) -> String {
+    format!(
+        "{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"p999\":{:.3}}}",
+        q.p50, q.p90, q.p99, q.p999
+    )
+}
+
+/// Render a collector's counters and histogram quantiles as JSON.
+#[must_use]
+pub fn summary_json(obs: &Obs) -> String {
+    let mut out = String::from("{\n  \"edges\": ");
+    out.push_str(&obs.edge_count().to_string());
+    out.push_str(",\n  \"dropped_events\": ");
+    out.push_str(&obs.dropped().to_string());
+    out.push_str(",\n  \"counters\": {");
+    let mut first = true;
+    for (kind, name) in counter_kinds() {
+        let n = obs.count(kind);
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        out.push_str(name);
+        out.push_str("\": ");
+        out.push_str(&n.to_string());
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let mut first = true;
+    for hist in HistKind::all() {
+        if obs.hist_count(hist) == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        out.push_str(hist.name());
+        out.push_str("\": ");
+        out.push_str(&quantiles_json(obs.quantiles(hist)));
+    }
+    out.push_str("\n  }\n}");
+    out
+}
+
+/// One representative of every counter kind, paired with its name.
+fn counter_kinds() -> [(EventKind, &'static str); 19] {
+    let names = EventKind::names();
+    [
+        (EventKind::FrameIngest, names[0]),
+        (EventKind::TxnBegin { stages: 0 }, names[1]),
+        (EventKind::StageStart { stage: 0 }, names[2]),
+        (EventKind::StageEnd { stage: 0 }, names[3]),
+        (EventKind::InitialCommit, names[4]),
+        (EventKind::FinalCommit, names[5]),
+        (EventKind::WalAppend { lsn: 0 }, names[6]),
+        (EventKind::WalSync { lsn: 0, epoch: 0 }, names[7]),
+        (EventKind::ShipPublish { lsn: 0, epoch: 0 }, names[8]),
+        (EventKind::ShipAccept { bytes: 0 }, names[9]),
+        (EventKind::ShipReject, names[10]),
+        (
+            EventKind::CloudVerdict {
+                correct: 0,
+                corrected: 0,
+                erroneous: 0,
+                missed: 0,
+            },
+            names[11],
+        ),
+        (EventKind::Retract, names[12]),
+        (EventKind::Apology, names[13]),
+        (EventKind::HeartbeatMiss, names[14]),
+        (EventKind::TakeoverStart, names[15]),
+        (EventKind::TakeoverEnd { retractions: 0 }, names[16]),
+        (EventKind::Fence, names[17]),
+        (EventKind::TpcDecision { commit: true }, names[18]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_includes_kind_payload() {
+        let e = Event {
+            seq: 4,
+            frame: 2,
+            edge: 1,
+            txn: Some(9),
+            kind: EventKind::WalSync { lsn: 128, epoch: 3 },
+        };
+        let json = event_json(&e);
+        assert_eq!(
+            json,
+            "{\"seq\":4,\"frame\":2,\"edge\":1,\"txn\":9,\"kind\":\"wal_sync\",\"lsn\":128,\"epoch\":3}"
+        );
+    }
+
+    #[test]
+    fn summary_json_lists_nonzero_counters_and_hists() {
+        let obs = Obs::new();
+        let edge = obs.edge(0);
+        edge.emit(EventKind::FrameIngest);
+        edge.emit_txn(1, EventKind::InitialCommit);
+        edge.record_duration(HistKind::WalSyncMs, std::time::Duration::from_millis(2));
+        let json = summary_json(&obs);
+        assert!(json.contains("\"frame_ingest\": 1"), "{json}");
+        assert!(json.contains("\"initial_commit\": 1"), "{json}");
+        assert!(json.contains("\"wal_sync_ms\""), "{json}");
+        assert!(!json.contains("\"ship_reject\""), "zero counters omitted");
+    }
+
+    #[test]
+    fn events_json_is_an_array() {
+        let events = vec![
+            Event {
+                seq: 0,
+                frame: 0,
+                edge: 0,
+                txn: None,
+                kind: EventKind::FrameIngest,
+            },
+            Event {
+                seq: 1,
+                frame: 0,
+                edge: 0,
+                txn: Some(1),
+                kind: EventKind::TpcDecision { commit: false },
+            },
+        ];
+        let json = events_json(&events);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"commit\":false"), "{json}");
+    }
+}

@@ -74,6 +74,7 @@ impl MultiStageProtocol for MsIaExecutor {
     }
 
     fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle {
+        self.core.note_begin(txn, stages.len());
         TxnHandle::first(txn, stages.len())
     }
 

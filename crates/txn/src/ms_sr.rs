@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use croesus_obs::{EventKind, HistKind};
 use croesus_store::{Key, LockMode, TxnId, UndoLog};
 
 use crate::model::{RwSet, SectionCtx, TxnError};
@@ -136,6 +137,8 @@ impl TsplExecutor {
         }
         let lock_epoch = Instant::now();
         crate::sched::yield_point("ms_sr.initial.locked");
+        core.obs()
+            .emit_txn(txn.0, EventKind::StageStart { stage: 0 });
 
         if let Some(h) = core.history() {
             h.record_begin(txn, handle.section_kind());
@@ -155,6 +158,7 @@ impl TsplExecutor {
                 core.store(),
                 core.apologies(),
                 core.wal().map(|w| &**w),
+                core.obs(),
             );
             body(&mut ctx)
         };
@@ -201,6 +205,10 @@ impl TsplExecutor {
             h.record_commit(txn, handle.section_kind());
         }
         core.stats().record_initial_latency(started.elapsed());
+        core.obs().emit_txn(txn.0, EventKind::StageEnd { stage: 0 });
+        core.obs().emit_txn(txn.0, EventKind::InitialCommit);
+        core.obs()
+            .record_duration(HistKind::InitialCommitMs, started.elapsed());
 
         // Remember everything held, deduplicated, for the final release.
         let mut held: Vec<Key> = initial_pairs
@@ -232,6 +240,7 @@ impl TsplExecutor {
     ) -> Result<StageOutcome, TxnError> {
         let txn = handle.txn();
         let core = &self.core;
+        let started = Instant::now();
         // The declared sets at begin() are binding under MS-SR: acquiring
         // anything new after initial commit could abort or block, which
         // the guarantee forbids.
@@ -247,6 +256,12 @@ impl TsplExecutor {
             }
         }
 
+        core.obs().emit_txn(
+            txn.0,
+            EventKind::StageStart {
+                stage: handle.stage() as u32,
+            },
+        );
         if let Some(h) = core.history() {
             h.record_begin(txn, handle.section_kind());
         }
@@ -265,6 +280,7 @@ impl TsplExecutor {
                 core.store(),
                 core.apologies(),
                 core.wal().map(|w| &**w),
+                core.obs(),
             );
             body(&mut ctx)
         };
@@ -288,8 +304,17 @@ impl TsplExecutor {
         if let Some(h) = core.history() {
             h.record_commit(txn, handle.section_kind());
         }
+        core.obs().emit_txn(
+            txn.0,
+            EventKind::StageEnd {
+                stage: handle.stage() as u32,
+            },
+        );
         if handle.is_final() {
             core.stats().record_commit();
+            core.obs().emit_txn(txn.0, EventKind::FinalCommit);
+            core.obs()
+                .record_duration(HistKind::FinalCommitMs, started.elapsed());
             if !released_early {
                 self.release_held(txn);
             }
@@ -314,6 +339,7 @@ impl MultiStageProtocol for TsplExecutor {
 
     fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle {
         let handle = TxnHandle::first(txn, stages.len());
+        self.core.note_begin(txn, stages.len());
         let later = stages[1..]
             .iter()
             .fold(RwSet::new(), |acc, rw| acc.union(rw));

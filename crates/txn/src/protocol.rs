@@ -48,6 +48,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use std::time::Instant;
 
+use croesus_obs::{EdgeObs, EventKind, HistKind};
 use croesus_store::{KvStore, LockManager, TxnId, UndoLog};
 use croesus_wal::{RetractRecord, StageFlags, StageRecord, Wal, WriteImage};
 
@@ -131,6 +132,7 @@ pub struct ExecutorCore {
     history: Option<HistoryRecorder>,
     apologies: Arc<ApologyManager>,
     wal: Option<Arc<Wal>>,
+    obs: EdgeObs,
 }
 
 impl ExecutorCore {
@@ -144,6 +146,7 @@ impl ExecutorCore {
             history: None,
             apologies: Arc::new(ApologyManager::new()),
             wal: None,
+            obs: EdgeObs::disabled(),
         }
     }
 
@@ -171,6 +174,17 @@ impl ExecutorCore {
     #[must_use]
     pub fn with_apologies(mut self, apologies: Arc<ApologyManager>) -> Self {
         self.apologies = apologies;
+        self
+    }
+
+    /// Attach a structured-observability stream: every stage lifecycle
+    /// transition is emitted as a typed event and commit latencies feed
+    /// the per-edge histograms. The default is the disabled handle, so
+    /// unobserved execution takes a single branch per emission site and
+    /// stays byte-identical with the uninstrumented system.
+    #[must_use]
+    pub fn with_obs(mut self, obs: EdgeObs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -202,6 +216,21 @@ impl ExecutorCore {
     /// The write-ahead log, if durability is enabled.
     pub fn wal(&self) -> Option<&Arc<Wal>> {
         self.wal.as_ref()
+    }
+
+    /// The observability stream handle (disabled unless attached).
+    pub fn obs(&self) -> &EdgeObs {
+        &self.obs
+    }
+
+    /// Emit the `TxnBegin` event (shared by every protocol's `begin`).
+    pub(crate) fn note_begin(&self, txn: TxnId, stages: usize) {
+        self.obs.emit_txn(
+            txn.0,
+            EventKind::TxnBegin {
+                stages: stages as u32,
+            },
+        );
     }
 
     /// The shared durability hook: serialize one executed stage — its
@@ -324,6 +353,12 @@ impl ExecutorCore {
         }
         crate::sched::yield_point("txn.stage.locked");
         let lock_epoch = Instant::now();
+        self.obs.emit_txn(
+            txn.0,
+            EventKind::StageStart {
+                stage: handle.stage() as u32,
+            },
+        );
 
         if let Some(h) = &self.history {
             h.record_begin(txn, kind);
@@ -331,7 +366,13 @@ impl ExecutorCore {
         let mut undo = UndoLog::new();
         let out = {
             let section = SectionCtx::new(txn, kind, &self.store, rw, &mut undo, self.history());
-            let mut ctx = StageCtx::new(section, &self.store, &self.apologies, self.wal.as_deref());
+            let mut ctx = StageCtx::new(
+                section,
+                &self.store,
+                &self.apologies,
+                self.wal.as_deref(),
+                &self.obs,
+            );
             body(&mut ctx)
         };
         let output = match out {
@@ -364,8 +405,17 @@ impl ExecutorCore {
         if let Some(h) = &self.history {
             h.record_commit(txn, kind);
         }
+        self.obs.emit_txn(
+            txn.0,
+            EventKind::StageEnd {
+                stage: handle.stage() as u32,
+            },
+        );
         if handle.stage() == 0 {
-            self.stats.record_initial_latency(started.elapsed());
+            let latency = started.elapsed();
+            self.stats.record_initial_latency(latency);
+            self.obs.emit_txn(txn.0, EventKind::InitialCommit);
+            self.obs.record_duration(HistKind::InitialCommitMs, latency);
         }
         if !handle.is_final() || register_final_guess {
             self.apologies
@@ -376,6 +426,9 @@ impl ExecutorCore {
 
         Ok(if handle.is_final() {
             self.stats.record_commit();
+            let latency = started.elapsed();
+            self.obs.emit_txn(txn.0, EventKind::FinalCommit);
+            self.obs.record_duration(HistKind::FinalCommitMs, latency);
             StageOutcome::Complete { output }
         } else {
             StageOutcome::Committed {
@@ -512,6 +565,7 @@ pub struct StageCtx<'a> {
     store: &'a KvStore,
     apologies: &'a ApologyManager,
     wal: Option<&'a Wal>,
+    obs: &'a EdgeObs,
     reports: Vec<RetractionReport>,
 }
 
@@ -521,12 +575,14 @@ impl<'a> StageCtx<'a> {
         store: &'a KvStore,
         apologies: &'a ApologyManager,
         wal: Option<&'a Wal>,
+        obs: &'a EdgeObs,
     ) -> Self {
         StageCtx {
             section,
             store,
             apologies,
             wal,
+            obs,
             reports: Vec::new(),
         }
     }
@@ -549,6 +605,10 @@ impl<'a> StageCtx<'a> {
                 restores: restores.clone(),
             }))
             .expect("WAL append failed — durability cannot be guaranteed");
+        }
+        for retracted in &report.retracted {
+            self.obs.emit_txn(retracted.0, EventKind::Retract);
+            self.obs.emit_txn(retracted.0, EventKind::Apology);
         }
         self.reports.push(report.clone());
         report

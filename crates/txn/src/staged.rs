@@ -47,6 +47,7 @@ impl MultiStageProtocol for StagedExecutor {
     }
 
     fn begin(&self, txn: TxnId, stages: &[RwSet]) -> TxnHandle {
+        self.core.note_begin(txn, stages.len());
         TxnHandle::first(txn, stages.len())
     }
 

@@ -162,6 +162,7 @@ impl RetryPolicy {
 pub struct Coordinator {
     partitions: Arc<PartitionMap>,
     wal: Option<Arc<Wal>>,
+    obs: croesus_obs::EdgeObs,
 }
 
 /// Result of a coordinated commit.
@@ -185,6 +186,7 @@ impl Coordinator {
         Coordinator {
             partitions,
             wal: None,
+            obs: croesus_obs::EdgeObs::disabled(),
         }
     }
 
@@ -195,11 +197,20 @@ impl Coordinator {
         self
     }
 
+    /// Emit `TpcDecision` events to an observability stream.
+    #[must_use]
+    pub fn with_obs(mut self, obs: croesus_obs::EdgeObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     fn log_decision(&self, txn: TxnId, commit: bool) {
         if let Some(wal) = &self.wal {
             wal.append_tpc_decision(txn, commit)
                 .expect("WAL append failed — the 2PC decision must be durable before phase 2");
         }
+        self.obs
+            .emit_txn(txn.0, croesus_obs::EventKind::TpcDecision { commit });
     }
 
     /// Log that phase 2 finished: every participant acked, so the decision

@@ -34,6 +34,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use croesus_obs::{EdgeObs, EventKind, HistKind};
 use croesus_store::{KvStore, TxnId};
 
 use crate::frame::write_frame;
@@ -114,17 +115,39 @@ struct WalInner {
     /// Frame bytes appended since the last sync — the batch the next sync
     /// publishes.
     unshipped: Vec<u8>,
+    /// Observability stream (disabled by default). Events use the log
+    /// length as the LSN and the checkpoint epoch as the epoch, so the
+    /// ordering contract's shipped ⊆ durable check is byte-exact.
+    obs: EdgeObs,
+    /// Checkpoint epoch: bumped at every truncation (mirrors the
+    /// shipper's epoch when one is attached).
+    epoch: u64,
 }
 
 impl WalInner {
     /// Make everything appended durable and publish it to the shipper.
     /// The single exit through which bytes become both synced and shipped.
     fn sync_and_publish(&mut self) -> io::Result<()> {
+        let timer = self.obs.is_enabled().then(std::time::Instant::now);
         self.storage.sync()?;
         self.stats.syncs += 1;
         self.unsynced_commits = 0;
+        let lsn = self.storage.len();
+        if let Some(t0) = timer {
+            self.obs.record_duration(HistKind::WalSyncMs, t0.elapsed());
+        }
+        self.obs.emit(EventKind::WalSync {
+            lsn,
+            epoch: self.epoch,
+        });
         if let Some(shipper) = &self.shipper {
             shipper.publish(&self.unshipped);
+            if !self.unshipped.is_empty() {
+                self.obs.emit(EventKind::ShipPublish {
+                    lsn,
+                    epoch: self.epoch,
+                });
+            }
         }
         self.unshipped.clear();
         Ok(())
@@ -151,8 +174,17 @@ impl Wal {
                 stats: WalStats::default(),
                 shipper: None,
                 unshipped: Vec::new(),
+                obs: EdgeObs::disabled(),
+                epoch: 0,
             }),
         }
+    }
+
+    /// Attach an observability stream: appends, syncs and publishes are
+    /// emitted as typed events, and sync latency feeds the per-edge
+    /// histogram. Safe to call at any point; the default is disabled.
+    pub fn set_obs(&self, obs: EdgeObs) {
+        self.inner.lock().obs = obs;
     }
 
     /// Attach a cloud shipping endpoint. Must happen before the first
@@ -204,6 +236,7 @@ impl Wal {
             inner.shadow_store = shadow_store;
             inner.stats.checkpoints += 1;
             inner.stats.syncs += 1;
+            inner.epoch = 1;
             if let Some(shipper) = &shipper {
                 shipper.restart_epoch(&framed);
             }
@@ -262,6 +295,9 @@ impl Wal {
         inner.stats.records += 1;
         inner.stats.bytes_appended += framed.len() as u64;
         inner.unshipped.extend_from_slice(&framed);
+        inner.obs.emit(EventKind::WalAppend {
+            lsn: inner.storage.len(),
+        });
         Ok(())
     }
 
@@ -384,8 +420,13 @@ impl Wal {
         // effects live inside the checkpoint), and the replica must
         // re-tail from the new epoch's single frame.
         inner.unshipped.clear();
+        inner.epoch += 1;
+        let lsn = inner.storage.len();
+        let epoch = inner.epoch;
+        inner.obs.emit(EventKind::WalSync { lsn, epoch });
         if let Some(shipper) = &inner.shipper {
             shipper.restart_epoch(&framed);
+            inner.obs.emit(EventKind::ShipPublish { lsn, epoch });
         }
         Ok(())
     }

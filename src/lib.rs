@@ -18,6 +18,11 @@
 //!   sequencer, two-phase commit, history checkers, and apology-aware
 //!   crash recovery (`txn::recovery`).
 //! * [`net`] — edge-cloud network links, payload/compression models, cost.
+//! * [`obs`] — structured transaction tracing: a typed event stream on the
+//!   simulated frame clock, per-edge ring collectors with latency
+//!   histograms, a JSON exporter, and an executable event-ordering
+//!   contract (`obs::check_stream`). Off by default; attach with
+//!   `Croesus::builder().observe(..)`.
 //! * [`core`] — the Croesus system: the `Croesus` deployment builder
 //!   (pipeline + baselines, any protocol, any edge-fleet size), edge/cloud
 //!   nodes, transactions bank, bandwidth thresholding, and the threshold
@@ -29,6 +34,7 @@
 pub use croesus_core as core;
 pub use croesus_detect as detect;
 pub use croesus_net as net;
+pub use croesus_obs as obs;
 pub use croesus_sim as sim;
 pub use croesus_store as store;
 pub use croesus_txn as txn;

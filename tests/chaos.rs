@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::thread;
 
 use croesus::core::{Croesus, DurabilityMode, FaultKind, FaultPlan, ReplicaTailer};
+use croesus::obs::{check_stream, EventKind, Obs};
 use croesus::store::{Key, KvStore, LockManager, LockPolicy, PartitionMap, TxnId, Value};
 use croesus::txn::{
     recover_edge_file, Coordinator, ExecutorCore, MultiStageProtocol, MultiStageProtocolExt,
@@ -48,6 +49,7 @@ fn seeded_chaos_preserves_fleet_invariants_across_protocols() {
         for seed in [11u64, 23] {
             let plan = FaultPlan::seeded(seed, FRAMES, EDGES, 0.06);
             let dir = scratch_dir(&format!("chaos-fleet-{kind}-{seed}"));
+            let obs = Obs::shared();
             let r = Croesus::builder()
                 .protocol(kind)
                 .frames(FRAMES)
@@ -56,6 +58,7 @@ fn seeded_chaos_preserves_fleet_invariants_across_protocols() {
                 .failover(true)
                 .heartbeat_timeout(TIMEOUT)
                 .faults(plan.clone())
+                .observe(Arc::clone(&obs))
                 .build()
                 .run_fleet();
 
@@ -86,6 +89,46 @@ fn seeded_chaos_preserves_fleet_invariants_across_protocols() {
                     plan.events()
                 );
             }
+
+            // Every takeover is *explained by the trace*: the event
+            // timeline must satisfy the ordering contract (which forces
+            // HeartbeatMiss ≺ TakeoverStart, and TakeoverEnd only inside
+            // an open takeover), and carry exactly one
+            // TakeoverStart/TakeoverEnd pair per reported takeover, on
+            // the failed edge's own stream. On failure, dump the last
+            // events per edge — the flight recorder.
+            if let Err(v) = check_stream(&r.timeline, obs.dropped() > 0) {
+                panic!("{kind} seed {seed}: {v}\n{}", r.flight_recorder(12));
+            }
+            let count = |edge: usize, want: fn(&EventKind) -> bool| {
+                r.timeline
+                    .iter()
+                    .filter(|e| e.edge as usize == edge && want(&e.kind))
+                    .count()
+            };
+            for t in &r.takeovers {
+                let misses = count(t.edge, |k| matches!(k, EventKind::HeartbeatMiss));
+                let starts = count(t.edge, |k| matches!(k, EventKind::TakeoverStart));
+                let ends = count(t.edge, |k| matches!(k, EventKind::TakeoverEnd { .. }));
+                assert!(
+                    misses >= starts && starts == ends && starts >= 1,
+                    "{kind} seed {seed}: takeover of edge {} unexplained \
+                     ({misses} misses, {starts} starts, {ends} ends)\n{}",
+                    t.edge,
+                    r.flight_recorder(12)
+                );
+            }
+            let total_starts = r
+                .timeline
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::TakeoverStart))
+                .count();
+            assert_eq!(
+                total_starts,
+                r.takeovers.len(),
+                "{kind} seed {seed}: one TakeoverStart per reported takeover\n{}",
+                r.flight_recorder(12)
+            );
 
             // Crash recovery apologizes for everything it retracts; those
             // apologies live on in the replacement nodes.

@@ -1,11 +1,12 @@
 //! Machine-readable perf snapshot: measures the storage/locking hot path,
 //! the Fig-6 contention harness, the throughput of each multi-stage
-//! protocol through the unified `dyn MultiStageProtocol` API (PR 2), and —
-//! since PR 3 — the WAL: record append throughput, durable commit
-//! throughput per group-commit size (the fsync amortization curve), and
-//! recovery replay speed. Writes `BENCH_PR3.json` so the perf trajectory
-//! is tracked PR over PR (future PRs emit `BENCH_PR<n>.json` next to it;
-//! never overwrite an earlier PR's file).
+//! protocol through the unified `dyn MultiStageProtocol` API (PR 2), the
+//! WAL (PR 3): record append throughput, durable commit throughput per
+//! group-commit size (the fsync amortization curve), and recovery replay
+//! speed — and, since PR 9, the wave-parallel worker-pool scaling curve.
+//! Writes `BENCH_PR9.json` so the perf trajectory is tracked PR over PR
+//! (future PRs emit `BENCH_PR<n>.json` next to it; never overwrite an
+//! earlier PR's file).
 //!
 //! Usage:
 //!
@@ -16,7 +17,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use croesus_bench::contention::{run_ms_ia, run_ms_sr, ContentionConfig};
+use croesus_bench::contention::{run_ms_ia, run_ms_sr, run_released_pooled, ContentionConfig};
 use croesus_store::{Key, KvStore, LockManager, LockMode, LockPolicy, TxnId, Value};
 use croesus_txn::{ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet};
 use croesus_wal::{StageFlags, StageRecord, Wal, WalConfig, WriteImage};
@@ -163,7 +164,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let budget = if quick {
         Duration::from_millis(120)
     } else {
@@ -245,6 +246,37 @@ fn main() {
     let sr = run_ms_sr(&cfg);
     let ia = run_ms_ia(&cfg);
 
+    eprintln!("measuring worker-pool scaling curve...");
+    // Wide hot-spot range: waves are broad, so the pool's parallelism —
+    // not conflict structure — is what the curve measures. Section work
+    // dominates the run, which is the edge's actual shape (detection and
+    // validation inside the stage bodies).
+    let mut scale_cfg = ContentionConfig::paper(100_000);
+    if quick {
+        scale_cfg.txns = 64;
+        scale_cfg.section_work = Duration::from_micros(200);
+    }
+    let worker_counts = [1usize, 2, 4, 8];
+    let curve: Vec<(usize, f64)> = worker_counts
+        .iter()
+        .map(|&w| {
+            let r = run_released_pooled(ProtocolKind::MsIa, &scale_cfg, w);
+            assert_eq!(r.commits as usize, scale_cfg.txns, "pooled run lost txns");
+            (w, r.txn_per_sec())
+        })
+        .collect();
+    let base_tps = curve[0].1;
+    let scaling_json = curve
+        .iter()
+        .map(|(w, tps)| {
+            format!(
+                "    {{\"workers\": {w}, \"txn_per_sec\": {tps:.1}, \"speedup\": {:.2}}}",
+                tps / base_tps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let fmt_pairs = |pairs: &[(&str, f64)]| -> String {
         pairs
             .iter()
@@ -255,7 +287,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 3,
+  "pr": 9,
   "generated_by": "cargo run -p croesus-bench --release --bin perf_json",
   "quick": {quick},
   "store": {{
@@ -286,6 +318,12 @@ fn main() {
     "ms_sr": {{"avg_lock_hold_ms": {sr_hold:.3}, "abort_rate": {sr_abort:.4}, "commits": {sr_commits}}},
     "ms_ia": {{"avg_lock_hold_ms": {ia_hold:.3}, "abort_rate": {ia_abort:.4}, "commits": {ia_commits}}}
   }},
+  "workers_scaling": {{
+    "note": "PR 9 wave-parallel edge runtime: MS-IA over a wide hot-spot range ({scale_range} keys, {scale_txns} txns, {scale_work_us}us/section), sequencer waves executed on the per-edge WorkerPool; workers=1 is the inline (historic, byte-identical) path",
+    "curve": [
+{scaling_json}
+    ]
+  }},
   "criterion_ns_per_iter_pr1_record": {{
     "note": "frozen historical record measured once during PR 1, NOT re-measured by this binary; for live criterion numbers run the benches with CRITERION_JSON=<path>",
     "pre_pr1_seed": {{
@@ -298,6 +336,9 @@ fn main() {
 }}
 "#,
         locks_per_sec = acquire_all_batches * batch_pairs.len() as f64,
+        scale_range = scale_cfg.key_range,
+        scale_txns = scale_cfg.txns,
+        scale_work_us = scale_cfg.section_work.as_micros(),
         txns = cfg.txns,
         threads = cfg.threads,
         key_range = cfg.key_range,

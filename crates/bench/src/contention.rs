@@ -15,14 +15,14 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use croesus_core::HotspotWorkload;
 use croesus_sim::DetRng;
 use croesus_store::{KvStore, LockManager, LockPolicy, TxnId};
 use croesus_txn::{
     ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, RwSet, Sequencer,
-    TxnHandle,
+    TxnHandle, WorkerPool,
 };
 
 /// Configuration of one contention run.
@@ -81,6 +81,20 @@ pub struct ContentionResult {
     /// Mean lock-hold time per transaction, corrected to the unscaled
     /// cloud wait, in milliseconds.
     pub avg_hold_ms: f64,
+    /// Wall-clock time of the whole run — the scaling-curve numerator.
+    pub elapsed: Duration,
+}
+
+impl ContentionResult {
+    /// Committed transactions per wall-clock second.
+    pub fn txn_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.commits as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 fn rwsets(cfg: &ContentionConfig) -> Vec<RwSet> {
@@ -110,6 +124,7 @@ pub fn run_ms_sr_with_policy(cfg: &ContentionConfig, policy: LockPolicy) -> Cont
     let first_attempt_aborts = Arc::new(AtomicU64::new(0));
     let wait = cfg.scaled_cloud_wait;
     let work = cfg.section_work;
+    let started = Instant::now();
 
     let handles: Vec<_> = (0..cfg.threads)
         .map(|_| {
@@ -176,6 +191,7 @@ pub fn run_ms_sr_with_policy(cfg: &ContentionConfig, policy: LockPolicy) -> Cont
         first_attempt_aborts: first,
         abort_rate: first as f64 / cfg.txns.max(1) as f64,
         avg_hold_ms: snap.avg_lock_hold_ms + correction_ms,
+        elapsed: started.elapsed(),
     }
 }
 
@@ -200,6 +216,7 @@ pub fn run_released(kind: ProtocolKind, cfg: &ContentionConfig) -> ContentionRes
         Arc::new(LockManager::new(LockPolicy::Block)),
     ));
     let work = cfg.section_work;
+    let started = Instant::now();
 
     // Initial sections wave by wave, then final sections.
     let mut pendings: Vec<Option<TxnHandle>> = (0..sets.len()).map(|_| None).collect();
@@ -239,12 +256,102 @@ pub fn run_released(kind: ProtocolKind, cfg: &ContentionConfig) -> ContentionRes
         first_attempt_aborts: snap.aborts,
         abort_rate: snap.abort_rate(),
         avg_hold_ms: snap.avg_lock_hold_ms,
+        elapsed: started.elapsed(),
     }
 }
 
 /// MS-IA under the sequencer (the paper's 0%-abort configuration).
 pub fn run_ms_ia(cfg: &ContentionConfig) -> ContentionResult {
     run_released(ProtocolKind::MsIa, cfg)
+}
+
+/// Run a lock-releasing protocol with the sequencer's waves executed on a
+/// [`WorkerPool`] — the wave-parallel edge runtime's harness, measured in
+/// isolation for the scaling curve.
+///
+/// Both the initial *and* final sections run wave-parallel here. That is
+/// safe because the contention workload has no retraction cascades: a
+/// final section touches exactly its declared footprint, so wave-mates
+/// stay disjoint. (The edge pipeline must honour cascades that can
+/// restore keys outside any declared footprint, which is why it keeps
+/// finals sequential — see DESIGN.md.)
+pub fn run_released_pooled(
+    kind: ProtocolKind,
+    cfg: &ContentionConfig,
+    workers: usize,
+) -> ContentionResult {
+    assert!(
+        kind != ProtocolKind::MsSr,
+        "MS-SR holds locks across waits; use run_ms_sr"
+    );
+    let sets = Arc::new(rwsets(cfg));
+    let executor = protocol(kind, LockPolicy::Block);
+    let pool = WorkerPool::new(workers);
+    let work = cfg.section_work;
+    let started = Instant::now();
+
+    let waves = Sequencer::waves(&sets);
+    let mut pendings: Vec<Option<TxnHandle>> = (0..sets.len()).map(|_| None).collect();
+    for wave in &waves {
+        let jobs: Vec<_> = wave
+            .iter()
+            .map(|&idx| {
+                let sets = Arc::clone(&sets);
+                let executor = Arc::clone(&executor);
+                move || {
+                    let rw = &sets[idx];
+                    let h = executor.begin(TxnId(idx as u64), &[rw.clone(), rw.clone()]);
+                    let (_, p) = executor
+                        .stage(h, rw, |ctx| {
+                            thread::sleep(work);
+                            for k in &rw.writes {
+                                ctx.write(k.clone(), 1i64)?;
+                            }
+                            Ok(())
+                        })
+                        .expect("sequenced initial sections cannot conflict");
+                    (idx, p)
+                }
+            })
+            .collect();
+        for (idx, p) in pool.run_wave(jobs) {
+            pendings[idx] = p;
+        }
+    }
+
+    for wave in &waves {
+        let jobs: Vec<_> = wave
+            .iter()
+            .map(|&idx| {
+                let sets = Arc::clone(&sets);
+                let executor = Arc::clone(&executor);
+                let p = pendings[idx].take().expect("every initial committed");
+                move || {
+                    let rw = &sets[idx];
+                    executor
+                        .stage(p, rw, |ctx| {
+                            thread::sleep(work);
+                            for k in &rw.writes {
+                                ctx.write(k.clone(), 2i64)?;
+                            }
+                            Ok(())
+                        })
+                        .expect("final sections cannot abort");
+                }
+            })
+            .collect();
+        pool.run_wave(jobs);
+    }
+
+    let snap = executor.stats().snapshot();
+    ContentionResult {
+        commits: snap.commits,
+        total_aborts: snap.aborts,
+        first_attempt_aborts: snap.aborts,
+        abort_rate: snap.abort_rate(),
+        avg_hold_ms: snap.avg_lock_hold_ms,
+        elapsed: started.elapsed(),
+    }
 }
 
 /// Any protocol under its natural harness: MS-SR threaded with wait-die,
@@ -339,5 +446,25 @@ mod tests {
     fn nowait_policy_runs_to_completion() {
         let r = run_ms_sr_with_policy(&small(50), LockPolicy::NoWait);
         assert_eq!(r.commits, 60);
+    }
+
+    #[test]
+    fn pooled_release_matches_the_sequential_harness() {
+        for kind in [ProtocolKind::MsIa, ProtocolKind::Staged] {
+            let seq = run_released(kind, &small(20));
+            let pooled = run_released_pooled(kind, &small(20), 4);
+            assert_eq!(pooled.commits, seq.commits, "{kind}");
+            assert_eq!(pooled.commits, 60, "{kind}");
+            assert_eq!(pooled.total_aborts, 0, "{kind}: waves stay conflict-free");
+            assert_eq!(pooled.abort_rate, 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pooled_single_worker_is_the_inline_path() {
+        let r = run_released_pooled(ProtocolKind::MsIa, &small(20), 1);
+        assert_eq!(r.commits, 60);
+        assert_eq!(r.total_aborts, 0);
+        assert!(r.txn_per_sec() > 0.0);
     }
 }

@@ -25,7 +25,7 @@ use croesus_sim::{DetRng, SimDuration};
 use croesus_store::{KvStore, LockManager, TxnId};
 use croesus_txn::{
     ExecutorCore, MultiStageProtocol, ProtocolKind, RwSet, SectionOutput, Sequencer, StageOutcome,
-    TxnError, TxnHandle,
+    TxnHandle, WorkerPool,
 };
 use croesus_video::Frame;
 
@@ -64,12 +64,16 @@ pub struct FinalStage {
 /// The edge node.
 pub struct EdgeNode {
     model: SimulatedModel,
-    protocol: Box<dyn MultiStageProtocol>,
+    protocol: Arc<dyn MultiStageProtocol>,
     bank: Arc<TransactionsBank>,
     overlap_threshold: f64,
     txn_counter: AtomicU64,
     rng: Mutex<DetRng>,
     pending: Mutex<HashMap<u64, Vec<PendingTxn>>>,
+    /// Wave-parallel runtime: initial sections of one sequencer wave run
+    /// across this pool's workers. The default inline pool (1 worker) is
+    /// the historic single-threaded pipeline, byte-identical.
+    pool: WorkerPool,
 }
 
 impl EdgeNode {
@@ -100,13 +104,29 @@ impl EdgeNode {
     ) -> Self {
         EdgeNode {
             model,
-            protocol,
+            protocol: Arc::from(protocol),
             bank,
             overlap_threshold,
             txn_counter: AtomicU64::new(0),
             rng: Mutex::new(DetRng::new(seed).fork_named("edge-node")),
             pending: Mutex::new(HashMap::new()),
+            pool: WorkerPool::inline_pool(),
         }
+    }
+
+    /// Replace the execution pool: initial sections of each sequencer wave
+    /// run across the pool's workers. With `WorkerPool::new(1)` (the
+    /// default) execution is inline and byte-identical with the historic
+    /// single-threaded pipeline.
+    #[must_use]
+    pub fn with_worker_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Worker threads executing this edge's waves (1 = inline).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// The edge datastore.
@@ -131,12 +151,62 @@ impl EdgeNode {
         )
     }
 
+    /// Run one instantiated transaction's initial section: begin, execute,
+    /// commit. `None` when the protocol aborted it (MS-SR wait-die against
+    /// a pending holder's locks — deterministic, it depends only on txn
+    /// ids). A free function over the `Arc`'d protocol so pool jobs can
+    /// own everything they touch.
+    fn run_initial_txn(
+        protocol: &dyn MultiStageProtocol,
+        txn: TxnId,
+        label: Detection,
+        inst: crate::bank::TxnInstance,
+    ) -> Option<(SectionOutput, PendingTxn)> {
+        let handle = protocol.begin(txn, &[inst.initial_rw.clone(), inst.final_rw.clone()]);
+        let mut body = Some(inst.initial);
+        match protocol.run_stage(handle, &inst.initial_rw, &mut |ctx| {
+            (body.take().expect("initial body runs once"))(ctx.section_mut())
+        }) {
+            Ok(StageOutcome::Committed { output, next }) => Some((
+                output,
+                PendingTxn {
+                    handle: next,
+                    final_rw: inst.final_rw,
+                    final_body: inst.final_section,
+                    edge_label: label,
+                },
+            )),
+            Ok(StageOutcome::Complete { .. }) => {
+                unreachable!("two stages were declared")
+            }
+            Err(_) => {
+                // Sequenced MS-IA execution cannot conflict; under MS-SR a
+                // pending transaction's held locks can abort this one —
+                // drop it (the protocol recorded the abort).
+                None
+            }
+        }
+    }
+
     /// Trigger and run the initial sections for the surviving labels of a
-    /// frame. Transactions are ordered by the single-threaded sequencer so
-    /// conflicting initial sections never overlap (§5.2.4). Under MS-SR a
+    /// frame. Transactions are ordered by the sequencer so conflicting
+    /// initial sections never overlap (§5.2.4); within a wave the runner
+    /// parallelizes across the edge's worker pool. Under MS-SR a
     /// conflicting transaction can still abort on the locks a *pending*
     /// transaction holds across its cloud wait; it is then dropped, which
     /// is the hot-spot behaviour of Fig. 6(b).
+    ///
+    /// Determinism: waves are computed over each transaction's **merged**
+    /// declared footprint (initial ∪ final), not just its initial rw-set —
+    /// MS-SR acquires the later stages' locks at begin, so two wave-mates
+    /// overlapping only on final keys would contend inside a wave. With
+    /// merged footprints, wave-mates are fully lock-disjoint; the only
+    /// conflicts left are against *pending* transactions from earlier
+    /// frames, which always hold lower txn ids, so wait-die resolves them
+    /// identically no matter which worker runs what. Txn ids are assigned
+    /// in wave-major submission order, and results are collected in that
+    /// same order — `workers(1)` and `workers(n)` produce the same
+    /// responses, the same pendings, the same stats.
     pub fn run_initial_stage(&self, frame_index: u64, labels: &[Detection]) -> InitialStage {
         let started = Instant::now();
         // Frame ingest advances the stream's sim frame clock: every event
@@ -155,50 +225,48 @@ impl EdgeNode {
                 }
             }
         }
-        // Sequence by initial rw-set and execute.
+        // Sequence by merged footprint and execute wave by wave.
         let rwsets: Vec<RwSet> = instances
             .iter()
-            .map(|(_, i)| i.initial_rw.clone())
+            .map(|(_, i)| i.initial_rw.union(&i.final_rw))
             .collect();
         let mut slots: Vec<Option<(Detection, crate::bank::TxnInstance)>> =
             instances.into_iter().map(Some).collect();
         let mut committed = 0u64;
         let mut responses = Vec::new();
         let mut pendings = Vec::new();
-        Sequencer::run_batch::<TxnError>(&rwsets, |idx| {
-            let (label, inst) = slots[idx].take().expect("each index runs once");
-            let txn = self.next_txn();
-            let handle = self
-                .protocol
-                .begin(txn, &[inst.initial_rw.clone(), inst.final_rw.clone()]);
-            let mut body = Some(inst.initial);
-            match self
-                .protocol
-                .run_stage(handle, &inst.initial_rw, &mut |ctx| {
-                    (body.take().expect("initial body runs once"))(ctx.section_mut())
-                }) {
-                Ok(StageOutcome::Committed { output, next }) => {
+        for wave in Sequencer::waves(&rwsets) {
+            if self.pool.is_inline() || wave.len() == 1 {
+                for idx in wave {
+                    let (label, inst) = slots[idx].take().expect("each index runs once");
+                    let txn = self.next_txn();
+                    if let Some((output, ptxn)) =
+                        Self::run_initial_txn(&*self.protocol, txn, label, inst)
+                    {
+                        committed += 1;
+                        responses.push(output);
+                        pendings.push(ptxn);
+                    }
+                }
+            } else {
+                let jobs: Vec<_> = wave
+                    .iter()
+                    .map(|&idx| {
+                        let (label, inst) = slots[idx].take().expect("each index runs once");
+                        // Ids are handed out at submission time, in wave
+                        // order — the same sequence the inline path sees.
+                        let txn = self.next_txn();
+                        let protocol = Arc::clone(&self.protocol);
+                        move || Self::run_initial_txn(&*protocol, txn, label, inst)
+                    })
+                    .collect();
+                for (output, ptxn) in self.pool.run_wave(jobs).into_iter().flatten() {
                     committed += 1;
                     responses.push(output);
-                    pendings.push(PendingTxn {
-                        handle: next,
-                        final_rw: inst.final_rw,
-                        final_body: inst.final_section,
-                        edge_label: label,
-                    });
-                }
-                Ok(StageOutcome::Complete { .. }) => {
-                    unreachable!("two stages were declared")
-                }
-                Err(_) => {
-                    // Sequenced MS-IA execution cannot conflict; under
-                    // MS-SR a pending transaction's held locks can abort
-                    // this one — drop it (the protocol recorded the abort).
+                    pendings.push(ptxn);
                 }
             }
-            Ok(())
-        })
-        .expect("batch execution is infallible");
+        }
         // Merge rather than overwrite: dropping earlier pending handles
         // would leak the locks MS-SR transactions hold across their wait.
         self.pending
@@ -496,6 +564,41 @@ mod tests {
             let snap = e.protocol().stats().snapshot();
             assert_eq!(snap.commits, 1, "{kind}");
             assert_eq!(e.protocol().kind(), kind);
+        }
+    }
+
+    /// The tentpole contract: a wave-parallel edge (workers > 1) commits
+    /// the same transactions, produces the same responses in the same
+    /// order, and leaves the same store state as the inline edge — for
+    /// every protocol.
+    #[test]
+    fn pooled_edge_matches_inline_edge_exactly() {
+        for kind in ProtocolKind::ALL {
+            let inline_edge = edge_with(kind);
+            let pooled_edge = edge_with(kind).with_worker_pool(WorkerPool::new(4));
+            assert_eq!(pooled_edge.workers(), 4);
+            let labels: Vec<Detection> = (0..12)
+                .map(|i| det("car", 0.6 + 0.03 * i as f64, 0.05 * i as f64))
+                .collect();
+            for frame in 0..4u64 {
+                let a = inline_edge.run_initial_stage(frame, &labels);
+                let b = pooled_edge.run_initial_stage(frame, &labels);
+                assert_eq!(a.committed, b.committed, "{kind} frame {frame}");
+                assert_eq!(a.responses.len(), b.responses.len(), "{kind}");
+                let fa = inline_edge.finalize_local(frame);
+                let fb = pooled_edge.finalize_local(frame);
+                assert_eq!(fa.committed, fb.committed, "{kind} frame {frame}");
+            }
+            let sa = inline_edge.protocol().stats().snapshot();
+            let sb = pooled_edge.protocol().stats().snapshot();
+            assert_eq!(sa.begun, sb.begun, "{kind}");
+            assert_eq!(sa.commits, sb.commits, "{kind}");
+            assert_eq!(sa.aborts, sb.aborts, "{kind}");
+            assert_eq!(
+                inline_edge.store().len(),
+                pooled_edge.store().len(),
+                "{kind}: store state must not depend on the worker count"
+            );
         }
     }
 

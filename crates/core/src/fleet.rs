@@ -191,7 +191,8 @@ impl Deployment {
             cfg.overlap_threshold,
             cfg.seed ^ salt,
             self.protocol.build(core),
-        );
+        )
+        .with_worker_pool(croesus_txn::WorkerPool::new(self.workers));
         EdgeSlot {
             node: Some(node),
             tailer: ReplicaTailer::new(Arc::clone(&shipper)),
@@ -249,7 +250,8 @@ impl Deployment {
             self.config.overlap_threshold,
             self.config.seed ^ salt,
             self.protocol.build(core),
-        );
+        )
+        .with_worker_pool(croesus_txn::WorkerPool::new(self.workers));
         node.set_txn_start(next_txn);
         (node, retractions.len())
     }
@@ -403,6 +405,27 @@ impl Deployment {
             for slot in &slots {
                 slot.obs.set_frame(now);
             }
+            // Failure detection runs FIRST in the frame, on last frame's
+            // heartbeat state — before this frame's faults (a resurrect)
+            // or beats are applied. This is the pinned boundary semantics:
+            // the detector's `silence > heartbeat_timeout` condition is
+            // evaluated like a lease — once an edge's silence exceeds the
+            // timeout, the takeover wins the frame, and a resurrect
+            // arriving at that exact frame is fenced rather than racing
+            // the detector back in. A resurrect one frame earlier (silence
+            // exactly == timeout, not >) still restarts in place. Live
+            // edges see silence == 1 here (they last beat in the previous
+            // frame), which the `timeout >= 1` builder floor makes
+            // harmless.
+            if self.failover {
+                for i in 0..self.edges {
+                    let silence = now.saturating_sub(last_seen[i]);
+                    if !slots[i].failed_over && silence > self.heartbeat_timeout {
+                        self.take_over(i, now, silence, &mut slots[i], &bank, &mut report);
+                        last_seen[i] = now;
+                    }
+                }
+            }
             for ev in injector.take_due(now) {
                 if ev.edge < self.edges {
                     let slot = &mut slots[ev.edge];
@@ -415,15 +438,6 @@ impl Deployment {
                     last_seen[i] = now;
                 } else if !slot.failed_over {
                     slot.obs.emit(EventKind::HeartbeatMiss);
-                }
-            }
-            if self.failover {
-                for i in 0..self.edges {
-                    let silence = now.saturating_sub(last_seen[i]);
-                    if !slots[i].failed_over && silence > self.heartbeat_timeout {
-                        self.take_over(i, now, silence, &mut slots[i], &bank, &mut report);
-                        last_seen[i] = now;
-                    }
                 }
             }
 
@@ -567,6 +581,42 @@ mod tests {
         // Frame 7 (the only frame routed to edge 1 during the gap) dropped.
         assert_eq!(r.frames_dropped, 1);
         assert_eq!(r.frames_processed, 29);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Boundary pin: a resurrect landing on the exact detection frame
+    /// LOSES the frame. Detection runs before fault application, so once
+    /// silence exceeds the timeout the takeover is decided and the
+    /// returning original is fenced — it cannot race the detector back in.
+    #[test]
+    fn resurrect_at_the_exact_detection_frame_is_fenced() {
+        let dir = croesus_wal::scratch_dir("fleet-boundary-lose");
+        // Kill at 6 → last beat at 5 → silence first exceeds timeout 3 at
+        // frame 9, the same frame the resurrect arrives.
+        let plan = FaultPlan::new()
+            .at(6, 1, FaultKind::Kill)
+            .at(9, 1, FaultKind::Resurrect);
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert_eq!(r.takeovers.len(), 1, "the detector wins the tie");
+        assert_eq!(r.takeovers[0].detected_at, 9);
+        assert_eq!(r.fenced_wakeups, 1, "the late riser is fenced out");
+        assert_eq!(r.in_place_restarts, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Boundary pin, other side: one frame earlier the silence equals the
+    /// timeout (not exceeds), the detector stays quiet, and the edge
+    /// restarts in place.
+    #[test]
+    fn resurrect_one_frame_before_detection_restarts_in_place() {
+        let dir = croesus_wal::scratch_dir("fleet-boundary-win");
+        let plan = FaultPlan::new()
+            .at(6, 1, FaultKind::Kill)
+            .at(8, 1, FaultKind::Resurrect);
+        let r = fleet(&dir).faults(plan).build().run_fleet();
+        assert!(r.takeovers.is_empty(), "silence == timeout is still alive");
+        assert_eq!(r.fenced_wakeups, 0);
+        assert_eq!(r.in_place_restarts, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -112,11 +112,24 @@ pub struct CroesusBuilder {
     protocol: ProtocolKind,
     mode: DeploymentMode,
     edges: usize,
+    workers: usize,
     durability: DurabilityMode,
     faults: FaultPlan,
     failover: bool,
     heartbeat_timeout: u64,
     obs: Option<Arc<Obs>>,
+}
+
+/// The default per-edge worker count: 1 (inline, byte-identical with the
+/// historic single-threaded pipeline) unless the `CROESUS_WORKERS`
+/// environment variable overrides it — which is how CI runs the whole
+/// tier-1 suite under a wave-parallel runtime without touching any test.
+fn default_workers() -> usize {
+    std::env::var("CROESUS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for CroesusBuilder {
@@ -126,6 +139,7 @@ impl Default for CroesusBuilder {
             protocol: ProtocolKind::MsIa,
             mode: DeploymentMode::MultiStage,
             edges: 1,
+            workers: default_workers(),
             durability: DurabilityMode::Disabled,
             faults: FaultPlan::new(),
             failover: false,
@@ -171,6 +185,22 @@ impl CroesusBuilder {
     pub fn edges(mut self, n: usize) -> Self {
         assert!(n >= 1, "a deployment needs at least one edge node");
         self.edges = n;
+        self
+    }
+
+    /// Worker threads per edge node: each `Sequencer::waves` wave of
+    /// initial sections executes across this many threads (§5.2.4 —
+    /// "within a wave the runner may parallelize freely"). The default of
+    /// 1 is the inline, thread-free path, byte-identical with the historic
+    /// single-threaded pipeline (a standing contract, see ROADMAP.md);
+    /// `workers(n)` keeps the same deterministic outcomes — txn ids are
+    /// assigned in wave submission order and wait-die conflicts depend
+    /// only on ids — while spreading wave execution over `n` threads.
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a deployment needs at least one worker per edge");
+        self.workers = n;
         self
     }
 
@@ -319,6 +349,7 @@ impl CroesusBuilder {
             protocol: self.protocol,
             mode: self.mode,
             edges: self.edges,
+            workers: self.workers,
             durability: self.durability,
             faults: self.faults,
             failover: self.failover,
@@ -335,6 +366,7 @@ pub struct Deployment {
     pub(crate) protocol: ProtocolKind,
     pub(crate) mode: DeploymentMode,
     pub(crate) edges: usize,
+    pub(crate) workers: usize,
     pub(crate) durability: DurabilityMode,
     pub(crate) faults: FaultPlan,
     pub(crate) failover: bool,
@@ -361,6 +393,11 @@ impl Deployment {
     /// Number of edge nodes.
     pub fn num_edges(&self) -> usize {
         self.edges
+    }
+
+    /// Worker threads per edge node (1 = inline execution).
+    pub fn num_workers(&self) -> usize {
+        self.workers
     }
 
     /// The durability mode.
@@ -426,6 +463,7 @@ impl Deployment {
                     cfg.seed ^ salt,
                     self.protocol.build(core),
                 )
+                .with_worker_pool(croesus_txn::WorkerPool::new(self.workers))
             })
             .collect()
     }
@@ -820,6 +858,66 @@ mod tests {
         assert_eq!(a.bytes_sent, b.bytes_sent);
         assert_eq!(a.transactions_committed, b.transactions_committed);
         assert_eq!(a.label, b.label);
+    }
+
+    /// The wave-parallel runtime contract: `workers(n)` preserves every
+    /// pipeline metric — the deterministic wave execution (pre-assigned
+    /// txn ids, submission-order results, id-only wait-die) makes the
+    /// worker count an implementation detail of wall-clock speed, never
+    /// of outcomes. `workers(1)` is the inline path, so its half of this
+    /// test is the golden byte-identity pin restated.
+    #[test]
+    fn worker_count_does_not_perturb_the_pipeline() {
+        let cfg = CroesusConfig::new(VideoPreset::StreetTraffic, ThresholdPair::new(0.3, 0.7))
+            .with_frames(60);
+        for kind in ProtocolKind::ALL {
+            let one = Croesus::builder()
+                .config(cfg.clone())
+                .protocol(kind)
+                .workers(1)
+                .build()
+                .run();
+            let four = Croesus::builder()
+                .config(cfg.clone())
+                .protocol(kind)
+                .workers(4)
+                .build()
+                .run();
+            assert_eq!(one.f_score, four.f_score, "{kind}");
+            assert_eq!(one.bytes_sent, four.bytes_sent, "{kind}");
+            assert_eq!(
+                one.transactions_committed, four.transactions_committed,
+                "{kind}"
+            );
+            assert_eq!(one.corrections, four.corrections, "{kind}");
+            assert_eq!(
+                one.bandwidth_utilization, four.bandwidth_utilization,
+                "{kind}"
+            );
+        }
+        // And workers(1) against the golden pins directly (MS-IA default).
+        let pinned = Croesus::builder().config(cfg).workers(1).build().run();
+        assert_eq!(pinned.f_score, 0.922_779_922_779_922_8);
+        assert_eq!(pinned.bytes_sent, 7_500_000);
+        assert_eq!(pinned.transactions_committed, 284);
+    }
+
+    /// A wave-parallel observed run still satisfies the obs ordering
+    /// contract: per-worker emission shares the per-edge ring whose seq is
+    /// allocated under the ring lock, so ring order == seq order from any
+    /// thread.
+    #[test]
+    fn pooled_run_passes_the_ordering_contract() {
+        let obs = croesus_obs::Obs::shared();
+        let m = quick().workers(4).observe(Arc::clone(&obs)).build().run();
+        assert!(m.transactions_committed > 0);
+        croesus_obs::check_obs(&obs).expect("workers(4) trace obeys the contract");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Croesus::builder().workers(0);
     }
 
     #[test]

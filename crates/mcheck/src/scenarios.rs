@@ -17,6 +17,7 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -25,7 +26,7 @@ use croesus_obs::EdgeObs;
 use croesus_store::{Key, KvStore, LockManager, LockPolicy, PartitionMap, TxnId, Value};
 use croesus_txn::tpc::ParticipantWrites;
 use croesus_txn::{
-    Coordinator, ExecutorCore, HistoryRecorder, MsIaExecutor, MultiStageProtocol,
+    Coordinator, ExecutorCore, HistoryRecorder, JobQueue, MsIaExecutor, MultiStageProtocol,
     MultiStageProtocolExt, Participant, PartitionParticipant, ProtocolKind, RwSet, StageCtx,
     StagedExecutor, TpcOutcome, TsplExecutor, TxnError, TxnHandle,
 };
@@ -624,6 +625,141 @@ pub fn three_txn_hot_key(kind: ProtocolKind) -> ProtocolScenario {
         mutate_ms_sr: false,
         extra_crash_check: None,
         trace: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wave-queue runtime
+// ---------------------------------------------------------------------------
+
+/// The world of the wave-queue scenario: the edge runtime's bounded
+/// [`JobQueue`] driven by virtual producer/consumer tasks.
+pub struct WaveQueueWorld {
+    /// The queue under test; capacity below the total job count so
+    /// admission control genuinely blocks in some schedules.
+    pub queue: JobQueue,
+    /// Producers still running — the last one to finish closes the queue.
+    pub producers_left: AtomicUsize,
+    /// Per-job execution counts: every job must run exactly once.
+    pub ran: Vec<AtomicUsize>,
+}
+
+/// The edge runtime's job queue under the model checker.
+///
+/// Producers push jobs through the bounded queue while consumers drain it,
+/// exploring every interleaving of the `runtime.queue.*` yield and block
+/// points: [`JobQueue::push`]'s admission-control wait on a full queue,
+/// [`JobQueue::pop`]'s wait on an empty one, and the close-drain
+/// handshake. Invariants: no schedule deadlocks (the close must wake every
+/// blocked waiter), every job executes exactly once, and the queue is
+/// drained when all tasks finish.
+pub struct WaveQueueScenario {
+    /// Producer tasks.
+    pub producers: usize,
+    /// Jobs each producer pushes.
+    pub jobs_per_producer: usize,
+    /// Consumer tasks.
+    pub consumers: usize,
+    /// Queue capacity (the admission-control bound).
+    pub capacity: usize,
+}
+
+/// The canonical instance: 2 producers × 2 jobs through a capacity-2
+/// queue into 2 consumers — small enough to enumerate exhaustively, large
+/// enough that pushes block on capacity and pops block on emptiness.
+#[must_use]
+pub fn wave_queue() -> WaveQueueScenario {
+    WaveQueueScenario {
+        producers: 2,
+        jobs_per_producer: 2,
+        consumers: 2,
+        capacity: 2,
+    }
+}
+
+impl Scenario for WaveQueueScenario {
+    type World = WaveQueueWorld;
+
+    fn name(&self) -> String {
+        format!(
+            "runtime/wave-queue-{}x{}-cap{}",
+            self.producers, self.jobs_per_producer, self.capacity
+        )
+    }
+
+    fn build(&self) -> Arc<WaveQueueWorld> {
+        Arc::new(WaveQueueWorld {
+            queue: JobQueue::new(self.capacity),
+            producers_left: AtomicUsize::new(self.producers),
+            ran: (0..self.producers * self.jobs_per_producer)
+                .map(|_| AtomicUsize::new(0))
+                .collect(),
+        })
+    }
+
+    fn tasks(&self, world: &Arc<WaveQueueWorld>) -> Vec<TaskFn> {
+        let mut tasks: Vec<TaskFn> = Vec::new();
+        for p in 0..self.producers {
+            let world = Arc::clone(world);
+            let jobs = self.jobs_per_producer;
+            tasks.push(Box::new(move || {
+                for j in 0..jobs {
+                    let idx = p * jobs + j;
+                    let w = Arc::clone(&world);
+                    world.queue.push(Box::new(move || {
+                        w.ran[idx].fetch_add(1, Ordering::SeqCst);
+                    }));
+                }
+                if world.producers_left.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    world.queue.close();
+                }
+            }));
+        }
+        for _ in 0..self.consumers {
+            let world = Arc::clone(world);
+            tasks.push(Box::new(move || {
+                while let Some(job) = world.queue.pop() {
+                    job();
+                }
+            }));
+        }
+        tasks
+    }
+
+    fn fingerprint(&self, world: &WaveQueueWorld) -> u64 {
+        let mut h = DefaultHasher::new();
+        for r in &world.ran {
+            r.load(Ordering::SeqCst).hash(&mut h);
+        }
+        world.queue.len().hash(&mut h);
+        world.producers_left.load(Ordering::SeqCst).hash(&mut h);
+        h.finish()
+    }
+
+    fn check(&self, world: &WaveQueueWorld, end: &RunEnd) -> Result<(), String> {
+        match end {
+            RunEnd::Panic { message } => return Err(format!("task panic: {message}")),
+            RunEnd::Deadlock { blocked } => {
+                return Err(format!(
+                    "the queue must never deadlock — close wakes every \
+                     blocked waiter: {blocked:?}"
+                ));
+            }
+            RunEnd::Complete => {}
+        }
+        for (i, r) in world.ran.iter().enumerate() {
+            let n = r.load(Ordering::SeqCst);
+            if n != 1 {
+                return Err(format!("job {i} executed {n} times (want exactly 1)"));
+            }
+        }
+        if !world.queue.is_empty() {
+            return Err(format!(
+                "{} jobs left queued after the close-drain handshake",
+                world.queue.len()
+            ));
+        }
+        Ok(())
     }
 }
 

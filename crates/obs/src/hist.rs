@@ -165,6 +165,13 @@ impl AtomicHistogram {
 
     /// The `q`-quantile (`q` in `[0, 1]`) in *ticks*, with linear
     /// interpolation inside the winning bucket. Returns 0.0 when empty.
+    ///
+    /// The saturating overflow bucket is **not** interpolated: its
+    /// occupants are off-scale (anywhere in `[lower, u64::MAX]`), so any
+    /// point inside a "nominal width" would be fabricated precision. A
+    /// quantile that lands there reports the bucket's lower bound — a
+    /// truthful "at least this much" — and [`Self::is_saturated`] tells
+    /// readers the tail is clipped.
     #[must_use]
     pub fn quantile_ticks(&self, q: f64) -> f64 {
         let total = self.count();
@@ -181,6 +188,9 @@ impl AtomicHistogram {
                 continue;
             }
             if seen + n >= target {
+                if idx == BUCKETS - 1 {
+                    return Self::lower(idx) as f64;
+                }
                 let into = (target - seen) as f64; // 1..=n
                 let frac = into / n as f64;
                 let lo = Self::lower(idx) as f64;
@@ -189,7 +199,20 @@ impl AtomicHistogram {
             }
             seen += n;
         }
-        Self::upper(BUCKETS - 1) as f64
+        Self::lower(BUCKETS - 1) as f64
+    }
+
+    /// Samples that saturated into the overflow bucket (off-scale values).
+    #[must_use]
+    pub fn saturated_count(&self) -> u64 {
+        self.buckets[BUCKETS - 1].load(Ordering::Relaxed)
+    }
+
+    /// Whether any recorded value was off-scale — quantiles that land in
+    /// the overflow bucket are clamped lower bounds, not measurements.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated_count() > 0
     }
 
     /// The `q`-quantile interpreted as milliseconds (micro-ticks).
@@ -329,6 +352,38 @@ mod tests {
         assert_eq!(h.buckets[BUCKETS - 1].load(Ordering::Relaxed), 2);
         // The quantile stays finite.
         assert!(h.quantile_ticks(1.0).is_finite());
+    }
+
+    /// Satellite regression: the overflow bucket must not be interpolated.
+    /// The old code gave it a "nominal width" (`lower * 2`) and fabricated
+    /// a finite point inside it, so p999 of a tail of off-scale samples
+    /// reported a precise-looking value no sample ever had.
+    #[test]
+    fn off_scale_quantiles_clamp_to_the_overflow_bound_and_flag_saturation() {
+        let h = AtomicHistogram::new();
+        assert!(!h.is_saturated());
+        let overflow_lo = AtomicHistogram::lower(BUCKETS - 1) as f64;
+        // 999 in-range samples, 2 far past the top bucket.
+        for _ in 0..999 {
+            h.record_ticks(100);
+        }
+        h.record_ticks(u64::MAX);
+        h.record_ticks(u64::MAX / 2);
+        assert!(h.is_saturated());
+        assert_eq!(h.saturated_count(), 2);
+        // p999 lands in the overflow bucket: exactly the lower bound, not
+        // an interpolated point inside a made-up width.
+        let p999 = h.quantile_ticks(0.999);
+        assert_eq!(p999, overflow_lo, "p999 must clamp, got {p999}");
+        assert_eq!(h.quantile_ticks(1.0), overflow_lo);
+        // In-range quantiles are unaffected by the saturated tail.
+        assert!(h.quantile_ticks(0.5) < 110.0);
+        // A histogram whose top-bucket mass is *in range* is not flagged:
+        // saturation only means "a sample may be off-scale", which is
+        // indistinguishable at record time — so any top-bucket hit flags.
+        let in_range = AtomicHistogram::new();
+        in_range.record_ticks(1000);
+        assert!(!in_range.is_saturated());
     }
 
     #[test]

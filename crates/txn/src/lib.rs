@@ -79,7 +79,10 @@ pub(crate) mod sched {
     pub fn yield_point(_label: &'static str) {}
     #[inline(always)]
     pub fn block_point(_label: &'static str) {}
+    #[inline(always)]
+    pub fn progress(_label: &'static str) {}
 }
+pub mod runtime;
 pub mod sequencer;
 pub mod staged;
 pub mod stats;
@@ -98,6 +101,7 @@ pub use protocol::{
     StageOutcome, TxnHandle,
 };
 pub use recovery::{recover_edge, recover_edge_file, RecoveredEdge};
+pub use runtime::{current_worker, JobQueue, WorkerPool};
 pub use sequencer::Sequencer;
 pub use staged::StagedExecutor;
 pub use stats::{ProtocolStats, StatsSnapshot};

@@ -223,8 +223,12 @@ impl ExecutorCore {
         &self.obs
     }
 
-    /// Emit the `TxnBegin` event (shared by every protocol's `begin`).
+    /// Record the begin counter and emit the `TxnBegin` event (shared by
+    /// every protocol's `begin`, *before* any lock acquisition — so every
+    /// recorded commit/abort is preceded by its recorded begin, which the
+    /// consistent-snapshot invariant in [`ProtocolStats`] depends on).
     pub(crate) fn note_begin(&self, txn: TxnId, stages: usize) {
+        self.stats.record_begin();
         self.obs.emit_txn(
             txn.0,
             EventKind::TxnBegin {

@@ -16,6 +16,7 @@ use croesus_obs::AtomicStat;
 /// Thread-safe protocol statistics collector.
 #[derive(Default)]
 pub struct ProtocolStats {
+    begun: AtomicU64,
     commits: AtomicU64,
     aborts: AtomicU64,
     lock_hold: AtomicStat,
@@ -25,6 +26,8 @@ pub struct ProtocolStats {
 /// A point-in-time snapshot of [`ProtocolStats`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StatsSnapshot {
+    /// Transactions that have begun (see [`ProtocolStats::record_begin`]).
+    pub begun: u64,
     /// Transactions that finally committed.
     pub commits: u64,
     /// Transactions that aborted (always before initial commit).
@@ -38,6 +41,16 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Transactions begun but not yet resolved at snapshot time.
+    ///
+    /// The consistent snapshot guarantees `commits + aborts <= begun`, so
+    /// this never wraps; the `saturating_sub` is belt-and-braces for
+    /// snapshots taken on collectors that never saw a begin (e.g. drivers
+    /// that bypass `begin`).
+    pub fn in_flight(&self) -> u64 {
+        self.begun.saturating_sub(self.commits + self.aborts)
+    }
+
     /// `aborts / (commits + aborts)`, or 0 when nothing ran.
     pub fn abort_rate(&self) -> f64 {
         let total = self.commits + self.aborts;
@@ -55,14 +68,26 @@ impl ProtocolStats {
         ProtocolStats::default()
     }
 
+    /// Record a transaction begin.
+    ///
+    /// The outcome counters use `SeqCst` rather than `Relaxed`: a begin
+    /// must be globally ordered before the commit/abort that resolves it,
+    /// or a concurrent snapshot can observe `commits + aborts > begun` —
+    /// a transaction that apparently finished before it started. On
+    /// x86-64 a `SeqCst` `fetch_add` compiles to the same `lock xadd` as
+    /// `Relaxed`, so the hot path costs nothing extra.
+    pub fn record_begin(&self) {
+        self.begun.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Record a final commit.
     pub fn record_commit(&self) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Record an abort.
     pub fn record_abort(&self) {
-        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.aborts.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Record how long one transaction held its locks.
@@ -75,11 +100,26 @@ impl ProtocolStats {
         self.initial_latency.record(latency);
     }
 
-    /// Current counters and means.
+    /// Current counters and means — a *consistent* snapshot.
+    ///
+    /// Loads are `SeqCst` and ordered outcomes-before-begun: in the
+    /// sequentially-consistent total order, every commit/abort counted
+    /// here had its begin recorded first (executors call
+    /// [`record_begin`](Self::record_begin) before any outcome), and any
+    /// begins that landed between the two loads only *raise* `begun`. A
+    /// mid-wave snapshot therefore always satisfies
+    /// `commits + aborts <= begun`, which
+    /// [`StatsSnapshot::in_flight`] relies on. (The previous independent
+    /// `Relaxed` loads could observe an outcome whose begin was missing —
+    /// `committed + aborted > begun`.)
     pub fn snapshot(&self) -> StatsSnapshot {
+        let commits = self.commits.load(Ordering::SeqCst);
+        let aborts = self.aborts.load(Ordering::SeqCst);
+        let begun = self.begun.load(Ordering::SeqCst);
         StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
+            begun,
+            commits,
+            aborts,
             avg_lock_hold_ms: self.lock_hold.mean_ms(),
             max_lock_hold_ms: self.lock_hold.max_ms(),
             avg_initial_latency_ms: self.initial_latency.mean_ms(),
@@ -148,6 +188,66 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().commits, 400);
+    }
+
+    /// Satellite regression: a snapshot racing many begin→resolve threads
+    /// must never observe `commits + aborts > begun` — the old independent
+    /// `Relaxed` loads could count an outcome whose begin was missing.
+    #[test]
+    fn mid_wave_snapshots_are_consistent() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let s = Arc::new(ProtocolStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..50_000u64 {
+                        s.record_begin();
+                        if (i + t) % 3 == 0 {
+                            s.record_abort();
+                        } else {
+                            s.record_commit();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut checked = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = s.snapshot();
+                        assert!(
+                            snap.commits + snap.aborts <= snap.begun,
+                            "inconsistent snapshot: {} commits + {} aborts > {} begun",
+                            snap.commits,
+                            snap.aborts,
+                            snap.begun
+                        );
+                        // in_flight is derived from the same invariant.
+                        let _ = snap.in_flight();
+                        checked += 1;
+                    }
+                    checked
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader must have raced the writers");
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.begun, 200_000);
+        assert_eq!(snap.commits + snap.aborts, 200_000);
+        assert_eq!(snap.in_flight(), 0);
     }
 
     /// Contention smoke: many threads hammering every record path at

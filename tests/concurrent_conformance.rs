@@ -27,8 +27,8 @@ use std::thread;
 
 use croesus::store::{KvStore, LockManager, TxnId, Value};
 use croesus::txn::{
-    ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, RwSet, StageCtx,
-    TxnError,
+    current_worker, ExecutorCore, MultiStageProtocol, MultiStageProtocolExt, ProtocolKind, RwSet,
+    StageCtx, TxnError, WorkerPool,
 };
 
 const ACCT_A: &str = "acct/a";
@@ -225,6 +225,122 @@ fn ms_sr_whole_transactions_linearize_back_to_back() {
             ),
             "round {round}: MS-SR must admit a serial order with both \
              sections adjacent: {history:?}"
+        );
+    }
+}
+
+// --- pool-driven histories: the edge runtime's own worker pool ----------
+
+const POOL_WORKERS: usize = 4;
+const POOL_WAVES: u64 = 3;
+const POOL_WAVE_WIDTH: u64 = 4;
+
+/// Run the transfer workload through [`WorkerPool::run_wave`] — the same
+/// machinery the edge runtime uses for wave-parallel initial stages — and
+/// return the observed history grouped per *worker thread*.
+///
+/// Program order per worker is what the checker needs, and the grouping
+/// delivers it: a worker pops queue jobs in FIFO order, so within a wave
+/// its jobs appear in submission order, and `run_wave` is a barrier, so
+/// ordering across waves is real time. Each job runs one whole
+/// transaction (both stages), retrying on a wait-die kill exactly like
+/// the pipeline does.
+fn run_pooled_history(kind: ProtocolKind, txn_granularity: bool) -> Vec<Vec<Composite>> {
+    let protocol = shared_protocol(kind);
+    let pool = WorkerPool::new(POOL_WORKERS);
+    let mut per_worker: Vec<Vec<Composite>> = vec![Vec::new(); POOL_WORKERS];
+    for wave in 0..POOL_WAVES {
+        let jobs: Vec<_> = (0..POOL_WAVE_WIDTH)
+            .map(|j| {
+                let p = Arc::clone(&protocol);
+                let txn = TxnId(wave * POOL_WAVE_WIDTH + j);
+                move || {
+                    let rw = transfer_rw();
+                    let stages = [rw.clone(), rw.clone()];
+                    let (op0, pending) = loop {
+                        let h = p.begin(txn, &stages);
+                        match p.stage(h, &rw, |ctx| transfer_stage(ctx, 1)) {
+                            Ok((op, next)) => break (op, next.expect("two stages")),
+                            Err(_) => thread::yield_now(),
+                        }
+                    };
+                    let (op1, done) = p
+                        .stage(pending, &rw, |ctx| transfer_stage(ctx, 2))
+                        .expect("later stages cannot abort");
+                    assert!(done.is_none());
+                    let worker = current_worker().expect("jobs run on pool workers");
+                    (worker, op0, op1)
+                }
+            })
+            .collect();
+        for (worker, op0, op1) in pool.run_wave(jobs) {
+            if txn_granularity {
+                per_worker[worker].push(vec![op0, op1]);
+            } else {
+                per_worker[worker].push(vec![op0]);
+                per_worker[worker].push(vec![op1]);
+            }
+        }
+    }
+    // The pool must conserve money just like hand-rolled threads.
+    let store = protocol.store();
+    let a = store.get(&ACCT_A.into()).unwrap().as_int().unwrap();
+    let b = store.get(&ACCT_B.into()).unwrap().as_int().unwrap();
+    assert_eq!(a + b, INIT_A + INIT_B, "{kind}: transfers conserve money");
+    let moved = (POOL_WAVES * POOL_WAVE_WIDTH) as i64 * 3;
+    assert_eq!(b, INIT_B + moved, "{kind}: every pooled transaction landed");
+    per_worker
+}
+
+#[test]
+fn pooled_ms_ia_stage_histories_linearize() {
+    for round in 0..3 {
+        let history = run_pooled_history(ProtocolKind::MsIa, false);
+        assert!(
+            linearizable(
+                &history,
+                Accounts {
+                    a: INIT_A,
+                    b: INIT_B
+                }
+            ),
+            "round {round}: no interleaving of atomic stages explains the \
+             pool-worker observations: {history:?}"
+        );
+    }
+}
+
+#[test]
+fn pooled_staged_stage_histories_linearize() {
+    for round in 0..3 {
+        let history = run_pooled_history(ProtocolKind::Staged, false);
+        assert!(
+            linearizable(
+                &history,
+                Accounts {
+                    a: INIT_A,
+                    b: INIT_B
+                }
+            ),
+            "round {round}: {history:?}"
+        );
+    }
+}
+
+#[test]
+fn pooled_ms_sr_transactions_linearize_back_to_back() {
+    for round in 0..3 {
+        let history = run_pooled_history(ProtocolKind::MsSr, true);
+        assert!(
+            linearizable(
+                &history,
+                Accounts {
+                    a: INIT_A,
+                    b: INIT_B
+                }
+            ),
+            "round {round}: MS-SR run on the worker pool must still admit \
+             a serial order with both sections adjacent: {history:?}"
         );
     }
 }

@@ -8,7 +8,7 @@
 
 use croesus_mcheck::{
     explore, ms_sr_block_deadlock, ms_sr_commit_point, replay, retract_self, three_txn_hot_key,
-    two_txn_two_stage, Config, TpcCoordinatorCrash,
+    two_txn_two_stage, wave_queue, Config, TpcCoordinatorCrash,
 };
 use croesus_txn::ProtocolKind;
 
@@ -72,6 +72,17 @@ fn ms_sr_block_policy_deadlock_is_found() {
         "deadlock is the expected hazard here, not a violation: {:?}",
         report.violations[0]
     );
+}
+
+#[test]
+fn wave_queue_runs_every_job_exactly_once_in_every_interleaving() {
+    // The edge runtime's bounded job queue: every interleaving of the
+    // runtime.queue.* yield/block points — admission-control waits on a
+    // full queue, pop waits on an empty one, the close-drain handshake —
+    // must complete with each job executed exactly once.
+    let report = explore(&wave_queue(), &Config::default());
+    assert_clean_and_exhaustive(&report);
+    assert_eq!(report.deadlocks, 0, "close must wake every blocked waiter");
 }
 
 #[test]

@@ -3,8 +3,10 @@
 //! protocol through the unified `dyn MultiStageProtocol` API (PR 2), the
 //! WAL (PR 3): record append throughput, durable commit throughput per
 //! group-commit size (the fsync amortization curve), and recovery replay
-//! speed — and, since PR 9, the wave-parallel worker-pool scaling curve.
-//! Writes `BENCH_PR9.json` so the perf trajectory is tracked PR over PR
+//! speed — since PR 9, the wave-parallel worker-pool scaling curve — and,
+//! since PR 10, the pipelined writer (sync off the commit path) and the
+//! cross-edge coalesced-sync fleet curve.
+//! Writes `BENCH_PR10.json` so the perf trajectory is tracked PR over PR
 //! (future PRs emit `BENCH_PR<n>.json` next to it; never overwrite an
 //! earlier PR's file).
 //!
@@ -20,7 +22,9 @@ use std::time::{Duration, Instant};
 use croesus_bench::contention::{run_ms_ia, run_ms_sr, run_released_pooled, ContentionConfig};
 use croesus_store::{Key, KvStore, LockManager, LockMode, LockPolicy, TxnId, Value};
 use croesus_txn::{ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet};
-use croesus_wal::{StageFlags, StageRecord, Wal, WalConfig, WriteImage};
+use croesus_wal::{
+    FileStorage, PipelineConfig, StageFlags, StageRecord, SyncCoalescer, Wal, WalConfig, WriteImage,
+};
 
 /// Criterion `ns/iter` numbers recorded during PR 1 (median of 3
 /// interleaved `CRITERION_QUICK=1` runs): seed code vs. the PR-1 hot-path
@@ -138,6 +142,82 @@ fn wal_stage(txn: u64) -> StageRecord {
     }
 }
 
+/// Durable commit points per second through the *pipelined* writer over a
+/// real file: appends land in the active buffer while the dedicated
+/// flusher syncs sealed ones — same group-64 loss window as
+/// `commit_file_group64`, without the inline sync stall. The final
+/// `flush` (draining every in-flight buffer) is inside the timed window,
+/// so every commit counted is durable by the end of it.
+fn wal_file_pipelined_commits_per_sec(dir: &std::path::Path, group: usize, n: u64) -> f64 {
+    let storage = FileStorage::create(dir.join(format!("perf-pipelined-{group}.wal")))
+        .expect("temp dir is writable");
+    let wal = Wal::with_storage_pipelined(
+        Box::new(storage),
+        WalConfig {
+            group_commit: group,
+            checkpoint_every: 0,
+        },
+        PipelineConfig {
+            coalescer: None,
+            manual_flusher: false,
+        },
+    );
+    let start = Instant::now();
+    for txn in 1..=n {
+        wal.append_stage(wal_stage(txn)).unwrap();
+    }
+    wal.flush().unwrap();
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Aggregate durable commits per second for `edges` pipelined writers
+/// sharing one directory (hence one device) and one [`SyncCoalescer`]:
+/// every flusher's fsync-equivalent joins a shared device window. Returns
+/// the aggregate rate plus the window counters (windows < requests is
+/// the coalescing win).
+fn coalesced_fleet_commits_per_sec(
+    dir: &std::path::Path,
+    edges: usize,
+    n_per_edge: u64,
+) -> (f64, croesus_wal::CoalesceStats) {
+    let coalescer = Arc::new(SyncCoalescer::new());
+    let wals: Vec<Arc<Wal>> = (0..edges)
+        .map(|i| {
+            let storage = FileStorage::create(dir.join(format!("fleet-{edges}-{i}.wal")))
+                .expect("temp dir is writable");
+            Arc::new(Wal::with_storage_pipelined(
+                Box::new(storage),
+                WalConfig {
+                    group_commit: 64,
+                    checkpoint_every: 0,
+                },
+                PipelineConfig {
+                    coalescer: Some(Arc::clone(&coalescer)),
+                    manual_flusher: false,
+                },
+            ))
+        })
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = wals
+        .iter()
+        .map(|wal| {
+            let wal = Arc::clone(wal);
+            std::thread::spawn(move || {
+                for txn in 1..=n_per_edge {
+                    wal.append_stage(wal_stage(txn)).unwrap();
+                }
+                wal.flush().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let rate = (edges as u64 * n_per_edge) as f64 / start.elapsed().as_secs_f64();
+    (rate, coalescer.stats())
+}
+
 /// Durable commit points per second at a given group-commit size, against
 /// a real file (fsync-bound for small groups — the amortization curve is
 /// the point of group commit).
@@ -164,7 +244,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let budget = if quick {
         Duration::from_millis(120)
     } else {
@@ -226,6 +306,23 @@ fn main() {
     let wal_file_strict = wal_file_commits_per_sec(&wal_dir, 1, sync_budget);
     let wal_file_group8 = wal_file_commits_per_sec(&wal_dir, 8, sync_budget);
     let wal_file_group64 = wal_file_commits_per_sec(&wal_dir, 64, sync_budget);
+
+    eprintln!("measuring pipelined WAL / coalesced fleet curve...");
+    let pipelined_n = if quick { 2_000 } else { 12_000 };
+    let wal_file_pipelined = wal_file_pipelined_commits_per_sec(&wal_dir, 64, pipelined_n);
+    let fleet_n = if quick { 600 } else { 4_000 };
+    let fleet_json = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&edges| {
+            let (rate, stats) = coalesced_fleet_commits_per_sec(&wal_dir, edges, fleet_n);
+            format!(
+                "      {{\"edges\": {edges}, \"commits_per_sec\": {rate:.0}, \
+\"sync_requests\": {}, \"sync_windows\": {}}}",
+                stats.requests, stats.windows
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let _ = std::fs::remove_dir_all(&wal_dir);
     // Recovery replay: records per second over the log built above.
     mem_wal.flush().unwrap();
@@ -287,7 +384,7 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 9,
+  "pr": 10,
   "generated_by": "cargo run -p croesus-bench --release --bin perf_json",
   "quick": {quick},
   "store": {{
@@ -313,6 +410,14 @@ fn main() {
     "commit_file_group64_per_sec": {wal_file_group64:.0},
     "replay_records_per_sec": {wal_replay_records:.0}
   }},
+  "wal_pipelined": {{
+    "note": "PR 10 pipelined double-buffered writer: appends take a global monotone LSN in the active buffer while a dedicated flusher syncs sealed ones; commit_file_pipelined = durable commits/sec over a real file at the same group-64 loss window as commit_file_group64 (final drain inside the timed window); fleet_shared_device = N pipelined edges sharing one directory and one SyncCoalescer, aggregate durable commits/sec (sync_windows < sync_requests is the device-level group commit)",
+    "commit_file_pipelined_per_sec": {wal_file_pipelined:.0},
+    "pipelined_vs_group64_speedup": {pipelined_speedup:.2},
+    "fleet_shared_device": [
+{fleet_json}
+    ]
+  }},
   "fig6_contention": {{
     "config": {{"txns": {txns}, "threads": {threads}, "key_range": {key_range}, "updates": {updates}}},
     "ms_sr": {{"avg_lock_hold_ms": {sr_hold:.3}, "abort_rate": {sr_abort:.4}, "commits": {sr_commits}}},
@@ -336,6 +441,7 @@ fn main() {
 }}
 "#,
         locks_per_sec = acquire_all_batches * batch_pairs.len() as f64,
+        pipelined_speedup = wal_file_pipelined / wal_file_group64,
         scale_range = scale_cfg.key_range,
         scale_txns = scale_cfg.txns,
         scale_work_us = scale_cfg.section_work.as_micros(),

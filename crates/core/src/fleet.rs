@@ -172,7 +172,7 @@ impl Deployment {
         let salt = (i as u64) << 48;
         let wal = self
             .durability
-            .open_edge_wal(i)
+            .open_edge_wal_with(i, self.coalescer.clone())
             .expect("durability directory must be creatable and writable")
             .expect("the fleet driver requires durability");
         let shipper = Arc::new(LogShipper::new());
@@ -226,13 +226,23 @@ impl Deployment {
             state,
             ..
         } = rec;
-        let wal = Wal::resume(
-            storage,
-            self.durability.wal_config(),
-            state,
-            &store,
-            shipper,
-        )
+        let wal = match self.durability.pipeline_config(self.coalescer.clone()) {
+            None => Wal::resume(
+                storage,
+                self.durability.wal_config(),
+                state,
+                &store,
+                shipper,
+            ),
+            Some(pipe) => Wal::resume_pipelined(
+                storage,
+                self.durability.wal_config(),
+                pipe,
+                state,
+                &store,
+                shipper,
+            ),
+        }
         .expect("resuming the write-ahead log must succeed");
         let eobs = self.edge_obs(i);
         wal.set_obs(eobs.clone());

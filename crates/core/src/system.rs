@@ -41,7 +41,7 @@ use croesus_sim::{DetRng, FaultPlan};
 use croesus_store::{KvStore, LockManager};
 use croesus_txn::{ExecutorCore, ProtocolKind};
 use croesus_video::{LabelClass, VideoPreset};
-use croesus_wal::DurabilityMode;
+use croesus_wal::{DurabilityMode, SyncCoalescer};
 
 use crate::bank::TransactionsBank;
 use crate::baseline::EDGE_BASELINE_CONFIDENCE;
@@ -132,6 +132,22 @@ fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// The default durability mode: disabled (byte-identical with the
+/// pre-durability pipeline) unless the `CROESUS_WAL_PIPELINED`
+/// environment variable turns the pipelined writer on — which is how CI
+/// runs the whole tier-1 suite over the pipelined WAL without touching
+/// any test. An explicit [`CroesusBuilder::durability`] call always
+/// wins over the knob, so tests that pin a mode (including `Disabled`)
+/// keep it.
+fn default_durability() -> DurabilityMode {
+    match std::env::var("CROESUS_WAL_PIPELINED") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            DurabilityMode::pipelined(croesus_wal::scratch_dir("pipelined-env"))
+        }
+        _ => DurabilityMode::Disabled,
+    }
+}
+
 impl Default for CroesusBuilder {
     fn default() -> Self {
         CroesusBuilder {
@@ -140,7 +156,7 @@ impl Default for CroesusBuilder {
             mode: DeploymentMode::MultiStage,
             edges: 1,
             workers: default_workers(),
-            durability: DurabilityMode::Disabled,
+            durability: default_durability(),
             faults: FaultPlan::new(),
             failover: false,
             heartbeat_timeout: 3,
@@ -350,6 +366,7 @@ impl CroesusBuilder {
             mode: self.mode,
             edges: self.edges,
             workers: self.workers,
+            coalescer: self.durability.device_coalescer(),
             durability: self.durability,
             faults: self.faults,
             failover: self.failover,
@@ -368,6 +385,10 @@ pub struct Deployment {
     pub(crate) edges: usize,
     pub(crate) workers: usize,
     pub(crate) durability: DurabilityMode,
+    /// One sync window per deployment when the durability mode coalesces:
+    /// every edge's flusher shares it (they share the log directory,
+    /// hence a storage device).
+    pub(crate) coalescer: Option<Arc<SyncCoalescer>>,
     pub(crate) faults: FaultPlan,
     pub(crate) failover: bool,
     pub(crate) heartbeat_timeout: u64,
@@ -450,7 +471,7 @@ impl Deployment {
                 .with_obs(eobs.clone());
                 if let Some(wal) = self
                     .durability
-                    .open_edge_wal(i)
+                    .open_edge_wal_with(i, self.coalescer.clone())
                     .expect("durability directory must be creatable and writable")
                 {
                     wal.set_obs(eobs);
@@ -1035,7 +1056,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "failover requires durability")]
     fn failover_without_durability_is_rejected() {
-        let _ = Croesus::builder().failover(true).build();
+        // Pin Disabled explicitly: under CROESUS_WAL_PIPELINED=1 the
+        // builder *default* is pipelined, which would satisfy failover.
+        let _ = Croesus::builder()
+            .durability(DurabilityMode::Disabled)
+            .failover(true)
+            .build();
     }
 
     #[test]

@@ -55,10 +55,23 @@ pub enum EventKind {
     },
     /// The WAL was fsynced up to `lsn` within `epoch`.
     WalSync {
-        /// Durable byte offset within the epoch.
+        /// Durable byte offset within the epoch (the pipelined writer
+        /// reports its global monotone LSN instead).
         lsn: u64,
         /// Checkpoint epoch the offset is relative to.
         epoch: u64,
+    },
+    /// The pipelined writer sealed its active buffer onto the flusher
+    /// queue; appends continue into the next buffer.
+    WalBufferSeal {
+        /// Global LSN of the last sealed byte.
+        lsn: u64,
+    },
+    /// A device-level sync window ran, covering this many flushers'
+    /// fsync-equivalents in one coalesced round.
+    WalCoalescedSync {
+        /// Sync requests the window covered (≥ 1).
+        requests: u64,
     },
     /// Durable bytes up to `lsn` were published to the log shipper.
     ShipPublish {
@@ -120,6 +133,8 @@ impl EventKind {
             EventKind::FinalCommit => "final_commit",
             EventKind::WalAppend { .. } => "wal_append",
             EventKind::WalSync { .. } => "wal_sync",
+            EventKind::WalBufferSeal { .. } => "wal_buffer_seal",
+            EventKind::WalCoalescedSync { .. } => "wal_coalesced_sync",
             EventKind::ShipPublish { .. } => "ship_publish",
             EventKind::ShipAccept { .. } => "ship_accept",
             EventKind::ShipReject => "ship_reject",
@@ -146,22 +161,24 @@ impl EventKind {
             EventKind::FinalCommit => 5,
             EventKind::WalAppend { .. } => 6,
             EventKind::WalSync { .. } => 7,
-            EventKind::ShipPublish { .. } => 8,
-            EventKind::ShipAccept { .. } => 9,
-            EventKind::ShipReject => 10,
-            EventKind::CloudVerdict { .. } => 11,
-            EventKind::Retract => 12,
-            EventKind::Apology => 13,
-            EventKind::HeartbeatMiss => 14,
-            EventKind::TakeoverStart => 15,
-            EventKind::TakeoverEnd { .. } => 16,
-            EventKind::Fence => 17,
-            EventKind::TpcDecision { .. } => 18,
+            EventKind::WalBufferSeal { .. } => 8,
+            EventKind::WalCoalescedSync { .. } => 9,
+            EventKind::ShipPublish { .. } => 10,
+            EventKind::ShipAccept { .. } => 11,
+            EventKind::ShipReject => 12,
+            EventKind::CloudVerdict { .. } => 13,
+            EventKind::Retract => 14,
+            EventKind::Apology => 15,
+            EventKind::HeartbeatMiss => 16,
+            EventKind::TakeoverStart => 17,
+            EventKind::TakeoverEnd { .. } => 18,
+            EventKind::Fence => 19,
+            EventKind::TpcDecision { .. } => 20,
         }
     }
 
     /// How many distinct kinds exist (size of the counter array).
-    pub(crate) const COUNT: usize = 19;
+    pub(crate) const COUNT: usize = 21;
 
     /// All counter names, in dense counter-index order.
     #[must_use]
@@ -175,6 +192,8 @@ impl EventKind {
             "final_commit",
             "wal_append",
             "wal_sync",
+            "wal_buffer_seal",
+            "wal_coalesced_sync",
             "ship_publish",
             "ship_accept",
             "ship_reject",
@@ -206,6 +225,11 @@ mod tests {
             (EventKind::FinalCommit, "final_commit"),
             (EventKind::WalAppend { lsn: 0 }, "wal_append"),
             (EventKind::WalSync { lsn: 0, epoch: 0 }, "wal_sync"),
+            (EventKind::WalBufferSeal { lsn: 0 }, "wal_buffer_seal"),
+            (
+                EventKind::WalCoalescedSync { requests: 1 },
+                "wal_coalesced_sync",
+            ),
             (EventKind::ShipPublish { lsn: 0, epoch: 0 }, "ship_publish"),
             (EventKind::ShipAccept { bytes: 0 }, "ship_accept"),
             (EventKind::ShipReject, "ship_reject"),

@@ -26,7 +26,12 @@ fn kind_fields(out: &mut String, first: &mut bool, kind: EventKind) {
         EventKind::StageStart { stage } | EventKind::StageEnd { stage } => {
             push_field(out, first, "stage", stage);
         }
-        EventKind::WalAppend { lsn } => push_field(out, first, "lsn", lsn),
+        EventKind::WalAppend { lsn } | EventKind::WalBufferSeal { lsn } => {
+            push_field(out, first, "lsn", lsn);
+        }
+        EventKind::WalCoalescedSync { requests } => {
+            push_field(out, first, "requests", requests);
+        }
         EventKind::WalSync { lsn, epoch } | EventKind::ShipPublish { lsn, epoch } => {
             push_field(out, first, "lsn", lsn);
             push_field(out, first, "epoch", epoch);
@@ -139,7 +144,7 @@ pub fn summary_json(obs: &Obs) -> String {
 }
 
 /// One representative of every counter kind, paired with its name.
-fn counter_kinds() -> [(EventKind, &'static str); 19] {
+fn counter_kinds() -> [(EventKind, &'static str); 21] {
     let names = EventKind::names();
     [
         (EventKind::FrameIngest, names[0]),
@@ -150,9 +155,11 @@ fn counter_kinds() -> [(EventKind, &'static str); 19] {
         (EventKind::FinalCommit, names[5]),
         (EventKind::WalAppend { lsn: 0 }, names[6]),
         (EventKind::WalSync { lsn: 0, epoch: 0 }, names[7]),
-        (EventKind::ShipPublish { lsn: 0, epoch: 0 }, names[8]),
-        (EventKind::ShipAccept { bytes: 0 }, names[9]),
-        (EventKind::ShipReject, names[10]),
+        (EventKind::WalBufferSeal { lsn: 0 }, names[8]),
+        (EventKind::WalCoalescedSync { requests: 1 }, names[9]),
+        (EventKind::ShipPublish { lsn: 0, epoch: 0 }, names[10]),
+        (EventKind::ShipAccept { bytes: 0 }, names[11]),
+        (EventKind::ShipReject, names[12]),
         (
             EventKind::CloudVerdict {
                 correct: 0,
@@ -160,15 +167,15 @@ fn counter_kinds() -> [(EventKind, &'static str); 19] {
                 erroneous: 0,
                 missed: 0,
             },
-            names[11],
+            names[13],
         ),
-        (EventKind::Retract, names[12]),
-        (EventKind::Apology, names[13]),
-        (EventKind::HeartbeatMiss, names[14]),
-        (EventKind::TakeoverStart, names[15]),
-        (EventKind::TakeoverEnd { retractions: 0 }, names[16]),
-        (EventKind::Fence, names[17]),
-        (EventKind::TpcDecision { commit: true }, names[18]),
+        (EventKind::Retract, names[14]),
+        (EventKind::Apology, names[15]),
+        (EventKind::HeartbeatMiss, names[16]),
+        (EventKind::TakeoverStart, names[17]),
+        (EventKind::TakeoverEnd { retractions: 0 }, names[18]),
+        (EventKind::Fence, names[19]),
+        (EventKind::TpcDecision { commit: true }, names[20]),
     ]
 }
 

@@ -14,6 +14,9 @@
 //! | `initial-before-final` | `FinalCommit` only after `InitialCommit` |
 //! | `terminal-event-last` | no lifecycle event for a txn after its `FinalCommit` |
 //! | `shipped-subset-durable` | `ShipPublish(lsn, epoch)` only after `WalSync(lsn', epoch)` with `lsn' ≥ lsn` |
+//! | `buffer-seal-monotone` | per-edge `WalBufferSeal` LSNs never go backwards (the pipelined writer's global LSN space) |
+//! | `seal-covers-appends` | a `WalBufferSeal(lsn)` seals everything appended: `lsn ≥` every `WalAppend` LSN seen so far |
+//! | `coalesced-window-nonempty` | every `WalCoalescedSync` window covers ≥ 1 request |
 //! | `retract-implies-apology` | every `Retract` is followed by an `Apology` for the same txn |
 //! | `takeover-sequence` | `HeartbeatMiss` precedes `TakeoverStart`; `Fence`/`TakeoverEnd` only inside an open takeover |
 //!
@@ -87,6 +90,10 @@ struct EdgeState {
     last_frame: u64,
     /// Highest synced lsn per WAL epoch.
     synced: HashMap<u64, u64>,
+    /// Highest `WalAppend` lsn seen (global in pipelined mode).
+    max_append: u64,
+    /// Highest `WalBufferSeal` lsn seen.
+    max_seal: u64,
     /// Heartbeat misses since the last completed takeover.
     misses: u64,
     takeover_open: bool,
@@ -132,6 +139,40 @@ pub fn check_stream(events: &[Event], pre_window: bool) -> Result<OrderingReport
         edge.last_frame = edge.last_frame.max(event.frame);
 
         match event.kind {
+            EventKind::WalAppend { lsn } => {
+                // Legacy-mode appends reset with the epoch; only track
+                // the high-water mark forward (seal rules only apply to
+                // the pipelined writer's monotone LSNs anyway).
+                edge.max_append = edge.max_append.max(lsn);
+            }
+            EventKind::WalBufferSeal { lsn } => {
+                if lsn < edge.max_seal {
+                    return Err(violation(
+                        "buffer-seal-monotone",
+                        event,
+                        format!("seal lsn {lsn} after seal lsn {}", edge.max_seal),
+                    ));
+                }
+                if lsn < edge.max_append {
+                    return Err(violation(
+                        "seal-covers-appends",
+                        event,
+                        format!(
+                            "seal lsn {lsn} below the appended high-water mark {}",
+                            edge.max_append
+                        ),
+                    ));
+                }
+                edge.max_seal = lsn;
+            }
+            EventKind::WalCoalescedSync { requests: 0 } => {
+                return Err(violation(
+                    "coalesced-window-nonempty",
+                    event,
+                    "a coalesced sync window covered zero requests".to_string(),
+                ));
+            }
+            EventKind::WalCoalescedSync { .. } => {}
             EventKind::WalSync { lsn, epoch } => {
                 let cur = edge.synced.entry(epoch).or_insert(0);
                 *cur = (*cur).max(lsn);
@@ -184,6 +225,10 @@ pub fn check_stream(events: &[Event], pre_window: bool) -> Result<OrderingReport
                 }
                 edge.takeover_open = false;
                 edge.misses = 0;
+                // A replacement writer restarts its LSN space; the seal
+                // rules track the new incarnation from scratch.
+                edge.max_append = 0;
+                edge.max_seal = 0;
             }
             _ => {}
         }
@@ -533,6 +578,42 @@ mod tests {
         ];
         let err = check_stream(&events, false).expect_err("state was reset");
         assert_eq!(err.invariant, "initial-before-final");
+    }
+
+    #[test]
+    fn pipelined_seal_stream_passes_and_regressions_are_caught() {
+        // The pipelined writer's shape: appends, a seal covering them, a
+        // coalesced window, the sync, then the publish.
+        let events = vec![
+            ev(0, None, EventKind::WalAppend { lsn: 40 }),
+            ev(1, None, EventKind::WalAppend { lsn: 80 }),
+            ev(2, None, EventKind::WalBufferSeal { lsn: 80 }),
+            ev(3, None, EventKind::WalCoalescedSync { requests: 3 }),
+            ev(4, None, EventKind::WalSync { lsn: 80, epoch: 0 }),
+            ev(5, None, EventKind::ShipPublish { lsn: 80, epoch: 0 }),
+        ];
+        check_stream(&events, false).expect("pipelined flush sequence");
+
+        // A seal below an already-appended lsn sealed "into the past".
+        let events = vec![
+            ev(0, None, EventKind::WalAppend { lsn: 40 }),
+            ev(1, None, EventKind::WalBufferSeal { lsn: 30 }),
+        ];
+        let err = check_stream(&events, false).expect_err("seal below append");
+        assert_eq!(err.invariant, "seal-covers-appends");
+
+        // Seals must never go backwards.
+        let events = vec![
+            ev(0, None, EventKind::WalBufferSeal { lsn: 80 }),
+            ev(1, None, EventKind::WalBufferSeal { lsn: 40 }),
+        ];
+        let err = check_stream(&events, false).expect_err("seal went backwards");
+        assert_eq!(err.invariant, "buffer-seal-monotone");
+
+        // An empty coalesced window is a bookkeeping bug.
+        let events = vec![ev(0, None, EventKind::WalCoalescedSync { requests: 0 })];
+        let err = check_stream(&events, false).expect_err("empty window");
+        assert_eq!(err.invariant, "coalesced-window-nonempty");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -132,6 +133,10 @@ pub struct ExecutorCore {
     history: Option<HistoryRecorder>,
     apologies: Arc<ApologyManager>,
     wal: Option<Arc<Wal>>,
+    /// High-water mark of the LSNs this core's commit points were acked
+    /// at (0 until the first logged stage). Under the pipelined WAL this
+    /// is the boundary a client-visible ack is durable at-or-below.
+    acked_lsn: AtomicU64,
     obs: EdgeObs,
 }
 
@@ -146,6 +151,7 @@ impl ExecutorCore {
             history: None,
             apologies: Arc::new(ApologyManager::new()),
             wal: None,
+            acked_lsn: AtomicU64::new(0),
             obs: EdgeObs::disabled(),
         }
     }
@@ -251,8 +257,8 @@ impl ExecutorCore {
         undo: &UndoLog,
         commit_point: bool,
         register: bool,
-    ) {
-        let Some(wal) = &self.wal else { return };
+    ) -> Option<u64> {
+        let Some(wal) = &self.wal else { return None };
         let images: Vec<WriteImage> = undo
             .records()
             .iter()
@@ -272,20 +278,31 @@ impl ExecutorCore {
         if register {
             flags |= StageFlags::REGISTER;
         }
-        wal.append_stage(StageRecord {
-            txn: handle.txn(),
-            stage: handle.stage() as u32,
-            total: handle.total_stages() as u32,
-            flags: StageFlags(flags),
-            reads: rw.reads.clone(),
-            writes: rw.writes.clone(),
-            images,
-        })
-        .expect("WAL append failed — durability cannot be guaranteed");
+        let lsn = wal
+            .append_stage(StageRecord {
+                txn: handle.txn(),
+                stage: handle.stage() as u32,
+                total: handle.total_stages() as u32,
+                flags: StageFlags(flags),
+                reads: rw.reads.clone(),
+                writes: rw.writes.clone(),
+                images,
+            })
+            .expect("WAL append failed — durability cannot be guaranteed");
         if commit_point {
+            self.acked_lsn.fetch_max(lsn, Ordering::Relaxed);
             wal.maybe_checkpoint()
                 .expect("WAL checkpoint failed — durability cannot be guaranteed");
         }
+        Some(lsn)
+    }
+
+    /// The highest LSN any commit point on this core was acked at; `0`
+    /// before the first one. Pair with [`Wal::last_flushed_lsn`] to ask
+    /// "is everything this core acked durable yet?".
+    #[must_use]
+    pub fn acked_lsn(&self) -> u64 {
+        self.acked_lsn.load(Ordering::Relaxed)
     }
 
     /// Record an abort in the history and statistics.

@@ -1,0 +1,235 @@
+//! Cross-edge sync coalescing: one fsync window per storage device.
+//!
+//! Several edges on one host usually share a single storage device. With
+//! each edge's flusher issuing its own fsync-equivalent, a fleet of N
+//! edges pays N *concurrent, contending* device rounds; the device
+//! serializes them anyway, with queueing in the worst order. The
+//! [`SyncCoalescer`] turns that into classic group commit at the device
+//! level: sync requests that arrive while a window is in flight park in
+//! the next window, and a single *leader* runs every member's sync
+//! back-to-back. Requests never lose durability — a request's bytes are
+//! durable when its window completes, exactly as if it had called
+//! [`Storage::sync`] itself — they only share the wait.
+//!
+//! The flusher owns its storage while syncing (checked out of the
+//! pipeline state), so it can hand the whole `Box<dyn Storage>` into the
+//! window and get it back with the outcome. Followers block on the
+//! window; under the model checker that block routes through
+//! `croesus_store::sched` (`wal.buffer.coalesce`) like every other
+//! pipeline wait.
+
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::storage::Storage;
+
+/// Window counters, exposed for benches and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Sync requests made by flushers.
+    pub requests: u64,
+    /// Device windows actually run (coalescing ⇒ `windows ≤ requests`).
+    pub windows: u64,
+}
+
+/// One member's parking spot: the leader takes the storage, syncs it,
+/// and puts it back with the outcome.
+struct Slot {
+    storage: Option<Box<dyn Storage>>,
+    /// `io::Error` is not `Clone`; ferry kind+message across the window.
+    outcome: Option<Result<(), (io::ErrorKind, String)>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Requests waiting for the next window.
+    queue: Vec<Arc<Mutex<Slot>>>,
+    /// A leader is draining windows; new requests park as followers.
+    leader_active: bool,
+    stats: CoalesceStats,
+}
+
+/// What a [`SyncCoalescer::sync`] call learned: the sync outcome, plus —
+/// for the request that ended up leading — the size of each window it
+/// ran, so the flusher can emit one `WalCoalescedSync` event per window.
+pub struct SyncOutcome {
+    /// The request's own sync result.
+    pub result: io::Result<()>,
+    /// Sizes (request counts) of the windows this caller led; empty for
+    /// followers.
+    pub windows_led: Vec<usize>,
+}
+
+/// A per-device sync window shared by every WAL flusher on the device.
+#[derive(Default)]
+pub struct SyncCoalescer {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for SyncCoalescer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncCoalescer")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SyncCoalescer {
+    /// A fresh coalescer; share one `Arc` per storage device.
+    #[must_use]
+    pub fn new() -> Self {
+        SyncCoalescer::default()
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CoalesceStats {
+        self.inner.lock().expect("coalescer lock").stats
+    }
+
+    /// Sync `storage` as part of a shared device window. Blocks until the
+    /// request's window completes; returns the storage and the outcome.
+    pub fn sync(&self, storage: Box<dyn Storage>) -> (Box<dyn Storage>, SyncOutcome) {
+        let slot = Arc::new(Mutex::new(Slot {
+            storage: Some(storage),
+            outcome: None,
+        }));
+        let lead = {
+            let mut inner = self.inner.lock().expect("coalescer lock");
+            inner.queue.push(Arc::clone(&slot));
+            inner.stats.requests += 1;
+            if inner.leader_active {
+                false
+            } else {
+                inner.leader_active = true;
+                true
+            }
+        };
+        let windows_led = if lead { self.run_windows() } else { Vec::new() };
+        if !lead {
+            self.wait_done(&slot);
+        }
+        let mut s = slot.lock().expect("slot lock");
+        let storage = s.storage.take().expect("window returned the storage");
+        let result = match s.outcome.take().expect("window recorded an outcome") {
+            Ok(()) => Ok(()),
+            Err((kind, msg)) => Err(io::Error::new(kind, msg)),
+        };
+        (
+            storage,
+            SyncOutcome {
+                result,
+                windows_led,
+            },
+        )
+    }
+
+    /// Leader: drain windows until no request is waiting. Each drain pass
+    /// is one device window — its members' fsync-equivalents run
+    /// back-to-back on this thread; requests arriving mid-pass form the
+    /// next window.
+    fn run_windows(&self) -> Vec<usize> {
+        let mut led = Vec::new();
+        loop {
+            let members = {
+                let mut inner = self.inner.lock().expect("coalescer lock");
+                if inner.queue.is_empty() {
+                    inner.leader_active = false;
+                    break;
+                }
+                inner.stats.windows += 1;
+                std::mem::take(&mut inner.queue)
+            };
+            led.push(members.len());
+            for member in &members {
+                let mut storage = {
+                    let mut s = member.lock().expect("slot lock");
+                    s.storage.take().expect("member parked its storage")
+                };
+                let result = storage.sync().map_err(|e| (e.kind(), e.to_string()));
+                let mut s = member.lock().expect("slot lock");
+                s.storage = Some(storage);
+                s.outcome = Some(result);
+            }
+            // Wake this window's followers; the notify runs under the
+            // inner lock so a follower between its outcome check and its
+            // wait cannot miss it.
+            let _inner = self.inner.lock().expect("coalescer lock");
+            self.cv.notify_all();
+            drop(_inner);
+            crate::sched::progress("wal.buffer.coalesce");
+        }
+        led
+    }
+
+    /// Follower: park until the leader records this slot's outcome.
+    fn wait_done(&self, slot: &Arc<Mutex<Slot>>) {
+        loop {
+            let inner = self.inner.lock().expect("coalescer lock");
+            if slot.lock().expect("slot lock").outcome.is_some() {
+                return;
+            }
+            if crate::sched::active() {
+                drop(inner);
+                crate::sched::block_point("wal.buffer.coalesce");
+            } else {
+                drop(self.cv.wait(inner).expect("coalescer lock"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn single_request_runs_one_window_of_one() {
+        let c = SyncCoalescer::new();
+        let probe = MemStorage::new();
+        let mut owned: Box<dyn Storage> = Box::new(probe.clone());
+        owned.append(b"abc").unwrap();
+        let (_owned, out) = c.sync(owned);
+        out.result.unwrap();
+        assert_eq!(out.windows_led, vec![1]);
+        assert_eq!(probe.durable(), b"abc");
+        assert_eq!(
+            c.stats(),
+            CoalesceStats {
+                requests: 1,
+                windows: 1
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_share_windows() {
+        let c = Arc::new(SyncCoalescer::new());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let probe = MemStorage::new();
+                    for r in 0..16 {
+                        let mut owned: Box<dyn Storage> = Box::new(probe.clone());
+                        owned.append(format!("{i}:{r};").as_bytes()).unwrap();
+                        let (_owned, out) = c.sync(owned);
+                        out.result.unwrap();
+                    }
+                    assert_eq!(probe.unsynced_len(), 0, "every request is durable");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.requests, 8 * 16);
+        assert!(
+            stats.windows <= stats.requests,
+            "windows never exceed requests"
+        );
+    }
+}

@@ -62,6 +62,7 @@
 //! assert_eq!(report.unfinalized, vec![TxnId(1)]); // owes an apology
 //! ```
 
+pub mod coalesce;
 pub mod frame;
 pub mod mode;
 pub mod record;
@@ -72,16 +73,25 @@ pub(crate) use croesus_store::sched;
 pub(crate) mod sched {
     //! No-op stand-ins for the model-checker hooks (`mcheck` feature off).
     #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+    #[inline(always)]
     pub fn yield_point(_label: &'static str) {}
+    #[inline(always)]
+    pub fn block_point(_label: &'static str) {}
+    #[inline(always)]
+    pub fn progress(_label: &'static str) {}
 }
 pub mod ship;
 pub mod storage;
 pub mod writer;
 
+pub use coalesce::{CoalesceStats, SyncCoalescer};
 pub use frame::{crc32, FrameReader, TailState};
 pub use mode::DurabilityMode;
 pub use record::{CheckpointRecord, RetractRecord, StageFlags, StageRecord, WalRecord, WriteImage};
 pub use recover::{recover, recover_file, RecoveredEntry, RecoveryReport, RecoveryState};
 pub use ship::{LogShipper, ShipBatch, ShipCursor, ShipFetch};
 pub use storage::{scratch_dir, FileStorage, MemStorage, Storage};
-pub use writer::{Wal, WalConfig, WalStats};
+pub use writer::{PipelineConfig, Wal, WalConfig, WalStats};

@@ -7,8 +7,10 @@
 
 use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use crate::writer::{Wal, WalConfig};
+use crate::coalesce::SyncCoalescer;
+use crate::writer::{PipelineConfig, Wal, WalConfig};
 
 /// How (and whether) a deployment logs transactions durably.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,6 +37,20 @@ pub enum DurabilityMode {
         /// Directory holding the per-edge log files.
         dir: PathBuf,
     },
+    /// Pipelined double-buffered logging: appends receive global
+    /// monotone LSNs and land in an active buffer; every `group` commit
+    /// points the buffer seals onto a dedicated flusher, which syncs it
+    /// while new appends keep going. Group-commit loss window, without
+    /// the inline sync stall.
+    Pipelined {
+        /// Directory holding the per-edge log files.
+        dir: PathBuf,
+        /// Commit points per buffer seal (≥ 1).
+        group: usize,
+        /// Share one sync window across every edge in the deployment
+        /// (they share `dir`, hence a device) via a [`SyncCoalescer`].
+        coalesce: bool,
+    },
 }
 
 impl DurabilityMode {
@@ -44,6 +60,36 @@ impl DurabilityMode {
         DurabilityMode::GroupCommit {
             dir: dir.into(),
             group: WalConfig::default().group_commit,
+        }
+    }
+
+    /// Pipelined logging in `dir` with the default group size and
+    /// cross-edge sync coalescing on.
+    #[must_use]
+    pub fn pipelined(dir: impl Into<PathBuf>) -> Self {
+        DurabilityMode::Pipelined {
+            dir: dir.into(),
+            group: WalConfig::default().group_commit,
+            coalesce: true,
+        }
+    }
+
+    /// Whether this mode runs the pipelined writer.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        matches!(self, DurabilityMode::Pipelined { .. })
+    }
+
+    /// A shared per-device sync window for this deployment, when the
+    /// mode asks for one. The builder calls this once and threads the
+    /// same `Arc` through every [`DurabilityMode::open_edge_wal_with`].
+    #[must_use]
+    pub fn device_coalescer(&self) -> Option<Arc<SyncCoalescer>> {
+        match self {
+            DurabilityMode::Pipelined { coalesce: true, .. } => {
+                Some(Arc::new(SyncCoalescer::new()))
+            }
+            _ => None,
         }
     }
 
@@ -60,7 +106,8 @@ impl DurabilityMode {
             DurabilityMode::Disabled => return None,
             DurabilityMode::GroupCommit { dir, .. }
             | DurabilityMode::Strict { dir }
-            | DurabilityMode::Buffered { dir } => dir,
+            | DurabilityMode::Buffered { dir }
+            | DurabilityMode::Pipelined { dir, .. } => dir,
         };
         Some(dir.join(format!("edge-{edge}.wal")))
     }
@@ -76,15 +123,53 @@ impl DurabilityMode {
                 group_commit: usize::MAX,
                 ..WalConfig::default()
             },
+            DurabilityMode::Pipelined { group, .. } => WalConfig::group(*group),
+        }
+    }
+
+    /// The pipeline tuning this mode implies (`None` for the
+    /// synchronous modes). The coalescer is deployment-shared state the
+    /// caller owns; see [`DurabilityMode::device_coalescer`].
+    #[must_use]
+    pub fn pipeline_config(&self, coalescer: Option<Arc<SyncCoalescer>>) -> Option<PipelineConfig> {
+        match self {
+            DurabilityMode::Pipelined { .. } => Some(PipelineConfig {
+                coalescer,
+                manual_flusher: false,
+            }),
+            _ => None,
         }
     }
 
     /// Open a fresh log for edge `i` (truncating a previous one — recover
     /// from it first if its contents matter). `Ok(None)` when disabled.
+    /// Pipelined deployments that coalesce should prefer
+    /// [`DurabilityMode::open_edge_wal_with`] so every edge shares one
+    /// window; this entry point gives each edge a private one.
     pub fn open_edge_wal(&self, edge: usize) -> io::Result<Option<Wal>> {
-        match self.edge_log_path(edge) {
-            None => Ok(None),
-            Some(path) => Ok(Some(Wal::create(path, self.wal_config())?)),
+        self.open_edge_wal_with(edge, self.device_coalescer())
+    }
+
+    /// [`open_edge_wal`](DurabilityMode::open_edge_wal) with the
+    /// deployment's shared device coalescer threaded through.
+    pub fn open_edge_wal_with(
+        &self,
+        edge: usize,
+        coalescer: Option<Arc<SyncCoalescer>>,
+    ) -> io::Result<Option<Wal>> {
+        let Some(path) = self.edge_log_path(edge) else {
+            return Ok(None);
+        };
+        match self.pipeline_config(coalescer) {
+            None => Ok(Some(Wal::create(path, self.wal_config())?)),
+            Some(pipe) => {
+                let storage = crate::storage::FileStorage::create(&path)?;
+                Ok(Some(Wal::with_storage_pipelined(
+                    Box::new(storage),
+                    self.wal_config(),
+                    pipe,
+                )))
+            }
         }
     }
 }

@@ -28,20 +28,27 @@
 //! [`WalConfig::checkpoint_every`] commit points; the executors call it
 //! from the commit path.
 
+use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
 use croesus_obs::{EdgeObs, EventKind, HistKind};
 use croesus_store::{KvStore, TxnId};
 
+use crate::coalesce::SyncCoalescer;
 use crate::frame::write_frame;
 use crate::record::{RetractRecord, StageRecord, WalRecord};
 use crate::recover::RecoveryState;
 use crate::ship::LogShipper;
 use crate::storage::{FileStorage, MemStorage, Storage};
+
+/// Message used when the std pipeline mutexes are poisoned — only a
+/// panicking flusher could poison them, and that already aborts the run.
+const PIPE_LOCK: &str = "wal pipeline lock";
 
 /// Writer tuning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +105,311 @@ pub struct WalStats {
     pub bytes_appended: u64,
 }
 
+/// Tuning for the pipelined (double-buffered) writer.
+///
+/// In pipelined mode appends land in an in-memory *active buffer* and
+/// receive a global monotone LSN; every [`WalConfig::group_commit`]
+/// commit points the active buffer is *sealed* and handed to a dedicated
+/// flusher, which lands it (append + fsync-equivalent) while new appends
+/// keep filling the next buffer. Commit points therefore wait on an LSN
+/// boundary at most one buffer behind — never on the whole log.
+#[derive(Clone, Default)]
+pub struct PipelineConfig {
+    /// Shared per-device sync window, when several edges' logs live on
+    /// one storage device. `None` syncs alone.
+    pub coalescer: Option<Arc<SyncCoalescer>>,
+    /// Skip spawning the dedicated flusher thread. Harness mode: the
+    /// test or model checker drives [`Wal::flusher_step`] itself (the
+    /// mcheck scenario runs it as a virtual task), and seal-time
+    /// backpressure is disabled outside the checker so a single-threaded
+    /// harness can interleave appends and flushes freely.
+    pub manual_flusher: bool,
+}
+
+/// One sealed buffer travelling from the appenders to the flusher.
+struct SealedBuf {
+    bytes: Vec<u8>,
+    /// Global LSN of the last byte in this buffer; landing the buffer
+    /// advances `last_flushed_lsn` to exactly here.
+    up_to_lsn: u64,
+}
+
+/// Everything the appenders and the flusher exchange. One plain mutex:
+/// appenders touch it briefly (extend the active buffer, bump counters),
+/// the flusher holds it only outside I/O — the fsync itself runs with
+/// the state unlocked, which is the whole point of the pipeline.
+struct PipeState {
+    /// The log device. `None` while the flusher has it checked out for
+    /// I/O (appenders never touch storage in pipelined mode).
+    storage: Option<Box<dyn Storage>>,
+    /// Bytes appended since the last seal.
+    active: Vec<u8>,
+    /// Commit points in the active buffer.
+    active_commits: usize,
+    /// Sealed buffers awaiting the flusher.
+    sealed: VecDeque<SealedBuf>,
+    /// Global LSN of the last appended byte. Never resets — epochs
+    /// re-frame the on-device log, not the LSN space.
+    latest_lsn: u64,
+    /// Global LSN of the last *sealed* byte.
+    sealed_lsn: u64,
+    /// Global durable boundary: everything at or below is synced (or
+    /// folded into a durable checkpoint). Monotone.
+    last_flushed_lsn: u64,
+    /// A buffer is checked out and mid-I/O on the flusher.
+    flushing: bool,
+    /// Accepting no more work; the flusher drains `sealed` and exits.
+    shutdown: bool,
+    /// Durable syncs performed by the flusher (merged into [`WalStats`]).
+    syncs: u64,
+    /// Checkpoint epoch (the on-device log restarted this many times).
+    epoch: u64,
+    /// Bytes landed in the current epoch's on-device log.
+    epoch_len: u64,
+    /// Shipping endpoint; published to *only* in the flusher's post-sync
+    /// path and the checkpoint's epoch restart — shipped ⊆ durable.
+    shipper: Option<Arc<LogShipper>>,
+    /// Observability stream (mirrors `WalInner::obs`). Pipelined events
+    /// carry global LSNs.
+    obs: EdgeObs,
+    /// A flusher I/O failure is sticky: appends and boundary waits fail
+    /// fast instead of acking commits that can never become durable.
+    io_error: Option<(io::ErrorKind, String)>,
+    /// Model-checker mutation: publish a buffer *before* syncing it,
+    /// violating shipped ⊆ durable. Exists so `tests/mcheck.rs` can
+    /// prove the checker catches the bug class this writer must avoid.
+    #[cfg(feature = "mcheck")]
+    publish_before_sync: bool,
+}
+
+/// The pipelined half of a [`Wal`], shared with the flusher thread.
+struct PipelineShared {
+    state: StdMutex<PipeState>,
+    /// Signals the flusher: a buffer was sealed (or shutdown was set).
+    work_cv: Condvar,
+    /// Signals boundary waiters: `last_flushed_lsn` advanced.
+    boundary_cv: Condvar,
+    coalescer: Option<Arc<SyncCoalescer>>,
+    /// A dedicated flusher thread exists (i.e. not harness mode).
+    has_flusher: bool,
+}
+
+impl PipelineShared {
+    /// Whether seal-time backpressure applies: something else is driving
+    /// the flusher, so waiting for the previous buffer's boundary cannot
+    /// deadlock. True for the thread, and for mcheck's virtual task.
+    fn backpressure(&self) -> bool {
+        self.has_flusher || crate::sched::active()
+    }
+
+    fn io_error_locked(state: &PipeState) -> io::Result<()> {
+        match &state.io_error {
+            Some((kind, msg)) => Err(io::Error::new(*kind, msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Seal the active buffer onto the flusher queue. Caller holds the
+    /// state lock; returns whether anything was sealed so the caller can
+    /// mark scheduler progress *after* unlocking.
+    fn seal_locked(&self, state: &mut PipeState) -> bool {
+        if state.active.is_empty() {
+            return false;
+        }
+        let bytes = std::mem::take(&mut state.active);
+        state.active_commits = 0;
+        state.sealed_lsn = state.latest_lsn;
+        state.sealed.push_back(SealedBuf {
+            bytes,
+            up_to_lsn: state.latest_lsn,
+        });
+        state.obs.emit(EventKind::WalBufferSeal {
+            lsn: state.latest_lsn,
+        });
+        self.work_cv.notify_one();
+        true
+    }
+
+    /// Commit-point seal: apply backpressure (wait for the *previous*
+    /// buffer's LSN boundary — double buffering bounds the pipeline at
+    /// one in-flight buffer), then seal. `group` is re-checked under the
+    /// lock because a racing commit may have sealed first.
+    fn seal_for_commit(&self, group: usize) -> io::Result<()> {
+        let mut state = self.state.lock().expect(PIPE_LOCK);
+        if state.active_commits < group {
+            return Ok(()); // someone else sealed this group already
+        }
+        if self.backpressure() {
+            while state.last_flushed_lsn < state.sealed_lsn && state.io_error.is_none() {
+                if crate::sched::active() {
+                    drop(state);
+                    crate::sched::block_point("wal.buffer.backpressure");
+                    state = self.state.lock().expect(PIPE_LOCK);
+                } else {
+                    state = self.boundary_cv.wait(state).expect(PIPE_LOCK);
+                }
+            }
+        }
+        Self::io_error_locked(&state)?;
+        let sealed = self.seal_locked(&mut state);
+        drop(state);
+        if sealed {
+            crate::sched::progress("wal.buffer.sealed");
+        }
+        Ok(())
+    }
+
+    /// Wait until the durable boundary covers `lsn`, sealing the active
+    /// buffer first when `lsn` still sits inside it. Returns immediately
+    /// when `lsn ≤ last_flushed_lsn`. In harness mode outside the model
+    /// checker there is nobody to wait for, so the caller's thread pumps
+    /// the flusher inline instead of blocking.
+    fn flush_lsn(&self, lsn: u64) -> io::Result<()> {
+        crate::sched::yield_point("wal.buffer.flush_lsn");
+        if !self.has_flusher && !crate::sched::active() {
+            loop {
+                {
+                    let mut state = self.state.lock().expect(PIPE_LOCK);
+                    if state.last_flushed_lsn >= lsn {
+                        return Ok(());
+                    }
+                    PipelineShared::io_error_locked(&state)?;
+                    if lsn > state.sealed_lsn {
+                        self.seal_locked(&mut state);
+                    }
+                }
+                self.step(true)?;
+            }
+        }
+        let mut state = self.state.lock().expect(PIPE_LOCK);
+        loop {
+            if state.last_flushed_lsn >= lsn {
+                return Ok(());
+            }
+            Self::io_error_locked(&state)?;
+            if lsn > state.sealed_lsn && self.seal_locked(&mut state) {
+                drop(state);
+                crate::sched::progress("wal.buffer.sealed");
+                state = self.state.lock().expect(PIPE_LOCK);
+                continue;
+            }
+            if crate::sched::active() {
+                drop(state);
+                crate::sched::block_point("wal.buffer.boundary");
+                state = self.state.lock().expect(PIPE_LOCK);
+            } else {
+                state = self.boundary_cv.wait(state).expect(PIPE_LOCK);
+            }
+        }
+    }
+
+    /// One flusher iteration: wait for a sealed buffer, land it (append +
+    /// sync, through the device coalescer when present), advance
+    /// `last_flushed_lsn`, and publish the landed bytes — publication
+    /// lives *here*, strictly after the sync, which is the structural
+    /// form of the shipped ⊆ durable contract. Returns `Ok(false)` once
+    /// shut down and drained.
+    fn step(&self, wait_for_work: bool) -> io::Result<bool> {
+        crate::sched::yield_point("wal.buffer.flusher");
+        #[cfg_attr(not(feature = "mcheck"), allow(unused_mut))]
+        let mut pre_published = false;
+        let (mut storage, buf, obs_enabled) = {
+            let mut state = self.state.lock().expect(PIPE_LOCK);
+            loop {
+                if let Some(buf) = state.sealed.pop_front() {
+                    let storage = state.storage.take().expect("storage checked in");
+                    state.flushing = true;
+                    #[cfg(feature = "mcheck")]
+                    if state.publish_before_sync {
+                        // The deliberately wrong order the self-test hunts.
+                        Self::publish_locked(&mut state, &buf);
+                        pre_published = true;
+                    }
+                    let enabled = state.obs.is_enabled();
+                    break (storage, buf, enabled);
+                }
+                if state.shutdown || !wait_for_work {
+                    return Ok(false);
+                }
+                if crate::sched::active() {
+                    drop(state);
+                    crate::sched::block_point("wal.buffer.drain");
+                    state = self.state.lock().expect(PIPE_LOCK);
+                } else {
+                    state = self.work_cv.wait(state).expect(PIPE_LOCK);
+                }
+            }
+        };
+        // The I/O runs with the state unlocked: appends keep landing in
+        // the next buffer while this one syncs.
+        crate::sched::yield_point("wal.buffer.sync");
+        let timer = obs_enabled.then(std::time::Instant::now);
+        let mut windows_led = Vec::new();
+        let io_result = match storage.append(&buf.bytes) {
+            Err(e) => Err(e),
+            Ok(()) => {
+                if let Some(coalescer) = &self.coalescer {
+                    let (returned, outcome) = coalescer.sync(storage);
+                    storage = returned;
+                    windows_led = outcome.windows_led;
+                    outcome.result
+                } else {
+                    storage.sync()
+                }
+            }
+        };
+        let mut state = self.state.lock().expect(PIPE_LOCK);
+        state.storage = Some(storage);
+        state.flushing = false;
+        match io_result {
+            Err(e) => {
+                state.io_error = Some((e.kind(), e.to_string()));
+                drop(state);
+                self.boundary_cv.notify_all();
+                crate::sched::progress("wal.buffer.flushed");
+                Err(e)
+            }
+            Ok(()) => {
+                state.last_flushed_lsn = buf.up_to_lsn;
+                state.syncs += 1;
+                state.epoch_len += buf.bytes.len() as u64;
+                if let Some(t0) = timer {
+                    state.obs.record_duration(HistKind::WalSyncMs, t0.elapsed());
+                }
+                for window in windows_led {
+                    state.obs.emit(EventKind::WalCoalescedSync {
+                        requests: window as u64,
+                    });
+                }
+                state.obs.emit(EventKind::WalSync {
+                    lsn: buf.up_to_lsn,
+                    epoch: state.epoch,
+                });
+                if !pre_published {
+                    Self::publish_locked(&mut state, &buf);
+                }
+                drop(state);
+                self.boundary_cv.notify_all();
+                crate::sched::progress("wal.buffer.flushed");
+                Ok(true)
+            }
+        }
+    }
+
+    /// Publish one landed buffer to the shipper (caller holds the state
+    /// lock, making the publish atomic with the boundary advance — a
+    /// checkpoint can never slide an epoch bump between them).
+    fn publish_locked(state: &mut PipeState, buf: &SealedBuf) {
+        if let Some(shipper) = &state.shipper {
+            shipper.publish(&buf.bytes);
+            state.obs.emit(EventKind::ShipPublish {
+                lsn: buf.up_to_lsn,
+                epoch: state.epoch,
+            });
+        }
+    }
+}
+
 struct WalInner {
     storage: Box<dyn Storage>,
     config: WalConfig,
@@ -107,6 +419,10 @@ struct WalInner {
     shadow_store: KvStore,
     unsynced_commits: usize,
     commits_since_checkpoint: u64,
+    /// Bytes of the current epoch's log known durable (legacy modes
+    /// only; the pipelined boundary lives in `PipeState`). Lets
+    /// `flush_lsn` answer at-or-below-the-boundary requests without I/O.
+    flushed_len: u64,
     stats: WalStats,
     /// Cloud replication endpoint, when shipping is on. Published to only
     /// inside the sync paths, so the shipped image is exactly the durable
@@ -133,6 +449,7 @@ impl WalInner {
         self.stats.syncs += 1;
         self.unsynced_commits = 0;
         let lsn = self.storage.len();
+        self.flushed_len = lsn;
         if let Some(t0) = timer {
             self.obs.record_duration(HistKind::WalSyncMs, t0.elapsed());
         }
@@ -157,6 +474,13 @@ impl WalInner {
 /// A per-edge write-ahead log. Thread-safe; share via `Arc`.
 pub struct Wal {
     inner: Mutex<WalInner>,
+    /// `Some` in pipelined mode. The legacy (synchronous) modes never
+    /// touch it and stay byte-identical with the pre-pipeline writer; in
+    /// pipelined mode the real storage lives inside, and `inner.storage`
+    /// is an empty placeholder device nothing writes to.
+    pipeline: Option<Arc<PipelineShared>>,
+    /// The dedicated flusher thread, joined on drop.
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl Wal {
@@ -171,19 +495,95 @@ impl Wal {
                 shadow_store: KvStore::new(),
                 unsynced_commits: 0,
                 commits_since_checkpoint: 0,
+                flushed_len: 0,
                 stats: WalStats::default(),
                 shipper: None,
                 unshipped: Vec::new(),
                 obs: EdgeObs::disabled(),
                 epoch: 0,
             }),
+            pipeline: None,
+            flusher: None,
         }
+    }
+
+    /// A *pipelined* log over any storage backend: appends receive
+    /// global monotone LSNs, buffers seal every
+    /// [`WalConfig::group_commit`] commit points, and a dedicated
+    /// flusher lands them while new appends keep going. See
+    /// [`PipelineConfig`].
+    #[must_use]
+    pub fn with_storage_pipelined(
+        storage: Box<dyn Storage>,
+        config: WalConfig,
+        pipe: PipelineConfig,
+    ) -> Self {
+        let mut wal = Wal::with_storage(Box::new(MemStorage::new()), config);
+        let shared = Arc::new(PipelineShared {
+            state: StdMutex::new(PipeState {
+                storage: Some(storage),
+                active: Vec::new(),
+                active_commits: 0,
+                sealed: VecDeque::new(),
+                latest_lsn: 0,
+                sealed_lsn: 0,
+                last_flushed_lsn: 0,
+                flushing: false,
+                shutdown: false,
+                syncs: 0,
+                epoch: 0,
+                epoch_len: 0,
+                shipper: None,
+                obs: EdgeObs::disabled(),
+                io_error: None,
+                #[cfg(feature = "mcheck")]
+                publish_before_sync: false,
+            }),
+            work_cv: Condvar::new(),
+            boundary_cv: Condvar::new(),
+            coalescer: pipe.coalescer,
+            has_flusher: !pipe.manual_flusher,
+        });
+        if !pipe.manual_flusher {
+            let for_thread = Arc::clone(&shared);
+            wal.flusher = Some(
+                std::thread::Builder::new()
+                    .name("wal-flusher".into())
+                    .spawn(move || {
+                        // An Err is sticky in the state; waiters fail
+                        // fast, so the thread just stops pumping.
+                        while matches!(for_thread.step(true), Ok(true)) {}
+                    })
+                    .expect("spawn wal flusher"),
+            );
+        }
+        wal.pipeline = Some(shared);
+        wal
+    }
+
+    /// A fresh pipelined in-memory log; the [`MemStorage`] handle shares
+    /// the device, for crash simulation at buffer-seal and post-sync
+    /// boundaries.
+    #[must_use]
+    pub fn pipelined_in_memory(config: WalConfig, pipe: PipelineConfig) -> (Self, MemStorage) {
+        let probe = MemStorage::new();
+        let wal = Wal::with_storage_pipelined(Box::new(probe.clone()), config, pipe);
+        (wal, probe)
+    }
+
+    /// Whether this writer runs the pipelined path.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline.is_some()
     }
 
     /// Attach an observability stream: appends, syncs and publishes are
     /// emitted as typed events, and sync latency feeds the per-edge
     /// histogram. Safe to call at any point; the default is disabled.
     pub fn set_obs(&self, obs: EdgeObs) {
+        if let Some(shared) = &self.pipeline {
+            shared.state.lock().expect(PIPE_LOCK).obs = obs.clone();
+        }
         self.inner.lock().obs = obs;
     }
 
@@ -192,10 +592,19 @@ impl Wal {
     /// its storage to backfill the replica.
     pub fn attach_shipper(&self, shipper: Arc<LogShipper>) {
         let mut inner = self.inner.lock();
-        assert!(
-            inner.storage.is_empty(),
-            "attach the shipper before the first append"
-        );
+        if let Some(shared) = &self.pipeline {
+            let mut state = shared.state.lock().expect(PIPE_LOCK);
+            assert!(
+                state.latest_lsn == 0,
+                "attach the shipper before the first append"
+            );
+            state.shipper = Some(Arc::clone(&shipper));
+        } else {
+            assert!(
+                inner.storage.is_empty(),
+                "attach the shipper before the first append"
+            );
+        }
         inner.shipper = Some(shipper);
     }
 
@@ -236,11 +645,54 @@ impl Wal {
             inner.shadow_store = shadow_store;
             inner.stats.checkpoints += 1;
             inner.stats.syncs += 1;
+            inner.flushed_len = framed.len() as u64;
             inner.epoch = 1;
             if let Some(shipper) = &shipper {
                 shipper.restart_epoch(&framed);
             }
             inner.shipper = shipper;
+        }
+        Ok(wal)
+    }
+
+    /// [`resume`](Wal::resume), pipelined: the recovered log restarts as
+    /// a single durable checkpoint frame at epoch 1, and new appends go
+    /// through the buffer/flusher pipeline.
+    pub fn resume_pipelined(
+        mut storage: Box<dyn Storage>,
+        config: WalConfig,
+        pipe: PipelineConfig,
+        mut state: RecoveryState,
+        store: &KvStore,
+        shipper: Option<Arc<LogShipper>>,
+    ) -> io::Result<Self> {
+        state.abandon_pending();
+        let shadow_store = KvStore::new();
+        for (key, versioned) in store.snapshot() {
+            shadow_store.put(key, versioned.value);
+        }
+        let cp = state.to_checkpoint(&shadow_store);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &WalRecord::Checkpoint(Box::new(cp)).encode());
+        storage.reset(&framed)?;
+        if let Some(shipper) = &shipper {
+            shipper.restart_epoch(&framed);
+        }
+        let wal = Wal::with_storage_pipelined(storage, config, pipe);
+        {
+            let mut inner = wal.inner.lock();
+            inner.shadow = state;
+            inner.shadow_store = shadow_store;
+            inner.stats.checkpoints += 1;
+            inner.shipper = shipper.clone();
+        }
+        {
+            let shared = wal.pipeline.as_ref().expect("pipelined constructor");
+            let mut pstate = shared.state.lock().expect(PIPE_LOCK);
+            pstate.epoch = 1;
+            pstate.epoch_len = framed.len() as u64;
+            pstate.syncs = 1;
+            pstate.shipper = shipper;
         }
         Ok(wal)
     }
@@ -301,6 +753,47 @@ impl Wal {
         Ok(())
     }
 
+    /// Pipelined append: the shadow fold and counters stay under the
+    /// writer mutex (log order == shadow order), but the bytes land in
+    /// the active buffer and the record gets a global monotone LSN —
+    /// storage is never touched on this path.
+    fn append_record_pipelined(
+        shared: &PipelineShared,
+        inner: &mut WalInner,
+        record: &WalRecord,
+    ) -> io::Result<u64> {
+        let mut framed = Vec::with_capacity(64);
+        write_frame(&mut framed, &record.encode());
+        let WalInner {
+            shadow,
+            shadow_store,
+            ..
+        } = inner;
+        shadow.apply(record, Some(shadow_store));
+        inner.stats.records += 1;
+        inner.stats.bytes_appended += framed.len() as u64;
+        let mut state = shared.state.lock().expect(PIPE_LOCK);
+        PipelineShared::io_error_locked(&state)?;
+        state.active.extend_from_slice(&framed);
+        state.latest_lsn += framed.len() as u64;
+        let lsn = state.latest_lsn;
+        state.obs.emit(EventKind::WalAppend { lsn });
+        Ok(lsn)
+    }
+
+    /// Append one record through whichever path this writer runs,
+    /// returning its LSN (global in pipelined mode, the epoch-relative
+    /// log length in the synchronous modes).
+    fn append_any(&self, inner: &mut WalInner, record: &WalRecord) -> io::Result<u64> {
+        match &self.pipeline {
+            None => {
+                Self::append_record(inner, record)?;
+                Ok(inner.storage.len())
+            }
+            Some(shared) => Self::append_record_pipelined(shared, inner, record),
+        }
+    }
+
     fn commit_point(inner: &mut WalInner) -> io::Result<()> {
         inner.stats.commit_points += 1;
         inner.commits_since_checkpoint += 1;
@@ -311,17 +804,44 @@ impl Wal {
         Ok(())
     }
 
-    /// Log one executed stage. If the record is a commit point, the
-    /// group-commit policy decides whether this call pays the sync.
-    pub fn append_stage(&self, record: StageRecord) -> io::Result<()> {
+    /// Log one executed stage, returning its LSN. If the record is a
+    /// commit point, the group policy decides what this call pays: the
+    /// synchronous modes may sync inline; the pipelined mode at most
+    /// seals the buffer and waits on the *previous* buffer's LSN
+    /// boundary while this one syncs in the background.
+    pub fn append_stage(&self, record: StageRecord) -> io::Result<u64> {
         crate::sched::yield_point("wal.append_stage");
-        let mut inner = self.inner.lock();
         let is_commit = record.flags.commit_point();
-        Self::append_record(&mut inner, &WalRecord::Stage(record))?;
-        if is_commit {
-            Self::commit_point(&mut inner)?;
+        let (lsn, seal_group) = {
+            let mut inner = self.inner.lock();
+            let lsn = self.append_any(&mut inner, &WalRecord::Stage(record))?;
+            let mut seal_group = None;
+            if is_commit {
+                match &self.pipeline {
+                    None => Self::commit_point(&mut inner)?,
+                    Some(shared) => {
+                        inner.stats.commit_points += 1;
+                        inner.commits_since_checkpoint += 1;
+                        let group = inner.config.group_commit;
+                        let mut state = shared.state.lock().expect(PIPE_LOCK);
+                        state.active_commits += 1;
+                        if state.active_commits >= group {
+                            seal_group = Some(group);
+                        }
+                    }
+                }
+            }
+            (lsn, seal_group)
+        };
+        if let Some(group) = seal_group {
+            // Outside the writer mutex: the backpressure wait must not
+            // block other appenders' non-sealing commits.
+            self.pipeline
+                .as_ref()
+                .expect("seal only set in pipelined mode")
+                .seal_for_commit(group)?;
         }
-        Ok(())
+        Ok(lsn)
     }
 
     /// Log the retraction of apology entries (one record per entry, in
@@ -333,19 +853,27 @@ impl Wal {
         crate::sched::yield_point("wal.append_retracts");
         let mut inner = self.inner.lock();
         for r in retracts {
-            Self::append_record(&mut inner, &WalRecord::Retract(r))?;
+            self.append_any(&mut inner, &WalRecord::Retract(r))?;
         }
         Ok(())
     }
 
-    /// Log a 2PC coordinator decision and sync *immediately* — the
-    /// decision must be durable before any participant enters phase 2,
-    /// or a coordinator crash leaves them in doubt forever.
+    /// Log a 2PC coordinator decision and make it durable *before*
+    /// returning — the decision must be durable before any participant
+    /// enters phase 2, or a coordinator crash leaves them in doubt
+    /// forever. The pipelined mode waits on the decision's own LSN
+    /// boundary instead of draining the whole log.
     pub fn append_tpc_decision(&self, txn: TxnId, commit: bool) -> io::Result<()> {
         crate::sched::yield_point("wal.append_tpc_decision");
-        let mut inner = self.inner.lock();
-        Self::append_record(&mut inner, &WalRecord::TpcDecision { txn, commit })?;
-        inner.sync_and_publish()
+        let lsn = {
+            let mut inner = self.inner.lock();
+            let lsn = self.append_any(&mut inner, &WalRecord::TpcDecision { txn, commit })?;
+            match &self.pipeline {
+                None => return inner.sync_and_publish(),
+                Some(_) => lsn,
+            }
+        };
+        self.flush_lsn(lsn)
     }
 
     /// Log the completion of a 2PC transaction's phase 2: every
@@ -355,7 +883,8 @@ impl Wal {
     pub fn append_tpc_end(&self, txn: TxnId) -> io::Result<()> {
         crate::sched::yield_point("wal.append_tpc_end");
         let mut inner = self.inner.lock();
-        Self::append_record(&mut inner, &WalRecord::TpcEnd { txn })
+        self.append_any(&mut inner, &WalRecord::TpcEnd { txn })?;
+        Ok(())
     }
 
     /// Log a settle point: the caller vouches the edge is quiescent (no
@@ -365,7 +894,8 @@ impl Wal {
     /// by the next one.
     pub fn append_settle(&self) -> io::Result<()> {
         let mut inner = self.inner.lock();
-        Self::append_record(&mut inner, &WalRecord::Settle)
+        self.append_any(&mut inner, &WalRecord::Settle)?;
+        Ok(())
     }
 
     /// The phase-1 decision the shadow state holds for `txn`, if it has
@@ -390,7 +920,107 @@ impl Wal {
 
     /// Force the durable boundary forward over everything appended.
     pub fn flush(&self) -> io::Result<()> {
-        self.inner.lock().sync_and_publish()
+        match &self.pipeline {
+            None => self.inner.lock().sync_and_publish(),
+            Some(shared) => {
+                let target = shared.state.lock().expect(PIPE_LOCK).latest_lsn;
+                shared.flush_lsn(target)
+            }
+        }
+    }
+
+    /// Wait until the durable boundary covers `lsn` (as returned by
+    /// [`Wal::append_stage`]). Returns immediately at or below
+    /// `last_flushed_lsn`; past it, the pipelined mode seals as needed
+    /// and waits for the flusher to land the covering buffer, while the
+    /// synchronous modes fall back to a full sync.
+    pub fn flush_lsn(&self, lsn: u64) -> io::Result<()> {
+        match &self.pipeline {
+            Some(shared) => shared.flush_lsn(lsn),
+            None => {
+                let mut inner = self.inner.lock();
+                if lsn <= inner.flushed_len {
+                    Ok(())
+                } else {
+                    inner.sync_and_publish()
+                }
+            }
+        }
+    }
+
+    /// The global LSN of the last appended byte (pipelined mode; the
+    /// synchronous modes report the epoch-relative log length).
+    #[must_use]
+    pub fn latest_lsn(&self) -> u64 {
+        match &self.pipeline {
+            Some(shared) => shared.state.lock().expect(PIPE_LOCK).latest_lsn,
+            None => self.inner.lock().storage.len(),
+        }
+    }
+
+    /// The durable LSN boundary: everything at or below survives a
+    /// crash (directly, or folded into a durable checkpoint).
+    #[must_use]
+    pub fn last_flushed_lsn(&self) -> u64 {
+        match &self.pipeline {
+            Some(shared) => shared.state.lock().expect(PIPE_LOCK).last_flushed_lsn,
+            None => self.inner.lock().flushed_len,
+        }
+    }
+
+    /// Drive one flusher iteration by hand (harness mode — see
+    /// [`PipelineConfig::manual_flusher`]): the crash sweep uses it to
+    /// cut the device at exact buffer boundaries, and the model checker
+    /// runs it as a virtual task. Returns `Ok(false)` once shut down and
+    /// drained.
+    pub fn flusher_step(&self) -> io::Result<bool> {
+        self.pipeline
+            .as_ref()
+            .expect("flusher_step is a pipelined-mode API")
+            .step(crate::sched::active())
+    }
+
+    /// Seal the active buffer onto the flusher queue without waiting
+    /// for any boundary (harness mode companion to
+    /// [`Wal::flusher_step`]).
+    pub fn seal_active(&self) {
+        let shared = self
+            .pipeline
+            .as_ref()
+            .expect("seal_active is a pipelined-mode API");
+        let sealed = {
+            let mut state = shared.state.lock().expect(PIPE_LOCK);
+            shared.seal_locked(&mut state)
+        };
+        if sealed {
+            crate::sched::progress("wal.buffer.sealed");
+        }
+    }
+
+    /// Stop accepting flusher work after the queue drains: pending
+    /// sealed buffers still land, the unsealed active tail is the loss
+    /// window (exactly like dropping a synchronous writer with an
+    /// unsynced tail). Idempotent; `Drop` calls it too.
+    pub fn shutdown_flusher(&self) {
+        if let Some(shared) = &self.pipeline {
+            shared.state.lock().expect(PIPE_LOCK).shutdown = true;
+            shared.work_cv.notify_all();
+            crate::sched::progress("wal.buffer.shutdown");
+        }
+    }
+
+    /// Model-checker mutation hook: make the flusher publish each buffer
+    /// *before* syncing it. This plants the exact bug class the shipping
+    /// contract forbids; `tests/mcheck.rs` proves the checker finds it.
+    #[cfg(feature = "mcheck")]
+    pub fn mutate_publish_before_sync(&self) {
+        self.pipeline
+            .as_ref()
+            .expect("mutation targets the pipelined writer")
+            .state
+            .lock()
+            .expect(PIPE_LOCK)
+            .publish_before_sync = true;
     }
 
     /// Whether enough commit points accumulated for an automatic
@@ -408,6 +1038,9 @@ impl Wal {
     /// writer's own shadow of the log, never from the live store.
     pub fn checkpoint(&self) -> io::Result<()> {
         let mut inner = self.inner.lock();
+        if let Some(shared) = &self.pipeline {
+            return Self::checkpoint_pipelined(shared, &mut inner);
+        }
         let cp = inner.shadow.to_checkpoint(&inner.shadow_store);
         let mut framed = Vec::new();
         write_frame(&mut framed, &WalRecord::Checkpoint(Box::new(cp)).encode());
@@ -420,6 +1053,7 @@ impl Wal {
         // effects live inside the checkpoint), and the replica must
         // re-tail from the new epoch's single frame.
         inner.unshipped.clear();
+        inner.flushed_len = framed.len() as u64;
         inner.epoch += 1;
         let lsn = inner.storage.len();
         let epoch = inner.epoch;
@@ -428,6 +1062,56 @@ impl Wal {
             shipper.restart_epoch(&framed);
             inner.obs.emit(EventKind::ShipPublish { lsn, epoch });
         }
+        Ok(())
+    }
+
+    /// The pipelined checkpoint. The writer mutex (held by the caller)
+    /// fences appenders; the in-flight buffer — if any — is waited out,
+    /// and then the truncation, the epoch bump, the boundary advance and
+    /// the shipper restart all happen under the state lock, atomically
+    /// with respect to the flusher. Sealed-but-unflushed buffers are
+    /// discarded exactly like the synchronous writer's unsynced tail:
+    /// their effects live inside the checkpoint, so the boundary jumps
+    /// *forward* to `latest_lsn` and every waiter wakes durable.
+    fn checkpoint_pipelined(shared: &PipelineShared, inner: &mut WalInner) -> io::Result<()> {
+        let cp = inner.shadow.to_checkpoint(&inner.shadow_store);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &WalRecord::Checkpoint(Box::new(cp)).encode());
+        let mut state = shared.state.lock().expect(PIPE_LOCK);
+        while state.flushing {
+            if crate::sched::active() {
+                drop(state);
+                crate::sched::block_point("wal.buffer.checkpoint");
+                state = shared.state.lock().expect(PIPE_LOCK);
+            } else {
+                state = shared.boundary_cv.wait(state).expect(PIPE_LOCK);
+            }
+        }
+        PipelineShared::io_error_locked(&state)?;
+        let mut storage = state.storage.take().expect("not flushing");
+        let reset = storage.reset(&framed);
+        state.storage = Some(storage);
+        reset?;
+        state.sealed.clear();
+        state.active.clear();
+        state.active_commits = 0;
+        state.sealed_lsn = state.latest_lsn;
+        state.last_flushed_lsn = state.latest_lsn;
+        state.syncs += 1;
+        state.epoch += 1;
+        state.epoch_len = framed.len() as u64;
+        inner.stats.checkpoints += 1;
+        inner.commits_since_checkpoint = 0;
+        let lsn = state.latest_lsn;
+        let epoch = state.epoch;
+        state.obs.emit(EventKind::WalSync { lsn, epoch });
+        if let Some(shipper) = &state.shipper {
+            shipper.restart_epoch(&framed);
+            state.obs.emit(EventKind::ShipPublish { lsn, epoch });
+        }
+        drop(state);
+        shared.boundary_cv.notify_all();
+        crate::sched::progress("wal.buffer.checkpoint");
         Ok(())
     }
 
@@ -444,13 +1128,34 @@ impl Wal {
     /// Counters so far.
     #[must_use]
     pub fn stats(&self) -> WalStats {
-        self.inner.lock().stats
+        let mut stats = self.inner.lock().stats;
+        if let Some(shared) = &self.pipeline {
+            stats.syncs += shared.state.lock().expect(PIPE_LOCK).syncs;
+        }
+        stats
     }
 
-    /// Bytes appended to the current log (post-truncation).
+    /// Bytes appended to the current log (post-truncation), including
+    /// buffered-but-unflushed bytes in pipelined mode.
     #[must_use]
     pub fn log_len(&self) -> u64 {
-        self.inner.lock().storage.len()
+        match &self.pipeline {
+            None => self.inner.lock().storage.len(),
+            Some(shared) => {
+                let state = shared.state.lock().expect(PIPE_LOCK);
+                let pending: usize = state.sealed.iter().map(|b| b.bytes.len()).sum();
+                state.epoch_len + pending as u64 + state.active.len() as u64
+            }
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shutdown_flusher();
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
     }
 }
 
@@ -688,5 +1393,221 @@ mod tests {
             "the dead mid-flight write never reappears"
         );
         assert_eq!(r2.next_txn, 10, "the id high-water mark survived resume");
+    }
+
+    fn manual() -> PipelineConfig {
+        PipelineConfig {
+            coalescer: None,
+            manual_flusher: true,
+        }
+    }
+
+    #[test]
+    fn pipelined_manual_boundary_advances_monotonically() {
+        let (wal, probe) = Wal::pipelined_in_memory(WalConfig::group(2), manual());
+        assert!(wal.is_pipelined());
+        let l1 = wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        // One commit in a group of two: nothing sealed, nothing durable.
+        assert_eq!(wal.last_flushed_lsn(), 0);
+        let l2 = wal.append_stage(stage_record(2, 0, CP, "b", 2)).unwrap();
+        assert!(l2 > l1, "LSNs are monotone byte offsets");
+        assert_eq!(wal.latest_lsn(), l2);
+        // The second commit sealed the buffer onto the flusher queue, but
+        // no flusher has run: still not durable.
+        assert_eq!(wal.last_flushed_lsn(), 0);
+        assert_eq!(probe.durable().len(), 0);
+        assert!(wal.flusher_step().unwrap(), "one sealed buffer to land");
+        assert_eq!(wal.last_flushed_lsn(), l2);
+        assert_eq!(probe.durable().len(), l2 as usize);
+        assert!(!wal.flusher_step().unwrap(), "queue drained");
+        let r = recover(&probe.durable());
+        assert!(r.store.contains(&"a".into()));
+        assert!(r.store.contains(&"b".into()));
+    }
+
+    #[test]
+    fn pipelined_flush_lsn_returns_at_boundary_not_tail() {
+        let (wal, probe) = Wal::pipelined_in_memory(WalConfig::group(2), manual());
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        let sealed = wal.append_stage(stage_record(2, 0, CP, "b", 2)).unwrap();
+        wal.flusher_step().unwrap();
+        let tail = wal.append_stage(stage_record(3, 0, CP, "c", 3)).unwrap();
+        // Waiting for an already-durable LSN is a pure boundary check; the
+        // newer unsealed commit stays in the loss window.
+        wal.flush_lsn(sealed).unwrap();
+        assert!(
+            !recover(&probe.durable()).store.contains(&"c".into()),
+            "flush_lsn(sealed) must not drain the active buffer"
+        );
+        // Waiting past the boundary seals and (manual mode) pumps inline.
+        wal.flush_lsn(tail).unwrap();
+        assert_eq!(wal.last_flushed_lsn(), tail);
+        assert!(recover(&probe.durable()).store.contains(&"c".into()));
+    }
+
+    #[test]
+    fn pipelined_publishes_only_after_the_sync() {
+        let (wal, probe) = Wal::pipelined_in_memory(WalConfig::group(2), manual());
+        let shipper = Arc::new(LogShipper::new());
+        wal.attach_shipper(Arc::clone(&shipper));
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        wal.append_stage(stage_record(2, 0, CP, "b", 2)).unwrap();
+        assert_eq!(
+            shipper.shipped_len(),
+            0,
+            "sealed-but-unsynced bytes must not be published"
+        );
+        wal.flusher_step().unwrap();
+        assert_eq!(shipper.image(), probe.durable());
+        assert_eq!(shipper.shipped_len(), probe.durable().len());
+    }
+
+    #[test]
+    fn pipelined_checkpoint_discards_queue_and_restarts_epoch() {
+        let (wal, probe) = Wal::pipelined_in_memory(WalConfig::group(2), manual());
+        let shipper = Arc::new(LogShipper::new());
+        wal.attach_shipper(Arc::clone(&shipper));
+        wal.append_stage(stage_record(1, 0, CP | REG, "a", 1))
+            .unwrap();
+        wal.append_stage(stage_record(1, 1, CP | FIN, "a", 2))
+            .unwrap();
+        wal.flusher_step().unwrap();
+        // Sealed-but-unsynced work racing the checkpoint: its effects ride
+        // in the checkpoint image instead of the discarded buffer.
+        wal.append_stage(stage_record(2, 0, CP | REG, "b", 9))
+            .unwrap();
+        wal.append_stage(stage_record(3, 0, CP | REG, "c", 7))
+            .unwrap(); // seals
+        let tail = wal.latest_lsn();
+        wal.checkpoint().unwrap();
+        assert_eq!(shipper.epoch(), 1, "checkpoint bumped the shipping epoch");
+        assert_eq!(shipper.image(), probe.durable(), "full re-tail");
+        assert_eq!(
+            wal.last_flushed_lsn(),
+            tail,
+            "checkpoint jumps the boundary to the tail"
+        );
+        assert!(
+            !wal.flusher_step().unwrap(),
+            "the stale sealed buffer was discarded, not flushed"
+        );
+        let r = recover(&probe.durable());
+        assert_eq!(r.store.get(&"a".into()).as_deref(), Some(&Value::Int(2)));
+        assert_eq!(r.store.get(&"b".into()).as_deref(), Some(&Value::Int(9)));
+        assert_eq!(r.store.get(&"c".into()).as_deref(), Some(&Value::Int(7)));
+        // LSNs keep counting across the checkpoint — the space is global.
+        let next = wal.append_stage(stage_record(4, 0, CP, "d", 4)).unwrap();
+        assert!(next > tail);
+    }
+
+    #[test]
+    fn pipelined_spawned_flusher_drains_on_flush_and_drop() {
+        let (wal, probe) = Wal::pipelined_in_memory(
+            WalConfig::group(4),
+            PipelineConfig {
+                coalescer: None,
+                manual_flusher: false,
+            },
+        );
+        for i in 0..32u64 {
+            wal.append_stage(stage_record(i, 0, CP, "k", i as i64))
+                .unwrap();
+        }
+        wal.flush().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.commit_points, 32);
+        assert!(stats.syncs >= 1, "the flusher thread landed buffers");
+        assert!(
+            stats.syncs <= 9,
+            "at most one sync per seal (8 groups) + the final flush"
+        );
+        let r = recover(&probe.durable());
+        assert_eq!(r.store.get(&"k".into()).as_deref(), Some(&Value::Int(31)));
+        drop(wal); // joins the flusher without hanging
+    }
+
+    #[test]
+    fn pipelined_coalesced_edges_share_device_windows() {
+        let coalescer = Arc::new(crate::coalesce::SyncCoalescer::new());
+        let wals: Vec<_> = (0..4)
+            .map(|_| {
+                let (wal, probe) = Wal::pipelined_in_memory(
+                    WalConfig::group(1),
+                    PipelineConfig {
+                        coalescer: Some(Arc::clone(&coalescer)),
+                        manual_flusher: false,
+                    },
+                );
+                (Arc::new(wal), probe)
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for (edge, (wal, _)) in wals.iter().enumerate() {
+            let wal = Arc::clone(wal);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16u64 {
+                    wal.append_stage(stage_record(i, 0, CP, "k", edge as i64))
+                        .unwrap();
+                }
+                wal.flush().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = coalescer.stats();
+        assert!(stats.requests >= 4, "every edge's flusher used the device");
+        assert!(stats.windows <= stats.requests);
+        for (wal, probe) in &wals {
+            assert_eq!(wal.last_flushed_lsn(), wal.latest_lsn());
+            let r = recover(&probe.durable());
+            assert!(r.store.contains(&"k".into()));
+            assert_eq!(r.frames, 16, "every commit landed durably");
+        }
+    }
+
+    #[test]
+    fn pipelined_tpc_decision_is_durable_at_return() {
+        let (wal, probe) = Wal::pipelined_in_memory(WalConfig::group(64), manual());
+        wal.append_stage(stage_record(1, 0, CP, "a", 1)).unwrap();
+        wal.append_tpc_decision(TxnId(1), true).unwrap();
+        // The decision waits on its own LSN boundary: everything up to and
+        // including it is durable when the append returns.
+        assert_eq!(wal.last_flushed_lsn(), wal.latest_lsn());
+        let r = recover(&probe.durable());
+        assert!(r.store.contains(&"a".into()));
+    }
+
+    #[test]
+    fn pipelined_resume_restarts_log_and_epoch() {
+        let (wal, probe) = Wal::pipelined_in_memory(WalConfig::group(2), manual());
+        wal.append_stage(stage_record(1, 0, CP | REG, "a", 1))
+            .unwrap();
+        wal.flush().unwrap();
+        let r = recover(&probe.durable());
+        assert_eq!(r.unfinalized, vec![TxnId(1)]);
+
+        let shipper = Arc::new(LogShipper::new());
+        let probe2 = MemStorage::new();
+        let resumed = Wal::resume_pipelined(
+            Box::new(probe2.clone()),
+            WalConfig::group(2),
+            manual(),
+            r.state,
+            &r.store,
+            Some(Arc::clone(&shipper)),
+        )
+        .unwrap();
+        assert!(resumed.is_pipelined());
+        assert_eq!(shipper.image(), probe2.durable());
+        assert_eq!(shipper.epoch(), 1, "resume = epoch restart for shippers");
+        resumed
+            .append_stage(stage_record(1, 1, CP | FIN, "a", 2))
+            .unwrap();
+        resumed.flush().unwrap();
+        let r2 = recover(&probe2.durable());
+        assert_eq!(r2.store.get(&"a".into()).as_deref(), Some(&Value::Int(2)));
+        assert!(r2.unfinalized.is_empty());
+        assert_eq!(shipper.image(), probe2.durable());
     }
 }

@@ -20,7 +20,7 @@ use croesus::store::{KvStore, LockManager, TxnId, Value};
 use croesus::txn::{
     recovery::recover_edge, ExecutorCore, MultiStageProtocolExt, ProtocolKind, RwSet,
 };
-use croesus::wal::{recover, FrameReader, MemStorage, Wal, WalConfig, WalRecord};
+use croesus::wal::{recover, FrameReader, MemStorage, PipelineConfig, Wal, WalConfig, WalRecord};
 
 /// SplitMix64 — the test's own deterministic stream.
 struct Rng(u64);
@@ -268,6 +268,185 @@ fn check_every_boundary(log: &[u8]) {
     }
 }
 
+/// What one pipelined run observed, for the crash sweeps below.
+struct PipelinedRun {
+    /// The fully drained log (every appended byte landed durably).
+    log: Vec<u8>,
+    /// `(durable image, last_flushed_lsn)` at every post-sync boundary
+    /// the interleaved flusher reached mid-run.
+    flush_points: Vec<(Vec<u8>, u64)>,
+    /// `latest_lsn` at every explicit buffer seal (the seal boundaries).
+    seal_points: Vec<u64>,
+    /// `(requested LSN, boundary at return)` for every mid-run
+    /// `flush_lsn` ack.
+    acks: Vec<(u64, u64)>,
+}
+
+/// Drive the seeded workload through the *pipelined* writer in manual
+/// mode, interleaving buffer seals and flusher steps at seeded points —
+/// a single-threaded schedule of the appender/flusher race (the
+/// exhaustive multi-threaded version lives in the `wal_pipeline` mcheck
+/// scenario; this sweep trades exhaustiveness for real executor
+/// workloads and per-byte crash cuts).
+fn run_workload_pipelined(seed: u64, kind: ProtocolKind) -> PipelinedRun {
+    let mut rng = Rng(seed ^ 0xD1CE);
+    let group = WalConfig::group([1, 2, 3][rng.below(3) as usize]);
+    let (wal, probe) = Wal::pipelined_in_memory(
+        group,
+        PipelineConfig {
+            coalescer: None,
+            manual_flusher: true,
+        },
+    );
+    let wal = Arc::new(wal);
+    let core = ExecutorCore::new(
+        Arc::new(KvStore::new()),
+        Arc::new(LockManager::new(kind.default_lock_policy())),
+    )
+    .with_wal(Arc::clone(&wal));
+    let protocol = kind.build(core);
+
+    let mut run = PipelinedRun {
+        log: Vec::new(),
+        flush_points: Vec::new(),
+        seal_points: Vec::new(),
+        acks: Vec::new(),
+    };
+    // The seeded appender/flusher interleaving: after every protocol op,
+    // maybe seal the active buffer, pump the flusher, or wait on an ack.
+    let pump = |rng: &mut Rng, run: &mut PipelinedRun| {
+        for _ in 0..rng.below(3) {
+            match rng.below(4) {
+                0 => {
+                    wal.seal_active();
+                    run.seal_points.push(wal.latest_lsn());
+                }
+                1 | 2 => {
+                    if wal.flusher_step().expect("in-memory pipeline io") {
+                        let image = probe.durable();
+                        let lsn = wal.last_flushed_lsn();
+                        run.flush_points.push((image, lsn));
+                    }
+                }
+                _ => {
+                    let lsn = wal.latest_lsn();
+                    wal.flush_lsn(lsn).expect("in-memory pipeline io");
+                    run.acks.push((lsn, wal.last_flushed_lsn()));
+                }
+            }
+        }
+    };
+
+    let n_txns = 6 + rng.below(6);
+    let key_for = |rng: &mut Rng, txn: u64| -> String {
+        if kind == ProtocolKind::MsSr {
+            format!("t{txn}/{}", rng.below(2))
+        } else {
+            format!("k/{}", rng.below(5))
+        }
+    };
+    struct Active {
+        handle: croesus::txn::TxnHandle,
+        final_rw: RwSet,
+        retract: bool,
+    }
+    let mut active: Vec<Active> = Vec::new();
+    let mut started = 0u64;
+    while started < n_txns || !active.is_empty() {
+        let start_new = started < n_txns && (active.is_empty() || rng.chance(55));
+        if start_new {
+            let txn = TxnId(started);
+            let k0 = key_for(&mut rng, started);
+            let k1 = key_for(&mut rng, started);
+            let initial_rw = RwSet::new().write(k0.as_str()).write(k1.as_str());
+            let kf = key_for(&mut rng, started);
+            let final_rw = if rng.chance(70) {
+                RwSet::new().write(kf.as_str())
+            } else {
+                RwSet::new()
+            };
+            let v = rng.below(1000) as i64;
+            let handle = protocol.begin(txn, &[initial_rw.clone(), final_rw.clone()]);
+            let (_, next) = protocol
+                .stage(handle, &initial_rw, |ctx| {
+                    ctx.write(k0.as_str(), v)?;
+                    ctx.write(k1.as_str(), v + 1)?;
+                    Ok(())
+                })
+                .expect("sequential initial stages cannot conflict");
+            let retract = kind != ProtocolKind::MsSr && rng.chance(25);
+            active.push(Active {
+                handle: next.expect("two stages declared"),
+                final_rw,
+                retract,
+            });
+            started += 1;
+        } else {
+            let idx = rng.below(active.len() as u64) as usize;
+            let a = active.remove(idx);
+            let v = rng.below(1000) as i64;
+            protocol
+                .stage(a.handle, &a.final_rw, |ctx| {
+                    if a.retract {
+                        ctx.retract_self("guessed wrong");
+                    }
+                    if let Some(k) = a.final_rw.writes.first().cloned() {
+                        ctx.write(k, v)?;
+                    }
+                    Ok(())
+                })
+                .expect("final stages cannot abort");
+        }
+        pump(&mut rng, &mut run);
+    }
+    // Drain the pipeline: the final log is every appended byte.
+    wal.flush().expect("in-memory pipeline io");
+    run.log = probe.all_bytes();
+    assert_eq!(
+        probe.durable(),
+        run.log,
+        "a drained pipeline leaves nothing unsynced"
+    );
+    assert_eq!(wal.last_flushed_lsn(), wal.latest_lsn());
+    run
+}
+
+/// The pipelined durability contract, checked against one seeded run:
+/// every mid-run durable image is a prefix of the final log ending at
+/// `last_flushed_lsn`; seal and flush boundaries are clean frame cuts;
+/// acks never return below their requested LSN; and the full per-frame
+/// crash sweep matches the oracle.
+fn check_pipelined_run(run: &PipelinedRun) {
+    check_every_boundary(&run.log);
+    for (image, lsn) in &run.flush_points {
+        prop_assert_eq!(
+            image.len() as u64,
+            *lsn,
+            "with no checkpoint an LSN is a global byte offset"
+        );
+        prop_assert!(
+            run.log.starts_with(image),
+            "a durable image must be a prefix of the final log — \
+             anything acked at LSN {} survives every cut at or past it",
+            lsn
+        );
+        let report = recover(image);
+        prop_assert!(!report.torn_tail, "post-sync boundaries are clean cuts");
+    }
+    for lsn in &run.seal_points {
+        let report = recover(&run.log[..*lsn as usize]);
+        prop_assert!(!report.torn_tail, "seal boundaries are clean cuts");
+    }
+    for (requested, at_ack) in &run.acks {
+        prop_assert!(
+            at_ack >= requested,
+            "flush_lsn({}) returned at boundary {}",
+            requested,
+            at_ack
+        );
+    }
+}
+
 proptest! {
     #[test]
     fn crash_at_every_record_boundary_is_prefix_consistent_ms_ia(seed in any::<u64>()) {
@@ -311,6 +490,48 @@ proptest! {
                 prop_assert_eq!(&torn.unfinalized, &clean.unfinalized);
             }
             cut += 7; // sample; exhaustive per-byte would be slow × 64 cases
+        }
+    }
+
+    #[test]
+    fn pipelined_crash_sweep_matches_oracle_ms_ia(seed in any::<u64>()) {
+        check_pipelined_run(&run_workload_pipelined(seed, ProtocolKind::MsIa));
+    }
+
+    #[test]
+    fn pipelined_crash_sweep_matches_oracle_staged(seed in any::<u64>()) {
+        check_pipelined_run(&run_workload_pipelined(seed, ProtocolKind::Staged));
+    }
+
+    #[test]
+    fn pipelined_torn_cuts_inside_the_inflight_buffer_recover_to_the_boundary(seed in any::<u64>()) {
+        // Cuts *between* a flush boundary and the next — bytes that were
+        // in flight inside the pipeline — behave exactly like torn tails:
+        // recovery lands on the last whole frame at or before the cut.
+        let run = run_workload_pipelined(seed, ProtocolKind::MsIa);
+        let log = &run.log;
+        let mut boundaries = vec![0usize];
+        let mut reader = FrameReader::new(log);
+        while reader.next().is_some() {
+            boundaries.push(reader.offset());
+        }
+        let mut cut = 1usize;
+        while cut < log.len() {
+            if !boundaries.contains(&cut) {
+                let torn = recover(&log[..cut]);
+                prop_assert!(torn.torn_tail);
+                let base = *boundaries.iter().take_while(|&&b| b < cut).last().unwrap();
+                let clean = recover(&log[..base]);
+                prop_assert_eq!(
+                    snapshot_of(&torn.store),
+                    snapshot_of(&clean.store),
+                    "torn cut at {} must equal boundary at {}",
+                    cut,
+                    base
+                );
+                prop_assert_eq!(&torn.unfinalized, &clean.unfinalized);
+            }
+            cut += 11; // sample; exhaustive per-byte would be slow × 64 cases
         }
     }
 

@@ -8,7 +8,7 @@
 
 use croesus_mcheck::{
     explore, ms_sr_block_deadlock, ms_sr_commit_point, replay, retract_self, three_txn_hot_key,
-    two_txn_two_stage, wave_queue, Config, TpcCoordinatorCrash,
+    two_txn_two_stage, wal_pipeline, wave_queue, Config, TpcCoordinatorCrash,
 };
 use croesus_txn::ProtocolKind;
 
@@ -145,6 +145,46 @@ fn mutation_self_test_checker_catches_the_broken_commit_point() {
     let shown = violation.trace.to_string();
     assert!(shown.contains("decisions=["), "trace must display: {shown}");
     let (_end, check) = replay(&mutated_scenario, &violation.trace);
+    let replayed = check.expect_err("replaying the counterexample trace must reproduce it");
+    assert_eq!(
+        replayed, violation.message,
+        "replay diverged from the recorded violation"
+    );
+}
+
+#[test]
+fn wal_pipeline_is_exhaustively_clean() {
+    // Appender, flusher and monitor racing through every `wal.buffer.*`
+    // scheduler point: the boundary stays monotone, no flush_lsn acks
+    // below it, shipped ⊆ durable at every observation, and shutdown
+    // drains the pipeline in every interleaving.
+    let report = explore(&wal_pipeline(false), &Config::default());
+    assert_clean_and_exhaustive(&report);
+}
+
+#[test]
+fn wal_pipeline_mutation_self_test_catches_publish_before_sync() {
+    // The planted bug: sealed buffers published to the shipper *before*
+    // their device sync. Some interleaving must let the monitor observe
+    // shipped bytes the device would lose in a crash...
+    let scenario = wal_pipeline(true);
+    let report = explore(&scenario, &Config::default());
+    assert!(
+        !report.violations.is_empty(),
+        "the checker missed the publish-before-sync mutation \
+         ({} schedules explored)",
+        report.schedules
+    );
+    let violation = &report.violations[0];
+    assert!(
+        violation.message.contains("shipping contract breach"),
+        "unexpected violation kind: {}",
+        violation.message
+    );
+    // ...and the counterexample trace must be replayable, byte for byte.
+    let shown = violation.trace.to_string();
+    assert!(shown.contains("decisions=["), "trace must display: {shown}");
+    let (_end, check) = replay(&scenario, &violation.trace);
     let replayed = check.expect_err("replaying the counterexample trace must reproduce it");
     assert_eq!(
         replayed, violation.message,

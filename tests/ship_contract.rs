@@ -14,7 +14,10 @@ use proptest::prelude::*;
 use croesus::core::{ReplicaTailer, TailPoll};
 use croesus::store::TxnId;
 use croesus::wal::frame::write_frame;
-use croesus::wal::{FrameReader, LogShipper, TailState, WalRecord};
+use croesus::wal::{
+    FrameReader, LogShipper, MemStorage, PipelineConfig, StageFlags, StageRecord, TailState, Wal,
+    WalConfig, WalRecord,
+};
 use std::sync::Arc;
 
 /// One source-side or replica-side step of the shipping dialogue.
@@ -142,6 +145,156 @@ proptest! {
             }
         }
         prop_assert_eq!(tailer.log(), shipper.image().as_slice());
+        prop_assert_eq!(tailer.cursor().epoch, shipper.epoch());
+    }
+}
+
+/// One step of the *pipelined* shipping dialogue: the publication source
+/// is a real pipelined writer (publish rides the flusher's post-sync
+/// path), not hand-called `publish`.
+#[derive(Clone, Debug)]
+enum PipeEv {
+    /// Log one commit-point stage (lands in the active buffer).
+    Commit(i64),
+    /// Seal the active buffer onto the flusher queue (unsynced!).
+    Seal,
+    /// One flusher step: sync + publish of the oldest sealed buffer.
+    Step,
+    /// Drain the whole pipeline (`Wal::flush`).
+    FlushAll,
+    /// Checkpoint — the epoch bump racing whatever is sealed-but-unsynced.
+    Checkpoint,
+    /// The next fetched copy is damaged in flight.
+    Corrupt,
+    /// Cut or restore the uplink.
+    Offline(bool),
+    /// The replica polls once.
+    Poll,
+}
+
+fn arb_pipe_event() -> impl Strategy<Value = PipeEv> {
+    prop_oneof![
+        (1i64..100).prop_map(PipeEv::Commit),
+        Just(PipeEv::Seal),
+        // Weight steps and polls up so dialogues actually move bytes.
+        Just(PipeEv::Step),
+        Just(PipeEv::Step),
+        Just(PipeEv::FlushAll),
+        Just(PipeEv::Checkpoint),
+        Just(PipeEv::Corrupt),
+        any::<bool>().prop_map(PipeEv::Offline),
+        Just(PipeEv::Poll),
+        Just(PipeEv::Poll),
+        Just(PipeEv::Poll),
+    ]
+}
+
+fn commit_stage(txn: u64, val: i64) -> StageRecord {
+    StageRecord {
+        txn: TxnId(txn),
+        stage: 0,
+        total: 1,
+        flags: StageFlags(StageFlags::COMMIT_POINT | StageFlags::FINAL),
+        reads: vec![],
+        writes: vec!["k".into()],
+        images: vec![croesus::wal::WriteImage {
+            key: "k".into(),
+            pre: None,
+            post: Some(Arc::new(croesus::store::Value::Int(val))),
+        }],
+    }
+}
+
+proptest! {
+    #[test]
+    fn pipelined_publish_timing_holds_the_shipping_contract(
+        events in prop::collection::vec(arb_pipe_event(), 1..40)
+    ) {
+        // Group 64 so *only* the dialogue's explicit Seal/Step/FlushAll
+        // events move bytes through the pipeline — publish timing is
+        // entirely under the test's control.
+        let (wal, probe): (Wal, MemStorage) = Wal::pipelined_in_memory(
+            WalConfig::group(64),
+            PipelineConfig { coalescer: None, manual_flusher: true },
+        );
+        let shipper = Arc::new(LogShipper::new());
+        wal.attach_shipper(Arc::clone(&shipper));
+        let mut tailer = ReplicaTailer::new(Arc::clone(&shipper));
+        let mut txn = 0u64;
+
+        for ev in &events {
+            match ev {
+                PipeEv::Commit(val) => {
+                    txn += 1;
+                    wal.append_stage(commit_stage(txn, *val)).unwrap();
+                }
+                PipeEv::Seal => wal.seal_active(),
+                PipeEv::Step => { wal.flusher_step().unwrap(); }
+                PipeEv::FlushAll => wal.flush().unwrap(),
+                PipeEv::Checkpoint => wal.checkpoint().unwrap(),
+                PipeEv::Corrupt => shipper.corrupt_next_fetch(),
+                PipeEv::Offline(down) => shipper.set_offline(*down),
+                PipeEv::Poll => {
+                    let cursor_before = tailer.cursor();
+                    let log_before = tailer.log().to_vec();
+                    match tailer.poll() {
+                        TailPoll::Rejected => {
+                            // A damaged batch must be a pure no-op.
+                            prop_assert_eq!(tailer.cursor(), cursor_before);
+                            prop_assert_eq!(tailer.log(), log_before.as_slice());
+                        }
+                        TailPoll::Advanced { bytes, restarted } => {
+                            let cursor = tailer.cursor();
+                            if cursor.epoch != cursor_before.epoch {
+                                // Epoch bump ⇒ full re-tail, never append.
+                                prop_assert!(restarted, "cross-epoch batch must restart");
+                            }
+                            if restarted {
+                                prop_assert_eq!(tailer.log(), shipper.image().as_slice());
+                            } else {
+                                prop_assert_eq!(cursor.epoch, cursor_before.epoch);
+                                prop_assert!(tailer.log().starts_with(&log_before));
+                                prop_assert_eq!(tailer.log().len(), log_before.len() + bytes);
+                            }
+                            prop_assert_eq!(cursor.offset, tailer.log().len());
+                        }
+                        TailPoll::Offline => prop_assert!(shipper.is_offline()),
+                        TailPoll::UpToDate => {
+                            prop_assert_eq!(cursor_before.offset, shipper.shipped_len());
+                        }
+                    }
+                    prop_assert!(parses_cleanly(tailer.log()));
+                }
+            }
+            // The structural core of the refactor: publication lives in
+            // the flusher's post-sync path, so at every step of every
+            // dialogue the shipped image IS the durable bytes — sealed
+            // or in-flight buffers are never visible to the replica.
+            prop_assert_eq!(
+                shipper.image(),
+                probe.durable(),
+                "shipped image diverged from the durable device"
+            );
+            // And the replica can lag but never run ahead of it.
+            if tailer.cursor().epoch == shipper.epoch() {
+                let image = shipper.image();
+                prop_assert!(tailer.cursor().offset <= image.len());
+                prop_assert_eq!(tailer.log(), &image[..tailer.cursor().offset]);
+            }
+        }
+
+        // Drain: pipeline flushed, uplink up, at most one damaged fetch
+        // to shed — the replica must converge on the full durable image.
+        wal.flush().unwrap();
+        shipper.set_offline(false);
+        for _ in 0..2 {
+            match tailer.catch_up() {
+                TailPoll::UpToDate => break,
+                TailPoll::Rejected => continue,
+                other => prop_assert!(false, "unexpected drain outcome: {other:?}"),
+            }
+        }
+        prop_assert_eq!(tailer.log(), probe.durable().as_slice());
         prop_assert_eq!(tailer.cursor().epoch, shipper.epoch());
     }
 }
